@@ -1,0 +1,71 @@
+"""Ablation benchmarks: the design choices DESIGN.md calls out.
+
+Not a paper figure — these quantify the one-line design justifications
+of Sections 5.1-5.2 (Write-back Manager hysteresis, VRF capacity,
+victim-cache capacity, barrier granularity) in the simulated model.
+"""
+
+from conftest import report, run_once
+
+from repro.bench import ablations
+
+
+def test_ablation_writeback_thresholds(benchmark, env):
+    points = run_once(benchmark, ablations.writeback_thresholds, env)
+    report(
+        "ablation_writeback",
+        ablations.format_points(
+            "Write-back Manager thresholds (normalised to 25%/15%)",
+            points,
+        ),
+    )
+    eager, paper, lazy = points
+    # Eager writeback floods the store path: more stores than the
+    # paper's hysteresis by a clear margin.
+    assert eager.stores > 1.5 * paper.stores
+    # The paper's setting is not slower than either extreme by more
+    # than a whisker (it was chosen as the balanced point).
+    assert paper.time <= min(eager.time, lazy.time) * 1.05
+
+
+def test_ablation_vrf_size(benchmark, env):
+    points = run_once(benchmark, ablations.vrf_sizes, env)
+    report(
+        "ablation_vrf",
+        ablations.format_points("VRF size (normalised to 64 VRs)", points),
+    )
+    # Finding: with a write-back L1 behind the VRF, register capacity
+    # barely moves end-to-end time or traffic (the L1 absorbs tag-CAM
+    # misses) — evidence that Table 1's modest 64 registers suffice.
+    for p in points:
+        assert 0.9 < p.time < 1.1
+        assert 0.9 < p.dram_accesses < 1.1
+
+
+def test_ablation_victim_cache(benchmark, env):
+    points = run_once(benchmark, ablations.victim_cache_sizes, env)
+    report(
+        "ablation_victim",
+        ablations.format_points(
+            "Victim cache size under rMatrix bypass (normalised to 32KB)",
+            points,
+        ),
+    )
+    # Shrinking the victim cache under bypass costs DRAM spills — the
+    # mechanism behind the paper's KRO outlier (Table 6).
+    smallest, largest = points[0], points[-1]
+    assert smallest.dram_accesses >= largest.dram_accesses
+
+
+def test_ablation_barrier_granularity(benchmark, env):
+    points = run_once(benchmark, ablations.barrier_granularity, env)
+    report(
+        "ablation_barriers",
+        ablations.format_points(
+            "Barrier epoch granularity (normalised to 1 panel/epoch)",
+            points,
+        ),
+    )
+    # Coarser epochs trade reuse for slack: times stay within a sane
+    # band (no pathological blow-up) across granularities.
+    assert all(0.3 < p.time < 3.0 for p in points)

@@ -1,0 +1,20 @@
+"""Figure 2 benchmark: GPU single-iteration SpMM time vs CPU, with
+host-device transfer overhead."""
+
+from conftest import report, run_once
+
+from repro.bench import fig02
+
+
+def test_fig02_transfer_overhead(benchmark, env):
+    rows = run_once(benchmark, fig02.run, env)
+    report("fig02", fig02.format_result(rows))
+
+    s = fig02.summary(rows)
+    # Shape assertions from the paper:
+    # 1. kernel-only, the GPU is on average faster than the CPU;
+    assert s["geomean_gpu_vs_cpu_kernel"] < 1.0
+    # 2. with transfers, the GPU is always much slower;
+    assert all(r.normalized_total > 1.0 for r in rows)
+    # 3. transfers dominate the GPU's single-iteration time.
+    assert s["mean_transfer_fraction"] > 0.80

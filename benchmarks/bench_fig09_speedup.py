@@ -1,0 +1,37 @@
+"""Figure 9 benchmark: SPADE Base / Opt / SPADE2 Base and GPU speedups
+over the CPU baseline.
+
+The default run covers both kernels at K=32 (REPRO_FULL=1 adds K=128).
+Paper reference averages: Base 1.67x, Opt 2.32x, SPADE2 3.52x over the
+CPU; 1.03x / 1.34x / 2.00x over the GPU.
+"""
+
+from conftest import full_mode, report, run_once
+
+from repro.bench import fig09
+from repro.sparse.suite import RU
+
+
+def test_fig09_speedups(benchmark, env):
+    k_values = (32, 128) if full_mode() else (32,)
+    rows = run_once(
+        benchmark, fig09.run, env,
+        kernels=("spmm", "sddmm"), k_values=k_values,
+    )
+    report("fig09", fig09.format_result(rows))
+
+    s = fig09.summary(rows)
+    # Shape assertions from the paper:
+    # 1. ordering Base < Opt <= SPADE2 on average;
+    assert s["spade_base_vs_cpu"] < s["spade_opt_vs_cpu"]
+    assert s["spade_opt_vs_cpu"] < s["spade2_base_vs_cpu"]
+    # 2. SPADE wins on average over both CPU and (roughly) the GPU;
+    assert s["spade_opt_vs_cpu"] > 1.3
+    assert s["spade_opt_vs_gpu"] > 0.9
+    # 3. flexibility matters most for high-RU matrices: their mean
+    #    Opt/Base gain exceeds the low-RU mean gain.
+    def mean_gain(ru):
+        sel = [r.spade_opt / r.spade_base for r in rows if r.ru is ru]
+        return sum(sel) / len(sel)
+
+    assert mean_gain(RU.HIGH) > mean_gain(RU.LOW)

@@ -1,0 +1,49 @@
+"""Figure 10 benchmark: progressive configurations CFG0-CFG5 at link
+latencies 60/480/960 ns."""
+
+from conftest import report, run_once
+
+from repro.bench import fig10
+
+
+def _points_by(points, cfg=None, ll=None):
+    return [
+        p for p in points
+        if (cfg is None or p.config == cfg)
+        and (ll is None or p.link_latency_ns == ll)
+    ]
+
+
+def test_fig10_progressive_features(benchmark, env):
+    points = run_once(benchmark, fig10.run, env)
+    report("fig10", fig10.format_result(points))
+
+    at60 = {p.config: p for p in _points_by(points, ll=60.0)}
+
+    # Shape assertions from the paper:
+    # 1. progressive features never slow the system at LL=60 overall
+    #    (CFG5 = Opt is the fastest point);
+    assert at60["CFG5"].execution_time <= at60["CFG0"].execution_time
+    # 2. CFG4 (sparse bypass) cuts LLC traffic vs CFG3 (pollution gone);
+    assert at60["CFG4"].llc_accesses < at60["CFG3"].llc_accesses
+    # 3. CFG4/CFG5 also cut DRAM+LLC accesses vs CFG1 (same traffic
+    #    class) while CFG1 vs CFG0 changes traffic little (<15%): the
+    #    early CFGs are pure latency tolerance;
+    assert abs(at60["CFG1"].dram_accesses - at60["CFG0"].dram_accesses) < 0.15
+    # 4. higher link latency hurts: every config is slower at 960 ns
+    #    than at 60 ns;
+    for cfg in ("CFG0", "CFG1", "CFG2", "CFG3", "CFG4"):
+        t60 = _points_by(points, cfg=cfg, ll=60.0)[0].execution_time
+        t960 = _points_by(points, cfg=cfg, ll=960.0)[0].execution_time
+        assert t960 >= t60
+    # 5. the benefit of the full feature set grows with link latency:
+    #    CFG4/CFG0 improves more at 960 ns than at 60 ns.
+    gain_60 = (
+        _points_by(points, "CFG0", 60.0)[0].execution_time
+        / _points_by(points, "CFG4", 60.0)[0].execution_time
+    )
+    gain_960 = (
+        _points_by(points, "CFG0", 960.0)[0].execution_time
+        / _points_by(points, "CFG4", 960.0)[0].execution_time
+    )
+    assert gain_960 >= gain_60

@@ -1,0 +1,37 @@
+"""Figure 11 benchmark: row/column panel size sensitivity for KRO, DEL,
+and MYC."""
+
+from conftest import report, run_once
+
+from repro.bench import fig11
+
+
+def test_fig11_tile_sensitivity(benchmark, env):
+    maps = run_once(benchmark, fig11.run, env)
+    report("fig11", fig11.format_result(maps))
+    by_name = {m.matrix: m for m in maps}
+
+    # Shape assertions from the paper:
+    # 1. KRO (high RU) prefers a small column panel over all-columns;
+    kro = by_name["KRO"]
+    best_rp, best_cp = kro.best_cell()
+    assert best_cp is not None, "KRO should not pick CP=all_columns"
+    kro_spread = max(kro.normalized_time.values()) / min(
+        kro.normalized_time.values()
+    )
+    assert kro_spread > 1.3, "KRO should be strongly tile-sensitive"
+
+    # 2. DEL (low RU) is near-insensitive, with all-columns competitive
+    #    (within 10% of its best cell).
+    del_ = by_name["DEL"]
+    best = min(del_.normalized_time.values())
+    all_cols_best = min(
+        v for (rp, cp), v in del_.normalized_time.items() if cp is None
+    )
+    assert all_cols_best <= best * 1.10
+
+    # 3. MYC (few rows) benefits from small row panels: its best row
+    #    panel is below the largest tried.
+    myc = by_name["MYC"]
+    best_rp_myc, _ = myc.best_cell()
+    assert best_rp_myc < max(myc.row_panels)

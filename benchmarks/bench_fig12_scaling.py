@@ -1,0 +1,30 @@
+"""Figure 12 benchmark: strong scaling of SPADE2/4/8 Base over SPADE1."""
+
+from conftest import report, run_once
+
+from repro.bench import fig12
+
+
+def test_fig12_strong_scaling(benchmark, env):
+    rows = run_once(benchmark, fig12.run, env)
+    report("fig12", fig12.format_result(rows))
+
+    by_name = {r.matrix: r for r in rows}
+
+    # Shape assertions from the paper:
+    # 1. scaled systems are faster; speedup keeps growing with the
+    #    factor except on the few-row matrices (MYC, KRO), whose
+    #    load imbalance is the paper's own exception;
+    for r in rows:
+        assert r.speedups[2] > 1.0
+        if r.matrix not in ("MYC", "KRO"):
+            assert r.speedups[8] >= r.speedups[2]
+    # 2. SPADE scales well for regular matrices (>=50% of linear at 2x
+    #    for the road/mesh graphs);
+    for name in ("ASI", "DEL", "ROA"):
+        assert fig12.scaling_efficiency(by_name[name], 2) > 0.5
+    # 3. the few-row matrices (MYC, KRO) scale worst at 8x — load
+    #    imbalance, exactly the paper's exception.
+    eff8 = {name: fig12.scaling_efficiency(r, 8) for name, r in by_name.items()}
+    worst_two = sorted(eff8, key=eff8.get)[:2]
+    assert set(worst_two) & {"MYC", "KRO"}

@@ -1,0 +1,22 @@
+"""Figure 13 benchmark: SPADE Opt versus the ideal Sextans accelerator."""
+
+from conftest import report, run_once
+
+from repro.bench import fig13
+
+
+def test_fig13_vs_ideal_sextans(benchmark, env):
+    rows = run_once(benchmark, fig13.run, env)
+    report("fig13", fig13.format_result(rows))
+
+    s = fig13.summary(rows)
+    # Shape assertions from the paper:
+    # 1. SPADE Opt beats ideal Sextans on average (paper: 2.4x);
+    assert s["mean_speedup"] > 1.3
+    # 2. SPADE issues fewer memory accesses (paper: ~0.68x);
+    assert s["mean_access_ratio"] < 1.0
+    # 3. SPADE achieves higher bandwidth utilization (paper: ~1.4x);
+    assert s["mean_bandwidth_ratio"] > 1.0
+    # 4. including PCIe transfers, the gap becomes an order of
+    #    magnitude or more (paper: 52.4x).
+    assert s["mean_speedup_with_transfer"] > 5 * s["mean_speedup"]

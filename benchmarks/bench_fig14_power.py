@@ -1,0 +1,25 @@
+"""Figure 14 benchmark: SPADE-mode power breakdown (SpMM, K=32)."""
+
+import pytest
+from conftest import report, run_once
+
+from repro.bench import fig14
+
+
+def test_fig14_power_breakdown(benchmark, env):
+    rows = run_once(benchmark, fig14.run, env)
+    report("fig14", fig14.format_result(rows))
+
+    # Shape assertions from the paper:
+    # 1. fractions are a valid decomposition;
+    for r in rows:
+        assert sum(r.fractions.values()) == pytest.approx(1.0)
+    # 2. the PE array (with L1s/BBFs/victim caches) is a modest share
+    #    even at maximum dynamic power (paper: ~14% mean);
+    assert fig14.mean_fraction(rows, "pe") < 0.45
+    # 3. DRAM dominates (paper: >50% mean).
+    assert fig14.mean_fraction(rows, "dram") > max(
+        fig14.mean_fraction(rows, "l2"),
+        fig14.mean_fraction(rows, "llc"),
+    )
+

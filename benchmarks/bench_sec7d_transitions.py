@@ -1,0 +1,24 @@
+"""Section 7.D benchmark: CPU <-> SPADE mode-transition overheads."""
+
+from conftest import report, run_once
+
+from repro.bench import sec7d
+
+
+def test_sec7d_mode_transitions(benchmark, env):
+    rows = run_once(benchmark, sec7d.run, env)
+    report("sec7d", sec7d.format_result(rows))
+
+    spmm = [r for r in rows if r.kernel == "spmm"]
+    sddmm = [r for r in rows if r.kernel == "sddmm"]
+    mean = lambda xs: sum(xs) / len(xs)
+
+    # Shape assertions from the paper:
+    # 1. SPADE->CPU transitions are tiny (paper ~0.2%);
+    assert mean([r.spade_to_cpu_pct for r in rows]) < 2.0
+    # 2. CPU->SPADE costs more for SDDMM than SpMM (rMatrix writeback);
+    assert mean([r.cpu_to_spade_pct for r in sddmm]) > mean(
+        [r.cpu_to_spade_pct for r in spmm]
+    )
+    # 3. all overheads stay a small fraction of SPADE-mode time.
+    assert mean([r.cpu_to_spade_pct for r in sddmm]) < 25.0

@@ -1,0 +1,19 @@
+"""Section 7.G benchmark: area and power of the SPADE add-on at 10 nm."""
+
+from conftest import report, run_once
+
+from repro.bench import sec7g
+
+
+def test_sec7g_area_power(benchmark):
+    result = run_once(benchmark, sec7g.run)
+    report("sec7g", sec7g.format_result(result))
+
+    # The modelled totals must land on the paper's numbers (the model
+    # is calibrated, so this is a regression check on the flow):
+    assert result.area_error < 0.10
+    assert result.power_error < 0.10
+    m = result.modelled
+    # 4.3% of host TDP and 2.5% of host area.
+    assert 0.02 < m.power_fraction_of_host < 0.07
+    assert 0.015 < m.area_fraction_of_host < 0.04

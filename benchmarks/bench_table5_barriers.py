@@ -1,0 +1,26 @@
+"""Table 5 benchmark: effect of scheduling barriers on execution time."""
+
+from conftest import full_mode, report, run_once
+
+from repro.bench import table5
+from repro.sparse.suite import RU
+
+
+def test_table5_scheduling_barriers(benchmark, env):
+    k_values = (32, 128) if full_mode() else (32,)
+    kernels = ("spmm", "sddmm") if full_mode() else ("spmm",)
+    rows = run_once(
+        benchmark, table5.run, env, kernels=kernels, k_values=k_values
+    )
+    report("table5", table5.format_result(rows))
+
+    # Shape assertions from the paper: the effect is matrix-dependent —
+    # barriers must help at least one high-RU matrix (the concurrent
+    # LLC working set shrinks) and the spread across matrices is wide.
+    changes = {r.matrix: r.pct_change for r in rows if r.k == 32}
+    high_ru = [
+        r.pct_change for r in rows
+        if r.ru is RU.HIGH and r.k == 32 and r.kernel == "spmm"
+    ]
+    assert min(high_ru) < 0, "barriers should help some high-RU matrix"
+    assert max(changes.values()) - min(changes.values()) > 5.0

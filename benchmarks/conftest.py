@@ -1,0 +1,43 @@
+"""Shared benchmark configuration.
+
+Each benchmark runs its experiment exactly once (``benchmark.pedantic``
+with one round): the measured quantity is the simulated system, and the
+experiment output — the paper's rows/series — is printed to stdout.
+
+Environment knobs (see ``repro.bench.harness``): REPRO_SCALE,
+REPRO_PES, REPRO_OPT, REPRO_CACHE_SHRINK, REPRO_RP_DIVISOR.  Set
+``REPRO_FULL=1`` to run the K=128 and SDDMM variants everywhere.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_mode() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def env():
+    from repro.bench.harness import get_environment
+
+    return get_environment()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+
+
+def report(name: str, text: str) -> None:
+    """Print an experiment's formatted output and persist it under
+    benchmarks/results/ (pytest hides stdout of passing tests)."""
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,61 @@
+"""Flexibility knobs: how the best SPADE configuration depends on the
+input matrix (Sections 2.2, 7.A, 7.C).
+
+Runs the SPADE Opt parameter search on three structurally different
+matrices — a power-law Kronecker graph (high Restructuring Utility), a
+banded mesh (low RU), and a dense small-row-count Mycielskian — and
+shows that each picks a different point in the Table 3 space, with very
+different gains over SPADE Base.
+
+Run:  python examples/autotuning.py
+"""
+
+from repro import SpadeSystem
+from repro.sparse.analysis import estimate_ru, reuse_stats
+from repro.sparse.generators import (
+    delaunay_like,
+    mycielskian_graph,
+    rmat_graph,
+)
+from repro.tuning.autotune import autotune
+
+
+def main() -> None:
+    matrices = {
+        "kronecker (KRO-like)": rmat_graph(scale=11, edge_factor=16, seed=2),
+        "mesh (DEL-like)": delaunay_like(num_nodes=8192, seed=4),
+        "mycielskian (MYC-like)": mycielskian_graph(iterations=9),
+    }
+    system = SpadeSystem.scaled(num_pes=8)
+    k = 32
+
+    print(f"{'matrix':<24} {'RU est.':<8} {'best setting':<38} gain")
+    print("-" * 84)
+    for name, a in matrices.items():
+        result = autotune(system, a, "spmm", k, row_panel_divisor=8)
+        stats = reuse_stats(a)
+        print(
+            f"{name:<24} {estimate_ru(a).value:<8} "
+            f"{result.best_settings.describe():<38} "
+            f"{result.speedup_over_base:.2f}x over Base"
+        )
+        ranked = result.ranked()
+        best, worst = ranked[0], ranked[-1]
+        print(
+            f"  {a!r}\n"
+            f"  column-degree gini {stats.col_gini:.2f}, "
+            f"bandedness {stats.bandedness:.2f}\n"
+            f"  best tried  : {best[0].describe()} "
+            f"({best[1] / 1e6:.4f} ms)\n"
+            f"  worst tried : {worst[0].describe()} "
+            f"({worst[1] / 1e6:.4f} ms) "
+            f"-> {worst[1] / best[1]:.2f}x spread across the space"
+        )
+    print(
+        "\nThe input-dependent winners are the paper's core argument for "
+        "a programmable, tile-based ISA (Section 7.C)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Combining graph reordering with SPADE's flexibility knobs.
+
+Section 8.E of the paper notes that input-aware locality techniques
+such as reordering are orthogonal to SPADE.  This example demonstrates
+the combination: a bandwidth-reducing BFS renumbering turns a shuffled
+mesh's distant reuse back into local reuse, changing both the matrix's
+estimated Restructuring Utility and the settings the autotuner picks —
+and the two techniques compose (reorder first, then tune).
+
+Run:  python examples/reordering.py
+"""
+
+import numpy as np
+
+from repro import SpadeSystem
+from repro.config import scaled_config
+from repro.sparse.analysis import estimate_ru, reuse_stats
+from repro.sparse.generators import banded
+from repro.sparse.reorder import (
+    apply_ordering,
+    bandwidth,
+    bfs_order,
+    random_permutation,
+)
+from repro.tuning.autotune import autotune
+
+
+def describe(label, matrix):
+    stats = reuse_stats(matrix)
+    print(
+        f"{label:<22} bandwidth={bandwidth(matrix):>6} "
+        f"bandedness={stats.bandedness:.2f} "
+        f"RU estimate={estimate_ru(matrix).value}"
+    )
+
+
+def main() -> None:
+    # A mesh-like banded matrix whose vertex numbering was lost
+    # (as happens with crawled or hashed node ids).
+    ordered = banded(num_rows=4096, bandwidth=8, seed=11)
+    shuffled = apply_ordering(
+        ordered, random_permutation(ordered.num_rows, seed=12)
+    )
+    recovered = apply_ordering(shuffled, bfs_order(shuffled))
+
+    print("matrix structure:")
+    describe("original (banded)", ordered)
+    describe("shuffled ids", shuffled)
+    describe("BFS-recovered", recovered)
+
+    system = SpadeSystem(scaled_config(8, cache_shrink=32))
+    k = 32
+    print("\nSPADE Opt on each variant (SpMM, K=32):")
+    times = {}
+    for label, matrix in (
+        ("shuffled", shuffled),
+        ("BFS-recovered", recovered),
+    ):
+        result = autotune(system, matrix, "spmm", k, row_panel_divisor=8)
+        times[label] = result.best_time_ns
+        print(
+            f"  {label:<16} best={result.best_settings.describe():<36} "
+            f"time={result.best_time_ns / 1e6:.4f} ms "
+            f"(opt gain {result.speedup_over_base:.2f}x)"
+        )
+    gain = times["shuffled"] / times["BFS-recovered"]
+    print(
+        f"\nreordering alone buys {gain:.2f}x on the tuned system — "
+        "orthogonal to, and composable with, SPADE's own knobs "
+        "(paper Section 8.E)"
+    )
+
+
+if __name__ == "__main__":
+    main()

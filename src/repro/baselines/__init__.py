@@ -1,0 +1,28 @@
+"""Baseline machines the paper compares SPADE against (Section 6).
+
+- :mod:`repro.baselines.cpu` — the dual-socket Ice Lake server running
+  MKL Inspector-Executor SpMM / TACO SDDMM,
+- :mod:`repro.baselines.gpu` — the NVIDIA V100 running cuSPARSE SpMM /
+  dgSPARSE SDDMM, including the PCIe host-device transfer model that
+  Figure 2 measures,
+- :mod:`repro.baselines.sextans` — the scaled-up, idealized Sextans
+  SpMM accelerator of Sections 6.A and 7.F.
+
+All models are analytic roofline models over the same operand traffic
+the SPADE simulator sees, calibrated so that *relative* behaviour
+matches the paper (Fig 9 normalises everything to the CPU).
+"""
+
+from repro.baselines.cpu import CPUModel, CPUResult
+from repro.baselines.gpu import GPUModel, GPUResult, TransferModel
+from repro.baselines.sextans import SextansModel, SextansResult
+
+__all__ = [
+    "CPUModel",
+    "CPUResult",
+    "GPUModel",
+    "GPUResult",
+    "TransferModel",
+    "SextansModel",
+    "SextansResult",
+]

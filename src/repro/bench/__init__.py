@@ -1,0 +1,24 @@
+"""Benchmark harness: one experiment module per table/figure.
+
+Each ``fig*/table*`` module exposes a ``run(...)`` function returning a
+structured result plus a ``format_result`` helper that prints the same
+rows/series the paper reports.  The ``benchmarks/`` pytest-benchmark
+files are thin wrappers over these, so experiments can also be driven
+directly::
+
+    python -m repro.bench.fig09          # speedups over CPU (Figure 9)
+"""
+
+from repro.bench.harness import (
+    BenchEnvironment,
+    format_table,
+    geomean,
+    get_environment,
+)
+
+__all__ = [
+    "BenchEnvironment",
+    "get_environment",
+    "format_table",
+    "geomean",
+]

@@ -1,0 +1,209 @@
+"""Ablation studies of SPADE design choices.
+
+The paper fixes several microarchitectural choices with one-line
+justifications; these ablations exercise each one over the benchmark
+suite so the trade-off is visible in the model:
+
+- **Write-back Manager thresholds** (Section 5.1, step 9): eager
+  (write back every dirty VR immediately), lazy (only when the VRF is
+  full of dirty VRs), and the paper's 25%/15% hysteresis.
+- **VRF size** (Table 1: 64 physical vector registers).
+- **Victim cache size** (Table 1: 16 KB): how the rMatrix-bypass
+  trade-off of Table 6 moves with capacity.
+- **Barrier epoch granularity** (Figure 5b pairs column panels; the
+  scheduler's ``barrier_group_cols``).
+
+Each ablation returns per-setting geomean metrics over a matrix list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import (
+    BenchEnvironment,
+    dense_input,
+    format_table,
+    geomean,
+    get_environment,
+    suite_matrix,
+)
+from repro.config import CacheConfig
+from repro.core.accelerator import KernelSettings, SpadeSystem
+
+K = 32
+DEFAULT_MATRICES = ("ASI", "ORK", "KRO", "DEL", "SER")
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """Geomean metrics of one ablation setting."""
+
+    label: str
+    time: float
+    dram_accesses: float
+    stores: float
+
+    def normalised(self, baseline: "AblationPoint") -> "AblationPoint":
+        return AblationPoint(
+            label=self.label,
+            time=self.time / baseline.time,
+            dram_accesses=self.dram_accesses / baseline.dram_accesses,
+            stores=self.stores / max(baseline.stores, 1e-12),
+        )
+
+
+def _sweep(
+    env: BenchEnvironment,
+    matrices: Sequence[str],
+    label: str,
+    system: SpadeSystem,
+    settings: Optional[KernelSettings] = None,
+) -> AblationPoint:
+    times, drams, stores = [], [], []
+    for name in matrices:
+        a = suite_matrix(name, env.scale)
+        b = dense_input(a.num_cols, K)
+        rep = system.spmm(a, b, settings or env.base_settings())
+        times.append(rep.time_ns)
+        drams.append(rep.dram_accesses)
+        stores.append(max(1, sum(rep.counters.stores_by_level)))
+    return AblationPoint(
+        label=label,
+        time=geomean(times),
+        dram_accesses=geomean(drams),
+        stores=geomean(stores),
+    )
+
+
+def writeback_thresholds(
+    env: BenchEnvironment | None = None,
+    matrices: Sequence[str] = DEFAULT_MATRICES,
+) -> List[AblationPoint]:
+    """Eager vs paper-hysteresis vs lazy Write-back Manager."""
+    env = env or get_environment()
+    variants = [
+        ("eager (0%/0%)", 0.0, 0.0),
+        ("paper (25%/15%)", 0.25, 0.15),
+        ("lazy (95%/90%)", 0.95, 0.90),
+    ]
+    points = []
+    for label, high, low in variants:
+        cfg = env.spade_config()
+        cfg = replace(
+            cfg,
+            pe=replace(
+                cfg.pe,
+                writeback_high_threshold=high,
+                writeback_low_threshold=low,
+            ),
+        )
+        points.append(_sweep(env, matrices, label, SpadeSystem(cfg)))
+    base = points[1]
+    return [p.normalised(base) for p in points]
+
+
+def vrf_sizes(
+    env: BenchEnvironment | None = None,
+    matrices: Sequence[str] = DEFAULT_MATRICES,
+    sizes: Sequence[int] = (16, 32, 64, 128),
+) -> List[AblationPoint]:
+    """Vector-register-file capacity sweep around Table 1's 64."""
+    env = env or get_environment()
+    points = []
+    for size in sizes:
+        cfg = env.spade_config()
+        cfg = replace(
+            cfg, pe=replace(cfg.pe, num_vector_registers=size)
+        )
+        points.append(
+            _sweep(env, matrices, f"{size} VRs", SpadeSystem(cfg))
+        )
+    base = next(p for p, s in zip(points, sizes) if s == 64)
+    return [p.normalised(base) for p in points]
+
+
+def victim_cache_sizes(
+    env: BenchEnvironment | None = None,
+    matrices: Sequence[str] = DEFAULT_MATRICES,
+    sizes_kb: Sequence[int] = (1, 2, 8, 32),
+) -> List[AblationPoint]:
+    """Victim-cache capacity under rMatrix bypassing (Section 5.2)."""
+    env = env or get_environment()
+    settings = env.base_settings(rmatrix_bypass=True)
+    points = []
+    for size_kb in sizes_kb:
+        cfg = env.spade_config()
+        cfg = replace(
+            cfg,
+            pe=replace(
+                cfg.pe,
+                victim_cache=CacheConfig(
+                    size_bytes=size_kb * 1024, associativity=2
+                ),
+            ),
+        )
+        points.append(
+            _sweep(
+                env, matrices, f"{size_kb}KB victim",
+                SpadeSystem(cfg), settings,
+            )
+        )
+    return [p.normalised(points[-1]) for p in points]
+
+
+def barrier_granularity(
+    env: BenchEnvironment | None = None,
+    matrices: Sequence[str] = ("ORK", "KRO", "LIV"),
+    group_sizes: Sequence[int] = (1, 2, 4),
+) -> List[AblationPoint]:
+    """Columns-per-barrier-epoch sweep on the reuse-heavy matrices."""
+    env = env or get_environment()
+    points = []
+    for group in group_sizes:
+        first = suite_matrix(matrices[0], env.scale)
+        medium_cp = max(64, first.num_cols // 8)
+        settings = env.base_settings(
+            col_panel_size=medium_cp,
+            use_barriers=True,
+            barrier_group_cols=group,
+        )
+        points.append(
+            _sweep(
+                env, matrices, f"{group} col panel(s)/epoch",
+                env.spade_system(), settings,
+            )
+        )
+    return [p.normalised(points[0]) for p in points]
+
+
+def format_points(title: str, points: List[AblationPoint]) -> str:
+    return format_table(
+        ["setting", "time", "DRAM accesses", "stores"],
+        [(p.label, p.time, p.dram_accesses, p.stores) for p in points],
+        title=title,
+    )
+
+
+if __name__ == "__main__":
+    env = get_environment()
+    print(format_points(
+        "Ablation: Write-back Manager thresholds (norm. to paper)",
+        writeback_thresholds(env),
+    ))
+    print()
+    print(format_points(
+        "Ablation: VRF size (norm. to 64 VRs)", vrf_sizes(env)
+    ))
+    print()
+    print(format_points(
+        "Ablation: victim cache size under rMatrix bypass "
+        "(norm. to 32KB)",
+        victim_cache_sizes(env),
+    ))
+    print()
+    print(format_points(
+        "Ablation: barrier epoch granularity (norm. to 1 panel/epoch)",
+        barrier_granularity(env),
+    ))

@@ -1,0 +1,119 @@
+"""Figure 2: single-iteration GPU time (transfer + kernel) vs CPU.
+
+The paper measures one SpMM iteration on the Ice Lake server and on a
+V100 whose time includes host-device transfers and address mapping.
+Result: kernel-only the GPU always wins; end-to-end it always loses,
+with transfers ~97% of GPU time on average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.bench.harness import (
+    BenchEnvironment,
+    format_table,
+    geomean,
+    get_environment,
+    suite_benchmarks,
+    suite_matrix,
+)
+
+K_VALUES = (32, 128)
+
+
+@dataclass(frozen=True)
+class Fig02Row:
+    """One bar of Figure 2."""
+
+    matrix: str
+    k: int
+    cpu_ns: float
+    gpu_kernel_ns: float
+    gpu_transfer_ns: float
+
+    @property
+    def gpu_total_ns(self) -> float:
+        return self.gpu_kernel_ns + self.gpu_transfer_ns
+
+    @property
+    def normalized_total(self) -> float:
+        """GPU total time / CPU time (the bar height)."""
+        return self.gpu_total_ns / self.cpu_ns
+
+    @property
+    def normalized_kernel(self) -> float:
+        return self.gpu_kernel_ns / self.cpu_ns
+
+    @property
+    def transfer_fraction(self) -> float:
+        return self.gpu_transfer_ns / self.gpu_total_ns
+
+
+def run(env: BenchEnvironment | None = None) -> List[Fig02Row]:
+    env = env or get_environment()
+    cpu = env.cpu_model()
+    gpu = env.gpu_model()
+    rows: List[Fig02Row] = []
+    for bench in suite_benchmarks():
+        a = suite_matrix(bench.name, env.scale)
+        for k in K_VALUES:
+            cpu_res = cpu.spmm(a, k)
+            gpu_res = gpu.spmm(a, k)
+            rows.append(
+                Fig02Row(
+                    matrix=bench.name,
+                    k=k,
+                    cpu_ns=cpu_res.time_ns,
+                    gpu_kernel_ns=gpu_res.kernel_ns,
+                    gpu_transfer_ns=gpu_res.transfer_ns,
+                )
+            )
+    return rows
+
+
+def summary(rows: List[Fig02Row]) -> Dict[str, float]:
+    return {
+        "mean_transfer_fraction": sum(
+            r.transfer_fraction for r in rows
+        ) / len(rows),
+        "geomean_gpu_vs_cpu_total": geomean(
+            r.normalized_total for r in rows
+        ),
+        "geomean_gpu_vs_cpu_kernel": geomean(
+            r.normalized_kernel for r in rows
+        ),
+    }
+
+
+def format_result(rows: List[Fig02Row]) -> str:
+    table = format_table(
+        ["matrix", "K", "GPU total/CPU", "GPU kernel/CPU", "transfer %"],
+        [
+            (
+                r.matrix,
+                r.k,
+                r.normalized_total,
+                r.normalized_kernel,
+                f"{r.transfer_fraction:.1%}",
+            )
+            for r in rows
+        ],
+        title="Figure 2: GPU single-iteration SpMM time normalized to CPU",
+    )
+    s = summary(rows)
+    return (
+        table
+        + f"\n\nmean transfer fraction: {s['mean_transfer_fraction']:.1%}"
+        f" (paper: ~97%)\n"
+        f"geomean GPU/CPU with transfers: "
+        f"{s['geomean_gpu_vs_cpu_total']:.2f}x slower "
+        f"(paper: GPU always much slower)\n"
+        f"geomean GPU/CPU kernel-only: "
+        f"{s['geomean_gpu_vs_cpu_kernel']:.2f}x (paper: always faster, <1)"
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

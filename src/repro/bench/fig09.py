@@ -1,0 +1,155 @@
+"""Figure 9: speedup over the CPU of GPU (kernel-only), SPADE Base,
+SPADE Opt, and SPADE2 Base, for SpMM/SDDMM and K in {32, 128}.
+
+Paper averages across all environments: SPADE Base 1.67x, SPADE Opt
+2.32x, SPADE2 Base 3.52x over the CPU (1.03x / 1.34x / 2.00x over the
+GPU).  Matrices group by Restructuring Utility: low-RU matrices see
+small Base speedups and little Opt benefit; high/medium-RU matrices see
+both grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bench.harness import (
+    BenchEnvironment,
+    dense_input,
+    format_table,
+    geomean,
+    get_environment,
+    suite_benchmarks,
+    suite_matrix,
+)
+from repro.core.accelerator import KernelSettings
+from repro.sparse.suite import RU
+from repro.tuning.autotune import autotune
+
+K_VALUES = (32, 128)
+KERNELS = ("spmm", "sddmm")
+
+
+@dataclass(frozen=True)
+class Fig09Row:
+    """Speedups over the CPU for one (matrix, kernel, K)."""
+
+    matrix: str
+    ru: RU
+    kernel: str
+    k: int
+    gpu_kernel: float
+    spade_base: float
+    spade_opt: float
+    spade2_base: float
+    opt_settings: KernelSettings
+
+
+def _spade_time(env: BenchEnvironment, factor: int, a, kernel: str, k: int,
+                settings: Optional[KernelSettings] = None) -> float:
+    system = env.spade_system(factor)
+    settings = settings or env.base_settings()
+    b = dense_input(a.num_cols, k)
+    if kernel == "spmm":
+        return system.spmm(a, b, settings).time_ns
+    b_r = dense_input(a.num_rows, k, seed=5)
+    return system.sddmm(a, b_r, b, settings).time_ns
+
+
+def run(
+    env: BenchEnvironment | None = None,
+    kernels=KERNELS,
+    k_values=K_VALUES,
+    matrices: Optional[List[str]] = None,
+) -> List[Fig09Row]:
+    env = env or get_environment()
+    cpu = env.cpu_model()
+    gpu = env.gpu_model()
+    rows: List[Fig09Row] = []
+    for bench in suite_benchmarks():
+        if matrices and bench.name not in matrices:
+            continue
+        a = suite_matrix(bench.name, env.scale)
+        for kernel in kernels:
+            for k in k_values:
+                cpu_ns = (
+                    cpu.spmm(a, k).time_ns
+                    if kernel == "spmm"
+                    else cpu.sddmm(a, k).time_ns
+                )
+                gpu_res = (
+                    gpu.spmm(a, k) if kernel == "spmm" else gpu.sddmm(a, k)
+                )
+                # Out-of-memory rule: "for matrices that do not fit in
+                # the GPU memory we assume a GPU speedup of 1".
+                gpu_speedup = (
+                    cpu_ns / gpu_res.kernel_ns
+                    if gpu_res.fits_in_memory
+                    else 1.0
+                )
+                base_ns = _spade_time(env, 1, a, kernel, k)
+                tune = autotune(
+                    env.spade_system(1), a, kernel, k,
+                    quick=(env.opt_mode == "quick"),
+                    row_panel_divisor=env.row_panel_divisor,
+                )
+                opt_ns = min(tune.best_time_ns, base_ns)
+                spade2_ns = _spade_time(env, 2, a, kernel, k)
+                rows.append(
+                    Fig09Row(
+                        matrix=bench.name,
+                        ru=bench.ru,
+                        kernel=kernel,
+                        k=k,
+                        gpu_kernel=gpu_speedup,
+                        spade_base=cpu_ns / base_ns,
+                        spade_opt=cpu_ns / opt_ns,
+                        spade2_base=cpu_ns / spade2_ns,
+                        opt_settings=tune.best_settings,
+                    )
+                )
+    return rows
+
+
+def summary(rows: List[Fig09Row]) -> Dict[str, float]:
+    out = {
+        "spade_base_vs_cpu": geomean(r.spade_base for r in rows),
+        "spade_opt_vs_cpu": geomean(r.spade_opt for r in rows),
+        "spade2_base_vs_cpu": geomean(r.spade2_base for r in rows),
+        "gpu_vs_cpu": geomean(r.gpu_kernel for r in rows),
+    }
+    out["spade_base_vs_gpu"] = out["spade_base_vs_cpu"] / out["gpu_vs_cpu"]
+    out["spade_opt_vs_gpu"] = out["spade_opt_vs_cpu"] / out["gpu_vs_cpu"]
+    out["spade2_base_vs_gpu"] = out["spade2_base_vs_cpu"] / out["gpu_vs_cpu"]
+    return out
+
+
+def format_result(rows: List[Fig09Row]) -> str:
+    table = format_table(
+        ["matrix", "RU", "kernel", "K", "GPU", "Base", "Opt", "SPADE2",
+         "opt settings"],
+        [
+            (
+                r.matrix, r.ru.value, r.kernel, r.k,
+                r.gpu_kernel, r.spade_base, r.spade_opt, r.spade2_base,
+                r.opt_settings.describe(),
+            )
+            for r in rows
+        ],
+        title="Figure 9: speedup over CPU",
+    )
+    s = summary(rows)
+    return table + (
+        f"\n\ngeomean vs CPU: Base {s['spade_base_vs_cpu']:.2f}x "
+        f"(paper 1.67), Opt {s['spade_opt_vs_cpu']:.2f}x (paper 2.32), "
+        f"SPADE2 {s['spade2_base_vs_cpu']:.2f}x (paper 3.52)\n"
+        f"geomean vs GPU: Base {s['spade_base_vs_gpu']:.2f}x (paper 1.03), "
+        f"Opt {s['spade_opt_vs_gpu']:.2f}x (paper 1.34), "
+        f"SPADE2 {s['spade2_base_vs_gpu']:.2f}x (paper 2.00)"
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

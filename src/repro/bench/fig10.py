@@ -1,0 +1,163 @@
+"""Figure 10 / Table 4: progressive SPADE configurations CFG0-CFG5.
+
+Starting from CFG0 (tile instructions, 3-entry sparse load queue,
+sparse/dense request overlap, 16 vOp RS entries, quarter as many PEs at
+3.2 GHz, sparse data through the caches) the experiment adds one feature
+at a time:
+
+- CFG1: 32 vOp reservation-station entries,
+- CFG2: full PE count at 0.8 GHz,
+- CFG3: 6-entry sparse load queue,
+- CFG4: sparse stream bypasses the cache hierarchy (= SPADE Base),
+- CFG5: flexible execution (= SPADE Opt; link latency 60 ns only).
+
+Each configuration runs at link latencies of 60, 480, and 960 ns;
+reported metrics (geomean over the suite, normalised to CFG0@60ns) are
+DRAM accesses, LLC accesses, pipeline requests per cycle, and execution
+time.  Expected shape: CFG1-3 raise requests/cycle *without* lowering
+DRAM/LLC traffic (pure latency tolerance); CFG4-5 raise requests/cycle
+*and* cut traffic; benefits grow with link latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import (
+    BenchEnvironment,
+    dense_input,
+    format_table,
+    geomean,
+    get_environment,
+    suite_benchmarks,
+    suite_matrix,
+)
+from repro.config import SpadeConfig
+from repro.core.accelerator import KernelSettings, SpadeSystem
+from repro.tuning.autotune import autotune
+
+LINK_LATENCIES_NS = (60.0, 480.0, 960.0)
+CFG_NAMES = ("CFG0", "CFG1", "CFG2", "CFG3", "CFG4", "CFG5")
+K = 32
+
+
+@dataclass(frozen=True)
+class CfgPoint:
+    """Metrics of one (configuration, link latency) cell, geomean'd
+    across the suite and normalised to CFG0 at 60 ns."""
+
+    config: str
+    link_latency_ns: float
+    dram_accesses: float
+    llc_accesses: float
+    requests_per_cycle: float
+    execution_time: float
+
+
+def _cfg_system(
+    env: BenchEnvironment, cfg_name: str, link_latency_ns: float
+) -> SpadeSystem:
+    base = env.spade_config()
+    pe = base.pe
+    num_pes = base.num_pes
+    if cfg_name in ("CFG0", "CFG1"):
+        # Quarter the PEs, CPU-like 3.2 GHz clock (Table 4's "56 SPADE
+        # PEs at 3.2GHz" against the full system's 224 at 0.8 GHz).
+        num_pes = max(1, base.num_pes // 4)
+        pe = replace(pe, frequency_ghz=3.2)
+    if cfg_name == "CFG0":
+        pe = replace(pe, vop_rs_entries=16)
+    if cfg_name in ("CFG0", "CFG1", "CFG2"):
+        pe = replace(pe, sparse_load_queue_entries=3)
+    mem = replace(base.memory, link_latency_ns=link_latency_ns)
+    cfg = replace(base, num_pes=num_pes, pe=pe, memory=mem)
+    return SpadeSystem(cfg)
+
+
+def _cfg_settings(
+    env: BenchEnvironment, cfg_name: str, matrix_name: str
+) -> KernelSettings:
+    sparse_bypass = cfg_name in ("CFG4", "CFG5")
+    if cfg_name == "CFG5":
+        a = suite_matrix(matrix_name, env.scale)
+        tuned = autotune(
+            env.spade_system(), a, "spmm", K,
+            quick=(env.opt_mode == "quick"),
+            row_panel_divisor=env.row_panel_divisor,
+        ).best_settings
+        return replace(tuned, sparse_stream_bypass=True)
+    return env.base_settings(sparse_stream_bypass=sparse_bypass)
+
+
+def run(
+    env: BenchEnvironment | None = None,
+    matrices: Optional[Sequence[str]] = None,
+) -> List[CfgPoint]:
+    env = env or get_environment()
+    names = [b.name for b in suite_benchmarks()]
+    if matrices:
+        names = [n for n in names if n in matrices]
+
+    raw: Dict[tuple, Dict[str, float]] = {}
+    for cfg_name in CFG_NAMES:
+        lls = (60.0,) if cfg_name == "CFG5" else LINK_LATENCIES_NS
+        for ll in lls:
+            dram, llc, rpc, times = [], [], [], []
+            for name in names:
+                a = suite_matrix(name, env.scale)
+                system = _cfg_system(env, cfg_name, ll)
+                settings = _cfg_settings(env, cfg_name, name)
+                b = dense_input(a.num_cols, K)
+                rep = system.spmm(a, b, settings)
+                dram.append(rep.dram_accesses)
+                llc.append(max(rep.llc_accesses, 1))
+                rpc.append(rep.requests_per_cycle)
+                times.append(rep.time_ns)
+            raw[(cfg_name, ll)] = {
+                "dram": geomean(dram),
+                "llc": geomean(llc),
+                "rpc": geomean(rpc),
+                "time": geomean(times),
+            }
+
+    ref = raw[("CFG0", 60.0)]
+    points = [
+        CfgPoint(
+            config=cfg_name,
+            link_latency_ns=ll,
+            dram_accesses=vals["dram"] / ref["dram"],
+            llc_accesses=vals["llc"] / ref["llc"],
+            requests_per_cycle=vals["rpc"] / ref["rpc"],
+            execution_time=vals["time"] / ref["time"],
+        )
+        for (cfg_name, ll), vals in raw.items()
+    ]
+    return points
+
+
+def format_result(points: List[CfgPoint]) -> str:
+    return format_table(
+        ["config", "LL(ns)", "DRAM acc", "LLC acc", "req/cycle", "exec time"],
+        [
+            (
+                p.config,
+                int(p.link_latency_ns),
+                p.dram_accesses,
+                p.llc_accesses,
+                p.requests_per_cycle,
+                p.execution_time,
+            )
+            for p in sorted(
+                points, key=lambda p: (p.link_latency_ns, p.config)
+            )
+        ],
+        title=(
+            "Figure 10: progressive SPADE features "
+            "(geomean over suite, normalised to CFG0 @ 60ns)"
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

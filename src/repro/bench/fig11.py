@@ -1,0 +1,106 @@
+"""Figure 11: tile row-panel / column-panel sensitivity heatmaps.
+
+For KRO, DEL, and MYC (SpMM, K=32, no bypassing, no barriers) the paper
+sweeps row panels {64, 256, 1024} (plus 16 for MYC) against column
+panels {8k, 500k, MAX} and normalises execution time to the worst cell.
+Expected shape:
+
+- KRO (high RU): best with small CP and large RP (maximises cMatrix
+  reuse),
+- DEL (low RU): best with CP spanning all columns,
+- MYC (few rows): small RPs mitigate load imbalance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.harness import (
+    BenchEnvironment,
+    dense_input,
+    format_table,
+    get_environment,
+    suite_matrix,
+)
+from repro.core.accelerator import KernelSettings
+from repro.tuning.space import paper_row_panels, scaled_col_panels
+
+MATRICES = ("KRO", "DEL", "MYC")
+K = 32
+
+
+@dataclass
+class Heatmap:
+    """One matrix's normalised RP x CP execution-time grid."""
+
+    matrix: str
+    row_panels: List[int]
+    col_panels: List[Optional[int]]
+    normalized_time: Dict[Tuple[int, Optional[int]], float]
+
+    def best_cell(self) -> Tuple[int, Optional[int]]:
+        return min(self.normalized_time, key=self.normalized_time.get)
+
+    def worst_cell(self) -> Tuple[int, Optional[int]]:
+        return max(self.normalized_time, key=self.normalized_time.get)
+
+
+def run(
+    env: BenchEnvironment | None = None, matrices=MATRICES
+) -> List[Heatmap]:
+    env = env or get_environment()
+    maps: List[Heatmap] = []
+    for name in matrices:
+        a = suite_matrix(name, env.scale)
+        row_panels = list(paper_row_panels(env.row_panel_divisor))
+        if name == "MYC":
+            row_panels = [max(2, 16 // env.row_panel_divisor)] + row_panels
+        col_panels = scaled_col_panels(a.num_cols)
+        system = env.spade_system()
+        b = dense_input(a.num_cols, K)
+        times: Dict[Tuple[int, Optional[int]], float] = {}
+        for rp in row_panels:
+            for cp in col_panels:
+                settings = KernelSettings(
+                    row_panel_size=rp, col_panel_size=cp
+                )
+                times[(rp, cp)] = system.spmm(a, b, settings).time_ns
+        worst = max(times.values())
+        maps.append(
+            Heatmap(
+                matrix=name,
+                row_panels=row_panels,
+                col_panels=col_panels,
+                normalized_time={k: v / worst for k, v in times.items()},
+            )
+        )
+    return maps
+
+
+def format_result(maps: List[Heatmap]) -> str:
+    blocks = []
+    for hm in maps:
+        headers = ["RP \\ CP"] + [
+            str(cp) if cp else "MAX" for cp in hm.col_panels
+        ]
+        rows = [
+            [rp] + [hm.normalized_time[(rp, cp)] for cp in hm.col_panels]
+            for rp in hm.row_panels
+        ]
+        best = hm.best_cell()
+        blocks.append(
+            format_table(
+                headers,
+                rows,
+                title=(
+                    f"Figure 11 ({hm.matrix}): time normalised to worst; "
+                    f"best = RP={best[0]}, CP={best[1] or 'MAX'}"
+                ),
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

@@ -1,0 +1,91 @@
+"""Figure 12: strong-scaling analysis of SPADE.
+
+SPADE2/4/8 Base scale the PE count, DRAM bandwidth, LLC size, and link
+latency by 2x/4x/8x over the baseline system and run the same matrices
+(SpMM, K=32).  Expected shape: near-linear scaling for most matrices,
+occasional superlinear points from the growing LLC, and poor scaling
+for MYC and KRO whose small row counts starve the row-panel scheduler
+(load imbalance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import (
+    BenchEnvironment,
+    dense_input,
+    format_table,
+    get_environment,
+    suite_benchmarks,
+    suite_matrix,
+)
+SCALE_FACTORS = (2, 4, 8)
+K = 32
+
+
+@dataclass(frozen=True)
+class Fig12Row:
+    """Speedups of scaled systems over SPADE1 Base for one matrix."""
+
+    matrix: str
+    base_ns: float
+    speedups: Dict[int, float]
+    load_imbalance: Dict[int, float]
+
+
+def run(
+    env: BenchEnvironment | None = None,
+    matrices: Optional[Sequence[str]] = None,
+    factors: Sequence[int] = SCALE_FACTORS,
+) -> List[Fig12Row]:
+    env = env or get_environment()
+    rows: List[Fig12Row] = []
+    settings = env.base_settings()
+    for bench in suite_benchmarks():
+        if matrices and bench.name not in matrices:
+            continue
+        a = suite_matrix(bench.name, env.scale)
+        b = dense_input(a.num_cols, K)
+        base_rep = env.spade_system(1).spmm(a, b, settings)
+        speedups: Dict[int, float] = {}
+        imbalance: Dict[int, float] = {}
+        for factor in factors:
+            rep = env.spade_system(factor).spmm(a, b, settings)
+            speedups[factor] = base_rep.time_ns / rep.time_ns
+            imbalance[factor] = rep.load_imbalance
+        rows.append(
+            Fig12Row(
+                matrix=bench.name,
+                base_ns=base_rep.time_ns,
+                speedups=speedups,
+                load_imbalance=imbalance,
+            )
+        )
+    return rows
+
+
+def scaling_efficiency(row: Fig12Row, factor: int) -> float:
+    """Achieved fraction of linear scaling at one factor."""
+    return row.speedups[factor] / factor
+
+
+def format_result(rows: List[Fig12Row]) -> str:
+    factors = sorted(rows[0].speedups) if rows else []
+    return format_table(
+        ["matrix"]
+        + [f"SPADE{f} speedup" for f in factors]
+        + [f"SPADE{f} efficiency" for f in factors],
+        [
+            [r.matrix]
+            + [r.speedups[f] for f in factors]
+            + [f"{scaling_efficiency(r, f):.0%}" for f in factors]
+            for r in rows
+        ],
+        title="Figure 12: strong scaling over SPADE1 Base (SpMM, K=32)",
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

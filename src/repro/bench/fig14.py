@@ -1,0 +1,93 @@
+"""Figure 14: power breakdown of SPADE-mode execution (SpMM, K=32).
+
+The server disables the Xeon cores and L1s; the SPADE PEs use the
+memory subsystem.  The paper's breakdown: PEs with their L1s, BBFs, and
+victim caches consume only ~14% of total power on average (even charged
+at maximum dynamic power), the shared caches are cheap because the
+sparse stream (and sometimes the rMatrix) bypasses them, and DRAM
+accounts for more than 50%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import (
+    BenchEnvironment,
+    dense_input,
+    format_table,
+    get_environment,
+    suite_benchmarks,
+    suite_matrix,
+)
+from repro.power.report import PowerBreakdown, power_breakdown
+
+K = 32
+
+
+@dataclass(frozen=True)
+class Fig14Row:
+    """One matrix's power breakdown fractions."""
+
+    matrix: str
+    breakdown: PowerBreakdown
+
+    @property
+    def fractions(self) -> Dict[str, float]:
+        return self.breakdown.fractions()
+
+
+def run(
+    env: BenchEnvironment | None = None,
+    matrices: Optional[Sequence[str]] = None,
+) -> List[Fig14Row]:
+    env = env or get_environment()
+    rows: List[Fig14Row] = []
+    for bench in suite_benchmarks():
+        if matrices and bench.name not in matrices:
+            continue
+        a = suite_matrix(bench.name, env.scale)
+        system = env.spade_system()
+        b = dense_input(a.num_cols, K)
+        rep = system.spmm(a, b, env.base_settings())
+        rows.append(
+            Fig14Row(
+                matrix=bench.name,
+                breakdown=power_breakdown(
+                    rep.stats, rep.time_ns, system.config
+                ),
+            )
+        )
+    return rows
+
+
+def mean_fraction(rows: List[Fig14Row], component: str) -> float:
+    return sum(r.fractions[component] for r in rows) / len(rows)
+
+
+def format_result(rows: List[Fig14Row]) -> str:
+    table = format_table(
+        ["matrix", "PEs+L1+BBF+VC", "L2", "LLC", "DRAM", "total (W)"],
+        [
+            (
+                r.matrix,
+                f"{r.fractions['pe']:.1%}",
+                f"{r.fractions['l2']:.1%}",
+                f"{r.fractions['llc']:.1%}",
+                f"{r.fractions['dram']:.1%}",
+                r.breakdown.total_w,
+            )
+            for r in rows
+        ],
+        title="Figure 14: SPADE-mode power breakdown (SpMM, K=32)",
+    )
+    return table + (
+        f"\n\nmean PE fraction: {mean_fraction(rows, 'pe'):.1%} "
+        f"(paper ~14%); mean DRAM fraction: "
+        f"{mean_fraction(rows, 'dram'):.1%} (paper >50%)"
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

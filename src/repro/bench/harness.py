@@ -1,0 +1,158 @@
+"""Shared benchmark infrastructure: environment, workload cache, tables.
+
+The environment is controlled by environment variables so the same
+bench files can run quick (CI) or thorough (full reproduction):
+
+- ``REPRO_SCALE``  — suite matrix scale: tiny | small | default | large
+  (default: small)
+- ``REPRO_PES``    — PEs in the simulated SPADE1 system (default: 8)
+- ``REPRO_OPT``    — SPADE Opt search: quick | full (default: quick)
+- ``REPRO_CACHE_SHRINK`` — extra cache-capacity shrink so scaled-down
+  matrices stress the hierarchy like the paper's full-size ones
+  (default: 32; see :func:`repro.config.scaled_config`)
+- ``REPRO_RP_DIVISOR`` — divide the paper's Table 3 row-panel sizes by
+  this factor so that panels-per-PE matches the paper on scaled-down
+  matrices (default: 8)
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.cpu import CPUModel
+from repro.baselines.gpu import GPUModel
+from repro.baselines.sextans import SextansModel
+from repro.config import SpadeConfig, paper_config, scaled_config
+from repro.core.accelerator import KernelSettings, SpadeSystem
+from repro.sparse.coo import COOMatrix
+from repro.sparse.suite import SUITE, Benchmark, get_benchmark
+
+PAPER_PES = 224
+"""PE count of the paper's SPADE1 system."""
+
+
+@dataclass(frozen=True)
+class BenchEnvironment:
+    """Resolved benchmark environment."""
+
+    scale: str
+    num_pes: int
+    opt_mode: str
+    cache_shrink: float = 32.0
+    row_panel_divisor: int = 8
+
+    @property
+    def ratio(self) -> float:
+        """System scale ratio versus the paper's 224-PE machine."""
+        return self.num_pes / PAPER_PES
+
+    def spade_config(self, factor: int = 1) -> SpadeConfig:
+        """SPADE{factor} Base system at this environment's scale."""
+        cfg = scaled_config(
+            self.num_pes,
+            name=f"SPADE{factor}-bench",
+            cache_shrink=self.cache_shrink,
+        )
+        return cfg.scaled(factor) if factor > 1 else cfg
+
+    def spade_system(self, factor: int = 1) -> SpadeSystem:
+        return SpadeSystem(self.spade_config(factor))
+
+    def base_settings(self, **overrides) -> KernelSettings:
+        """SPADE Base settings mapped onto this environment's scale:
+        the paper's RP=256 divided by the row-panel scale factor."""
+        overrides.setdefault(
+            "row_panel_size", max(2, 256 // self.row_panel_divisor)
+        )
+        return KernelSettings(**overrides)
+
+    def cpu_model(self) -> CPUModel:
+        return CPUModel(self.spade_config().host)
+
+    def gpu_model(self) -> GPUModel:
+        return GPUModel(scale_ratio=self.ratio, cache_shrink=self.cache_shrink)
+
+    def sextans_model(self) -> SextansModel:
+        cfg = self.spade_config()
+        return SextansModel(
+            dram_peak_gbps=cfg.memory.dram_peak_gbps,
+            scale_ratio=self.ratio,
+            cache_shrink=self.cache_shrink,
+        )
+
+
+def get_environment() -> BenchEnvironment:
+    """Read the benchmark environment from process env vars."""
+    scale = os.environ.get("REPRO_SCALE", "small")
+    num_pes = int(os.environ.get("REPRO_PES", "8"))
+    opt_mode = os.environ.get("REPRO_OPT", "quick")
+    cache_shrink = float(os.environ.get("REPRO_CACHE_SHRINK", "32"))
+    rp_divisor = int(os.environ.get("REPRO_RP_DIVISOR", "8"))
+    if opt_mode not in ("quick", "full"):
+        raise ValueError("REPRO_OPT must be 'quick' or 'full'")
+    return BenchEnvironment(
+        scale=scale, num_pes=num_pes, opt_mode=opt_mode,
+        cache_shrink=cache_shrink, row_panel_divisor=rp_divisor,
+    )
+
+
+# -- workload construction (cached: matrices are deterministic) -----------
+
+@lru_cache(maxsize=64)
+def suite_matrix(name: str, scale: str) -> COOMatrix:
+    """One suite matrix, memoised across experiments."""
+    return get_benchmark(name).build(scale)
+
+
+def suite_benchmarks() -> List[Benchmark]:
+    return list(SUITE)
+
+
+@lru_cache(maxsize=256)
+def dense_input(num_rows: int, k: int, seed: int = 42) -> np.ndarray:
+    """Deterministic dense operand (shared across experiments)."""
+    rng = np.random.default_rng(seed + 13 * k + num_rows)
+    return rng.random((num_rows, k), dtype=np.float32)
+
+
+# -- numerics ----------------------------------------------------------------
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+# -- reporting ----------------------------------------------------------------
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Simple aligned ASCII table."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3g}" if abs(cell) < 1000 else f"{cell:.4g}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

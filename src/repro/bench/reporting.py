@@ -1,0 +1,106 @@
+"""Assembling a reproduction report from persisted bench results.
+
+The benchmark targets write their formatted tables to
+``benchmarks/results/``; this module stitches them into one document
+(the raw appendix behind EXPERIMENTS.md) and extracts the headline
+numbers programmatically so regression checks can compare runs.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional
+
+EXPERIMENT_ORDER = (
+    "fig02", "fig09", "fig10", "fig11", "table5", "table6",
+    "fig12", "fig13", "fig14", "sec7d", "sec7g",
+    "ablation_writeback", "ablation_vrf", "ablation_victim",
+    "ablation_barriers",
+)
+
+_HEADLINE_PATTERNS = {
+    "fig09_base_vs_cpu": r"Base ([\d.]+)x \(paper 1\.67\)",
+    "fig09_opt_vs_cpu": r"Opt ([\d.]+)x \(paper 2\.32\)",
+    "fig09_spade2_vs_cpu": r"SPADE2 ([\d.]+)x \(paper 3\.52\)",
+    "fig02_transfer_fraction": r"mean transfer fraction: ([\d.]+)%",
+    "fig13_speedup": r"speedup: ([\d.]+)x mean",
+    "fig14_dram_fraction": r"mean DRAM fraction: ([\d.]+)",
+    "sec7g_area_mm2": r"area :\s+([\d.]+) mm\^2",
+    "sec7g_power_w": r"power:\s+([\d.]+) W",
+}
+
+
+def available_results(results_dir: Path) -> List[str]:
+    """Experiment names with persisted results, in canonical order."""
+    present = {p.stem for p in results_dir.glob("*.txt")}
+    ordered = [name for name in EXPERIMENT_ORDER if name in present]
+    ordered.extend(sorted(present - set(EXPERIMENT_ORDER)))
+    return ordered
+
+
+def assemble_report(results_dir: Path) -> str:
+    """Concatenate all persisted experiment tables into one document."""
+    sections = []
+    for name in available_results(results_dir):
+        body = (results_dir / f"{name}.txt").read_text().rstrip()
+        sections.append(f"## {name}\n\n{body}")
+    if not sections:
+        return "(no persisted results; run pytest benchmarks/ first)"
+    return "# SPADE reproduction — raw experiment results\n\n" + (
+        "\n\n".join(sections) + "\n"
+    )
+
+
+def extract_headlines(results_dir: Path) -> Dict[str, float]:
+    """Pull the headline scalar of each experiment out of its table."""
+    headlines: Dict[str, float] = {}
+    blob = "\n".join(
+        (results_dir / f"{name}.txt").read_text()
+        for name in available_results(results_dir)
+    )
+    for key, pattern in _HEADLINE_PATTERNS.items():
+        match = re.search(pattern, blob)
+        if match:
+            headlines[key] = float(match.group(1))
+    return headlines
+
+
+def check_against_paper(
+    headlines: Dict[str, float], tolerance: float = 0.5
+) -> List[str]:
+    """Compare extracted headlines against the paper's values.
+
+    Returns human-readable deviation notes for anything outside
+    ``tolerance`` (relative).  An empty list means every available
+    headline is within tolerance.
+    """
+    paper = {
+        "fig09_base_vs_cpu": 1.67,
+        "fig09_opt_vs_cpu": 2.32,
+        "fig09_spade2_vs_cpu": 3.52,
+        "fig13_speedup": 2.4,
+        "sec7g_area_mm2": 24.64,
+        "sec7g_power_w": 20.3,
+    }
+    notes = []
+    for key, expected in paper.items():
+        if key not in headlines:
+            continue
+        measured = headlines[key]
+        deviation = abs(measured - expected) / expected
+        if deviation > tolerance:
+            notes.append(
+                f"{key}: measured {measured} vs paper {expected} "
+                f"({deviation:.0%} off)"
+            )
+    return notes
+
+
+def write_report(
+    results_dir: Path, target: Optional[Path] = None
+) -> Path:
+    """Write the assembled report next to the results."""
+    target = target or results_dir / "REPORT.md"
+    target.write_text(assemble_report(results_dir))
+    return target

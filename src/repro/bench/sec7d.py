@@ -1,0 +1,137 @@
+"""Section 7.D: overheads of CPU <-> SPADE mode transitions.
+
+The paper measures, across the suite: SPADE -> CPU transitions (write
+back + invalidate the PEs' L1s, BBFs, and victim caches) at ~0.2% of
+SPADE-mode duration; CPU -> SPADE transitions at negligible cost for
+SpMM and ~3.4% for SDDMM (whose rMatrix must be written back from the
+CPU caches under the GNN interleaving assumption); and a cold-cache
+start-up overhead of ~0.9%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.bench.harness import (
+    BenchEnvironment,
+    dense_input,
+    format_table,
+    get_environment,
+    suite_benchmarks,
+    suite_matrix,
+)
+from repro.core.instructions import Primitive
+from repro.core.modes import cpu_to_spade_cost, spade_to_cpu_cost
+from repro.memory.address import padded_row_bytes
+
+K = 32
+KERNELS = ("spmm", "sddmm")
+
+
+@dataclass(frozen=True)
+class Sec7dRow:
+    """Mode-transition overheads for one (matrix, kernel)."""
+
+    matrix: str
+    kernel: str
+    spade_mode_ns: float
+    spade_to_cpu_ns: float
+    cpu_to_spade_ns: float
+    startup_ns: float
+
+    @property
+    def spade_to_cpu_pct(self) -> float:
+        return 100.0 * self.spade_to_cpu_ns / self.spade_mode_ns
+
+    @property
+    def cpu_to_spade_pct(self) -> float:
+        return 100.0 * self.cpu_to_spade_ns / self.spade_mode_ns
+
+    @property
+    def startup_pct(self) -> float:
+        return 100.0 * self.startup_ns / self.spade_mode_ns
+
+
+def run(
+    env: BenchEnvironment | None = None,
+    kernels: Sequence[str] = KERNELS,
+    matrices: Optional[Sequence[str]] = None,
+) -> List[Sec7dRow]:
+    env = env or get_environment()
+    rows: List[Sec7dRow] = []
+    for bench in suite_benchmarks():
+        if matrices and bench.name not in matrices:
+            continue
+        a = suite_matrix(bench.name, env.scale)
+        for kernel in kernels:
+            system = env.spade_system()
+            b = dense_input(a.num_cols, K)
+            b_r = dense_input(a.num_rows, K, seed=5)
+            if kernel == "spmm":
+                run = lambda: system.spmm(a, b, env.base_settings())
+                primitive = Primitive.SPMM
+            else:
+                run = lambda: system.sddmm(a, b_r, b, env.base_settings())
+                primitive = Primitive.SDDMM
+            rmatrix_bytes = a.num_rows * padded_row_bytes(K)
+            rep = run()
+            spade_ns = rep.result.compute_time_ns
+            to_cpu = spade_to_cpu_cost(
+                rep.result.dirty_lines_flushed, system.config
+            )
+            to_spade = cpu_to_spade_cost(
+                primitive, rmatrix_bytes, system.config
+            )
+            # Start-up: measured directly as (cold run) - (warm run).
+            # A second identical run starts with the L2/LLC already
+            # holding the working set, the steady state of repeatedly
+            # interleaved SPADE-mode sections.
+            warm = run()
+            startup = max(
+                0.0,
+                spade_ns - warm.result.compute_time_ns,
+            )
+            rows.append(
+                Sec7dRow(
+                    matrix=bench.name,
+                    kernel=kernel,
+                    spade_mode_ns=spade_ns,
+                    spade_to_cpu_ns=to_cpu,
+                    cpu_to_spade_ns=to_spade,
+                    startup_ns=startup,
+                )
+            )
+    return rows
+
+
+def format_result(rows: List[Sec7dRow]) -> str:
+    table = format_table(
+        ["matrix", "kernel", "SPADE->CPU %", "CPU->SPADE %", "startup %"],
+        [
+            (
+                r.matrix, r.kernel,
+                f"{r.spade_to_cpu_pct:.2f}%",
+                f"{r.cpu_to_spade_pct:.2f}%",
+                f"{r.startup_pct:.2f}%",
+            )
+            for r in rows
+        ],
+        title="Section 7.D: mode-transition overheads",
+    )
+    spmm = [r for r in rows if r.kernel == "spmm"]
+    sddmm = [r for r in rows if r.kernel == "sddmm"]
+    mean = lambda xs: sum(xs) / len(xs) if xs else 0.0
+    return table + (
+        f"\n\nmean SPADE->CPU: "
+        f"{mean([r.spade_to_cpu_pct for r in rows]):.2f}% (paper ~0.2%)\n"
+        f"mean CPU->SPADE (SpMM): "
+        f"{mean([r.cpu_to_spade_pct for r in spmm]):.2f}% "
+        f"(paper: negligible)\n"
+        f"mean CPU->SPADE (SDDMM): "
+        f"{mean([r.cpu_to_spade_pct for r in sddmm]):.2f}% (paper ~3.4%)"
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

@@ -1,0 +1,59 @@
+"""Section 7.G: area and power of the SPADE add-on.
+
+Augmenting the dual-socket Ice Lake with 224 SPADE PEs, their L1s,
+BBFs, and victim caches costs, per the paper's CACTI-based estimation
+flow at 10 nm: 20.3 W and 24.64 mm^2 — 4.3% of the host's 470 W TDP and
+2.5% of its ~1000 mm^2 combined die area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import paper_config
+from repro.power.report import SpadeAreaPower, spade_area_power
+
+PAPER_AREA_MM2 = 24.64
+PAPER_POWER_W = 20.3
+PAPER_POWER_FRACTION = 0.043
+PAPER_AREA_FRACTION = 0.025
+
+
+@dataclass(frozen=True)
+class Sec7gResult:
+    """Modelled versus paper Section 7.G numbers."""
+
+    modelled: SpadeAreaPower
+
+    @property
+    def area_error(self) -> float:
+        return abs(self.modelled.area_mm2 - PAPER_AREA_MM2) / PAPER_AREA_MM2
+
+    @property
+    def power_error(self) -> float:
+        return abs(self.modelled.power_w - PAPER_POWER_W) / PAPER_POWER_W
+
+
+def run() -> Sec7gResult:
+    """Evaluate the model at the paper's full 224-PE configuration
+    (area/power do not depend on the benchmark scale)."""
+    return Sec7gResult(modelled=spade_area_power(paper_config()))
+
+
+def format_result(result: Sec7gResult) -> str:
+    m = result.modelled
+    return (
+        "Section 7.G: SPADE add-on cost at 10 nm (224 PEs)\n"
+        f"area : {m.area_mm2:6.2f} mm^2 (paper {PAPER_AREA_MM2}; "
+        f"error {result.area_error:.1%})\n"
+        f"power: {m.power_w:6.2f} W    (paper {PAPER_POWER_W}; "
+        f"error {result.power_error:.1%})\n"
+        f"power fraction of host TDP : {m.power_fraction_of_host:.1%} "
+        f"(paper {PAPER_POWER_FRACTION:.1%})\n"
+        f"area fraction of host die  : {m.area_fraction_of_host:.1%} "
+        f"(paper {PAPER_AREA_FRACTION:.1%})"
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

@@ -1,0 +1,107 @@
+"""Table 5: percentage change in execution time from scheduling barriers.
+
+Setting: medium row panel and column panel sizes, no cache bypassing;
+apply barriers and measure the change (positive = slowdown).  Expected
+shape: matrix-dependent — low-RU matrices slow down (barriers cost
+synchronisation without creating reuse), while the big hub-reuse
+matrices (ORK, KRO, MYC) speed up because the concurrent LLC working
+set shrinks (the paper sees up to -57.1% on ORK and +80.5% on ASI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.bench.harness import (
+    BenchEnvironment,
+    dense_input,
+    format_table,
+    get_environment,
+    suite_benchmarks,
+    suite_matrix,
+)
+from repro.core.accelerator import KernelSettings
+from repro.sparse.suite import RU
+from repro.tuning.space import scaled_col_panels
+
+MEDIUM_ROW_PANEL = 256
+K_VALUES = (32, 128)
+KERNELS = ("spmm", "sddmm")
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    """One cell of Table 5."""
+
+    matrix: str
+    ru: RU
+    kernel: str
+    k: int
+    no_barrier_ns: float
+    barrier_ns: float
+
+    @property
+    def pct_change(self) -> float:
+        """Positive = slowdown from applying barriers."""
+        return 100.0 * (self.barrier_ns / self.no_barrier_ns - 1.0)
+
+
+def run(
+    env: BenchEnvironment | None = None,
+    kernels: Sequence[str] = KERNELS,
+    k_values: Sequence[int] = K_VALUES,
+    matrices: Optional[Sequence[str]] = None,
+) -> List[Table5Row]:
+    env = env or get_environment()
+    rows: List[Table5Row] = []
+    for bench in suite_benchmarks():
+        if matrices and bench.name not in matrices:
+            continue
+        a = suite_matrix(bench.name, env.scale)
+        _, medium_cp, _ = scaled_col_panels(a.num_cols)
+        medium_rp = max(2, MEDIUM_ROW_PANEL // env.row_panel_divisor)
+        for kernel in kernels:
+            for k in k_values:
+                system = env.spade_system()
+                b = dense_input(a.num_cols, k)
+                b_r = dense_input(a.num_rows, k, seed=5)
+                times = {}
+                for barriers in (False, True):
+                    settings = KernelSettings(
+                        row_panel_size=medium_rp,
+                        col_panel_size=medium_cp,
+                        use_barriers=barriers,
+                    )
+                    if kernel == "spmm":
+                        times[barriers] = system.spmm(a, b, settings).time_ns
+                    else:
+                        times[barriers] = system.sddmm(
+                            a, b_r, b, settings
+                        ).time_ns
+                rows.append(
+                    Table5Row(
+                        matrix=bench.name,
+                        ru=bench.ru,
+                        kernel=kernel,
+                        k=k,
+                        no_barrier_ns=times[False],
+                        barrier_ns=times[True],
+                    )
+                )
+    return rows
+
+
+def format_result(rows: List[Table5Row]) -> str:
+    return format_table(
+        ["matrix", "RU", "kernel", "K", "% change (positive = slowdown)"],
+        [
+            (r.matrix, r.ru.value, r.kernel, r.k, f"{r.pct_change:+.1f}%")
+            for r in rows
+        ],
+        title="Table 5: execution-time change from scheduling barriers",
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

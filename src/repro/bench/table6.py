@@ -1,0 +1,121 @@
+"""Table 6: percentage change in execution time from rMatrix bypassing.
+
+For each benchmark, take the best tile/barrier setting found by the
+SPADE Opt search (without bypass) and flip rMatrix cache bypassing on.
+Positive numbers are slowdowns.  Expected shape: bypassing helps most
+benchmarks (the rMatrix stops polluting the shared caches), but hurts
+badly when the working set of rMatrix lines overflows the BBF victim
+cache — the paper's KRO SpMM K=32 outlier (+169.2%), whose best row
+panel is large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.bench.harness import (
+    BenchEnvironment,
+    dense_input,
+    format_table,
+    get_environment,
+    suite_benchmarks,
+    suite_matrix,
+)
+from repro.core.accelerator import KernelSettings
+from repro.sparse.suite import RU
+from repro.tuning.autotune import autotune
+from repro.tuning.space import opt_search_space, quick_search_space
+
+K_VALUES = (32, 128)
+KERNELS = ("spmm", "sddmm")
+
+
+@dataclass(frozen=True)
+class Table6Row:
+    """One cell of Table 6."""
+
+    matrix: str
+    ru: RU
+    kernel: str
+    k: int
+    best_settings: KernelSettings
+    cached_ns: float
+    bypassed_ns: float
+
+    @property
+    def pct_change(self) -> float:
+        """Positive = slowdown from bypassing the caches for rMatrix."""
+        return 100.0 * (self.bypassed_ns / self.cached_ns - 1.0)
+
+
+def _no_bypass_space(env: BenchEnvironment, a, k: int):
+    space = (
+        quick_search_space(a, k, env.row_panel_divisor)
+        if env.opt_mode == "quick"
+        else opt_search_space(
+            a, k, include_bypass=False,
+            row_panel_divisor=env.row_panel_divisor,
+        )
+    )
+    return [replace(s, rmatrix_bypass=False) for s in space]
+
+
+def run(
+    env: BenchEnvironment | None = None,
+    kernels: Sequence[str] = KERNELS,
+    k_values: Sequence[int] = K_VALUES,
+    matrices: Optional[Sequence[str]] = None,
+) -> List[Table6Row]:
+    env = env or get_environment()
+    rows: List[Table6Row] = []
+    for bench in suite_benchmarks():
+        if matrices and bench.name not in matrices:
+            continue
+        a = suite_matrix(bench.name, env.scale)
+        for kernel in kernels:
+            for k in k_values:
+                system = env.spade_system()
+                tuned = autotune(
+                    system, a, kernel, k,
+                    space=_no_bypass_space(env, a, k),
+                )
+                best = tuned.best_settings
+                b = dense_input(a.num_cols, k)
+                b_r = dense_input(a.num_rows, k, seed=5)
+                bypassed = replace(best, rmatrix_bypass=True)
+                if kernel == "spmm":
+                    bypass_ns = system.spmm(a, b, bypassed).time_ns
+                else:
+                    bypass_ns = system.sddmm(a, b_r, b, bypassed).time_ns
+                rows.append(
+                    Table6Row(
+                        matrix=bench.name,
+                        ru=bench.ru,
+                        kernel=kernel,
+                        k=k,
+                        best_settings=best,
+                        cached_ns=tuned.best_time_ns,
+                        bypassed_ns=bypass_ns,
+                    )
+                )
+    return rows
+
+
+def format_result(rows: List[Table6Row]) -> str:
+    return format_table(
+        ["matrix", "RU", "kernel", "K", "best setting",
+         "% change (positive = slowdown)"],
+        [
+            (
+                r.matrix, r.ru.value, r.kernel, r.k,
+                r.best_settings.describe(), f"{r.pct_change:+.1f}%",
+            )
+            for r in rows
+        ],
+        title="Table 6: execution-time change from rMatrix cache bypassing",
+    )
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

@@ -1,0 +1,195 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro run --matrix KRO --kernel spmm --k 32 --pes 8
+    python -m repro autotune --matrix ORK --kernel spmm --k 32
+    python -m repro suite                       # list the Table 2 suite
+    python -m repro experiment fig09 table5 ... # run paper experiments
+    python -m repro config --pes 224            # show a system config
+
+Matrices are either Table 2 suite short names (with ``--scale``) or
+paths to MatrixMarket ``.mtx`` files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.bench.harness import get_environment
+from repro.config import config_summary, scaled_config
+from repro.core.accelerator import SpadeSystem
+from repro.sparse.analysis import estimate_ru, reuse_stats
+from repro.sparse.coo import COOMatrix
+from repro.sparse.suite import SUITE, get_benchmark
+from repro.tuning.autotune import autotune
+
+EXPERIMENTS = (
+    "fig02", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "table5", "table6", "sec7d", "sec7g",
+)
+
+
+def _load_matrix(spec: str, scale: str) -> COOMatrix:
+    path = Path(spec)
+    if path.suffix == ".mtx" or path.exists():
+        from repro.sparse.io import read_matrix_market
+
+        return read_matrix_market(path)
+    return get_benchmark(spec).build(scale)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    a = _load_matrix(args.matrix, args.scale)
+    system = SpadeSystem(
+        scaled_config(args.pes, cache_shrink=args.cache_shrink)
+    )
+    rng = np.random.default_rng(args.seed)
+    b = rng.random((a.num_cols, args.k), dtype=np.float32)
+    if args.kernel == "spmm":
+        report = system.spmm(a, b)
+    else:
+        b_r = rng.random((a.num_rows, args.k), dtype=np.float32)
+        report = system.sddmm(a, b_r, b)
+    print(f"matrix              : {a}")
+    print(f"kernel              : {args.kernel} (K={args.k})")
+    print(f"system              : {system.config.name} "
+          f"({system.config.num_pes} PEs)")
+    print(f"simulated time      : {report.time_ms:.4f} ms")
+    print(f"DRAM accesses       : {report.dram_accesses}")
+    print(f"bandwidth utilization: {report.bandwidth_utilization:.1%}")
+    print(f"requests per cycle  : {report.requests_per_cycle:.2f}")
+    print(f"load imbalance      : {report.load_imbalance:.2f}")
+    print(report.stats.summary())
+    return 0
+
+
+def _cmd_autotune(args: argparse.Namespace) -> int:
+    a = _load_matrix(args.matrix, args.scale)
+    system = SpadeSystem(
+        scaled_config(args.pes, cache_shrink=args.cache_shrink)
+    )
+    result = autotune(
+        system, a, args.kernel, args.k,
+        quick=not args.full, row_panel_divisor=args.rp_divisor,
+    )
+    print(f"matrix: {a}")
+    stats = reuse_stats(a)
+    print(
+        f"estimated RU: {estimate_ru(a).value} "
+        f"(col gini {stats.col_gini:.2f}, "
+        f"bandedness {stats.bandedness:.2f})"
+    )
+    print(f"\n{'setting':<42} time (ms)")
+    for settings, time_ns in result.ranked():
+        marker = " <- best" if settings == result.best_settings else ""
+        print(f"{settings.describe():<42} {time_ns / 1e6:.4f}{marker}")
+    print(
+        f"\nSPADE Opt gain over Base: "
+        f"{result.speedup_over_base:.2f}x"
+    )
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    print(f"{'name':<6} {'full name':<26} {'domain':<24} {'RU':<7} "
+          f"{'rows':>8} {'nnz':>9}  (at --scale {args.scale})")
+    for bench in SUITE:
+        m = bench.build(args.scale)
+        print(
+            f"{bench.name:<6} {bench.full_name:<26} {bench.domain:<24} "
+            f"{bench.ru.value:<7} {m.num_rows:>8} {m.nnz:>9}"
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    env = get_environment()
+    for name in args.names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; choose from "
+                  f"{', '.join(EXPERIMENTS)}", file=sys.stderr)
+            return 2
+        module = importlib.import_module(f"repro.bench.{name}")
+        result = module.run() if name == "sec7g" else module.run(env)
+        print(module.format_result(result))
+        print()
+    return 0
+
+
+def _cmd_config(args: argparse.Namespace) -> int:
+    cfg = scaled_config(args.pes, cache_shrink=args.cache_shrink)
+    print(config_summary(cfg))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPADE (ISCA 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--pes", type=int, default=8,
+                       help="number of SPADE PEs (default 8)")
+        p.add_argument("--cache-shrink", type=float, default=32.0,
+                       help="extra cache shrink factor (default 32)")
+        p.add_argument("--scale", default="small",
+                       choices=["tiny", "small", "default", "large"])
+        p.add_argument("--seed", type=int, default=0)
+
+    run_p = sub.add_parser("run", help="execute one kernel")
+    run_p.add_argument("--matrix", required=True,
+                       help="suite name (e.g. KRO) or .mtx path")
+    run_p.add_argument("--kernel", choices=["spmm", "sddmm"],
+                       default="spmm")
+    run_p.add_argument("--k", type=int, default=32,
+                       help="dense matrix row size")
+    common(run_p)
+    run_p.set_defaults(func=_cmd_run)
+
+    tune_p = sub.add_parser("autotune", help="SPADE Opt search")
+    tune_p.add_argument("--matrix", required=True)
+    tune_p.add_argument("--kernel", choices=["spmm", "sddmm"],
+                        default="spmm")
+    tune_p.add_argument("--k", type=int, default=32)
+    tune_p.add_argument("--full", action="store_true",
+                        help="full Table 3 sweep (default: quick)")
+    tune_p.add_argument("--rp-divisor", type=int, default=8)
+    common(tune_p)
+    tune_p.set_defaults(func=_cmd_autotune)
+
+    suite_p = sub.add_parser("suite", help="list the Table 2 suite")
+    suite_p.add_argument("--scale", default="small",
+                         choices=["tiny", "small", "default", "large"])
+    suite_p.set_defaults(func=_cmd_suite)
+
+    exp_p = sub.add_parser("experiment",
+                           help="run paper experiments by name")
+    exp_p.add_argument("names", nargs="+",
+                       help=f"one of: {', '.join(EXPERIMENTS)}")
+    exp_p.set_defaults(func=_cmd_experiment)
+
+    cfg_p = sub.add_parser("config", help="show a system configuration")
+    cfg_p.add_argument("--pes", type=int, default=224)
+    cfg_p.add_argument("--cache-shrink", type=float, default=1.0)
+    cfg_p.set_defaults(func=_cmd_config)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

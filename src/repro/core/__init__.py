@@ -1,0 +1,32 @@
+"""The SPADE accelerator core: tile ISA, CPE, PE pipeline, and engine.
+
+Public entry point is :class:`repro.core.accelerator.SpadeSystem`, which
+executes SpMM/SDDMM on a simulated SPADE system and returns both the
+numeric result and an execution report (time, traffic, pipeline stats).
+"""
+
+from repro.core.accelerator import ExecutionReport, SpadeSystem
+from repro.core.bypass import BypassPolicy
+from repro.core.instructions import (
+    InitializationInstruction,
+    Primitive,
+    SchedulingBarrierInstruction,
+    TerminationInstruction,
+    TileInstruction,
+    WBInvalidateInstruction,
+)
+from repro.core.cpe import Schedule, ControlProcessor
+
+__all__ = [
+    "SpadeSystem",
+    "ExecutionReport",
+    "BypassPolicy",
+    "Primitive",
+    "InitializationInstruction",
+    "TileInstruction",
+    "SchedulingBarrierInstruction",
+    "WBInvalidateInstruction",
+    "TerminationInstruction",
+    "Schedule",
+    "ControlProcessor",
+]

@@ -1,0 +1,289 @@
+"""Public SPADE API: configure a system, run SpMM/SDDMM, get a report.
+
+Typical use::
+
+    from repro import SpadeSystem, KernelSettings
+    from repro.sparse.generators import rmat_graph
+    import numpy as np
+
+    a = rmat_graph(scale=10)
+    b = np.random.rand(a.num_cols, 32).astype(np.float32)
+    system = SpadeSystem.scaled(num_pes=8)
+    report = system.spmm(a, b)                    # SPADE Base settings
+    report = system.spmm(a, b, settings=KernelSettings(
+        row_panel_size=1024, col_panel_size=8192, use_barriers=True))
+    print(report.time_ms, report.stats.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.config import SpadeConfig, paper_config, scaled_config
+from repro.core.bypass import BypassPolicy
+from repro.core.cpe import ControlProcessor, Schedule, ScheduleParams
+from repro.core.engine import DEFAULT_CHUNK_NNZ, Engine, EngineResult
+from repro.core.instructions import Primitive
+from repro.core.pe import PECounters
+from repro.core.timing import requests_per_cycle
+from repro.memory.address import AddressMap
+from repro.memory.stats import AccessStats
+from repro.sparse.coo import COOMatrix
+from repro.sparse.tiled import TiledMatrix, tile_matrix
+
+DEFAULT_ROW_PANEL = 256
+"""SPADE Base row panel size (Section 7.A)."""
+
+
+@dataclass(frozen=True)
+class KernelSettings:
+    """The flexibility knobs of one kernel invocation (Table 3).
+
+    ``col_panel_size=None`` means one panel spanning all columns (the
+    SPADE Base setting, written "all_columns" in Table 3).
+    """
+
+    row_panel_size: int = DEFAULT_ROW_PANEL
+    col_panel_size: Optional[int] = None
+    rmatrix_bypass: bool = False
+    use_barriers: bool = False
+    barrier_group_cols: int = 1
+    # Fixed in normal operation (Section 5.2); configurable to reproduce
+    # the pre-CFG4 configurations of Table 4.
+    sparse_stream_bypass: bool = True
+    sddmm_output_bypass: bool = True
+
+    def __post_init__(self) -> None:
+        if self.row_panel_size < 1:
+            raise ValueError("row_panel_size must be >= 1")
+        if self.col_panel_size is not None and self.col_panel_size < 1:
+            raise ValueError("col_panel_size must be >= 1 or None")
+
+    @classmethod
+    def base(cls) -> "KernelSettings":
+        """SPADE Base: RP=256, CP=all columns, no bypass, no barriers."""
+        return cls()
+
+    def describe(self) -> str:
+        cp = self.col_panel_size if self.col_panel_size else "all"
+        return (
+            f"RP={self.row_panel_size} CP={cp} "
+            f"bypass={'r' if self.rmatrix_bypass else '-'} "
+            f"barriers={'y' if self.use_barriers else 'n'}"
+        )
+
+
+@dataclass
+class ExecutionReport:
+    """Result + performance report of one kernel execution."""
+
+    result: EngineResult
+    settings: KernelSettings
+    schedule: Schedule
+    config: SpadeConfig
+
+    @property
+    def output(self) -> np.ndarray:
+        """The numeric result: dense D for SpMM, output vals for SDDMM
+        (padded layout; use :func:`sddmm_output_to_coo` to extract the
+        sparse matrix)."""
+        if self.result.primitive is Primitive.SPMM:
+            return self.result.output_dense
+        return self.result.output_vals
+
+    @property
+    def time_ns(self) -> float:
+        return self.result.time_ns
+
+    @property
+    def time_ms(self) -> float:
+        return self.result.time_ns / 1e6
+
+    @property
+    def stats(self) -> AccessStats:
+        return self.result.stats
+
+    @property
+    def counters(self) -> PECounters:
+        return self.result.counters
+
+    @property
+    def dram_accesses(self) -> int:
+        return self.stats.dram_accesses
+
+    @property
+    def llc_accesses(self) -> int:
+        return self.stats.llc.accesses
+
+    @property
+    def requests_per_cycle(self) -> float:
+        return requests_per_cycle(
+            self.result.counters.total_requests,
+            self.result.time_ns,
+            self.config,
+        )
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        return self.result.bandwidth_utilization(
+            self.config.memory.dram_peak_gbps
+        )
+
+    @property
+    def load_imbalance(self) -> float:
+        return self.schedule.load_imbalance()
+
+
+class SpadeSystem:
+    """A configured SPADE accelerator ready to execute kernels."""
+
+    def __init__(
+        self,
+        config: Optional[SpadeConfig] = None,
+        chunk_nnz: int = DEFAULT_CHUNK_NNZ,
+    ) -> None:
+        self.config = config or paper_config()
+        self.chunk_nnz = chunk_nnz
+        self.cpe = ControlProcessor(self.config.num_pes)
+
+    @classmethod
+    def scaled(cls, num_pes: int = 28, **kwargs) -> "SpadeSystem":
+        """A proportionally scaled system (see repro.config)."""
+        return cls(scaled_config(num_pes), **kwargs)
+
+    # -- kernel entry points ------------------------------------------------
+
+    def spmm(
+        self,
+        a: COOMatrix,
+        b_dense: np.ndarray,
+        settings: Optional[KernelSettings] = None,
+    ) -> ExecutionReport:
+        """Run D = A @ B on the simulated accelerator."""
+        b_dense = np.asarray(b_dense, dtype=np.float32)
+        if b_dense.ndim != 2 or b_dense.shape[0] != a.num_cols:
+            raise ValueError(
+                f"B must be ({a.num_cols}, K); got {b_dense.shape}"
+            )
+        settings = settings or KernelSettings.base()
+        k = b_dense.shape[1]
+        tiled = tile_matrix(
+            a, settings.row_panel_size, settings.col_panel_size
+        )
+        amap = self._build_address_map(tiled, k, Primitive.SPMM)
+        init = self.cpe.make_initialization(
+            Primitive.SPMM,
+            amap,
+            rmatrix_bypass=settings.rmatrix_bypass,
+            cmatrix_bypass=False,
+            dense_row_size=k,
+        )
+        policy = BypassPolicy(
+            rmatrix_bypass=settings.rmatrix_bypass,
+            sparse_stream_bypass=settings.sparse_stream_bypass,
+            sddmm_output_bypass=settings.sddmm_output_bypass,
+        )
+        schedule = self.cpe.build_schedule(
+            tiled,
+            ScheduleParams(
+                use_barriers=settings.use_barriers,
+                barrier_group_cols=settings.barrier_group_cols,
+            ),
+        )
+        engine = Engine(
+            self.config, tiled, init, amap, policy, self.chunk_nnz
+        )
+        engine.bind_schedule(schedule)
+        result = engine.run_spmm(schedule, b_dense)
+        return ExecutionReport(result, settings, schedule, self.config)
+
+    def sddmm(
+        self,
+        a: COOMatrix,
+        b_dense: np.ndarray,
+        c_dense: np.ndarray,
+        settings: Optional[KernelSettings] = None,
+    ) -> ExecutionReport:
+        """Run D = A o (B @ C^T) on the simulated accelerator."""
+        b_dense = np.asarray(b_dense, dtype=np.float32)
+        c_dense = np.asarray(c_dense, dtype=np.float32)
+        if b_dense.ndim != 2 or b_dense.shape[0] != a.num_rows:
+            raise ValueError(
+                f"B must be ({a.num_rows}, K); got {b_dense.shape}"
+            )
+        if c_dense.ndim != 2 or c_dense.shape[0] != a.num_cols:
+            raise ValueError(
+                f"C must be ({a.num_cols}, K); got {c_dense.shape}"
+            )
+        if b_dense.shape[1] != c_dense.shape[1]:
+            raise ValueError("B and C must share the dense row size K")
+        settings = settings or KernelSettings.base()
+        k = b_dense.shape[1]
+        tiled = tile_matrix(
+            a, settings.row_panel_size, settings.col_panel_size
+        )
+        amap = self._build_address_map(tiled, k, Primitive.SDDMM)
+        init = self.cpe.make_initialization(
+            Primitive.SDDMM,
+            amap,
+            rmatrix_bypass=settings.rmatrix_bypass,
+            cmatrix_bypass=False,
+            dense_row_size=k,
+        )
+        policy = BypassPolicy(
+            rmatrix_bypass=settings.rmatrix_bypass,
+            sparse_stream_bypass=settings.sparse_stream_bypass,
+            sddmm_output_bypass=settings.sddmm_output_bypass,
+        )
+        schedule = self.cpe.build_schedule(
+            tiled,
+            ScheduleParams(
+                use_barriers=settings.use_barriers,
+                barrier_group_cols=settings.barrier_group_cols,
+            ),
+        )
+        engine = Engine(
+            self.config, tiled, init, amap, policy, self.chunk_nnz
+        )
+        engine.bind_schedule(schedule)
+        result = engine.run_sddmm(schedule, b_dense, c_dense)
+        return ExecutionReport(result, settings, schedule, self.config)
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _build_address_map(
+        tiled: TiledMatrix, k: int, primitive: Primitive
+    ) -> AddressMap:
+        amap = AddressMap()
+        amap.allocate("sparse_r_ids", tiled.nnz * 4)
+        amap.allocate("sparse_c_ids", tiled.nnz * 4)
+        amap.allocate("sparse_vals", tiled.nnz * 4)
+        if primitive is Primitive.SPMM:
+            amap.allocate_dense("rmatrix", tiled.num_rows, k)  # D
+            amap.allocate_dense("cmatrix", tiled.num_cols, k)  # B
+        else:
+            amap.allocate_dense("rmatrix", tiled.num_rows, k)  # B
+            amap.allocate_dense("cmatrix", tiled.num_cols, k)  # C
+            amap.allocate("sparse_out_vals", tiled.out_vals_length * 4)
+        return amap
+
+
+def sddmm_output_to_coo(
+    tiled: TiledMatrix, out_vals: np.ndarray
+) -> COOMatrix:
+    """Extract the SDDMM result as a COO matrix from the padded output
+    vals array (inverse of the Appendix A output layout)."""
+    vals = np.empty(tiled.nnz, dtype=np.float32)
+    for tile in tiled.tiles:
+        lo = tile.sparse_in_start_offset
+        vals[lo : lo + tile.nnz] = out_vals[
+            tile.sparse_out_start_offset : tile.sparse_out_start_offset
+            + tile.nnz
+        ]
+    return COOMatrix(
+        tiled.num_rows, tiled.num_cols, tiled.r_ids, tiled.c_ids, vals
+    )

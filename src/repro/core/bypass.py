@@ -1,0 +1,45 @@
+"""Cache-bypass policy (Section 5.2).
+
+SPADE exposes bypass knobs per data structure.  The fixed parts (the
+paper's analysis): the sparse input stream always bypasses all caches
+once CFG4 is reached; the SDDMM sparse output always bypasses (high VRF
+reuse, pure pollution otherwise); cMatrix data is always cached (row-
+order processing inside a tile defeats VRF reuse, so caches are the only
+reuse vehicle).  The programmable knob evaluated in Table 6 is the
+rMatrix: cache it, or bypass via the BBF victim cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BypassPolicy:
+    """Which structures bypass the cache hierarchy."""
+
+    rmatrix_bypass: bool = False
+    cmatrix_bypass: bool = False
+    sparse_stream_bypass: bool = True
+    sddmm_output_bypass: bool = True
+
+    @classmethod
+    def cached(cls) -> "BypassPolicy":
+        """SPADE Base: dense operands fully cached (Section 7.A)."""
+        return cls(rmatrix_bypass=False, cmatrix_bypass=False)
+
+    @classmethod
+    def rmatrix_bypassed(cls) -> "BypassPolicy":
+        """The Table 6 variant: rMatrix through the BBF victim cache."""
+        return cls(rmatrix_bypass=True, cmatrix_bypass=False)
+
+    @classmethod
+    def legacy_no_bypass(cls) -> "BypassPolicy":
+        """Pre-CFG4 behaviour: even the sparse stream pollutes the
+        caches (Table 4, CFG0-CFG3)."""
+        return cls(
+            rmatrix_bypass=False,
+            cmatrix_bypass=False,
+            sparse_stream_bypass=False,
+            sddmm_output_bypass=False,
+        )

@@ -1,0 +1,253 @@
+"""Execution engine: runs a schedule on the PEs and the shared memory
+system, producing the numeric result and a timing/traffic report.
+
+Within a barrier epoch all PEs run concurrently; the engine emulates
+that concurrency by interleaving fixed-size nonzero chunks of the PEs'
+tile streams round-robin, so their access streams contend realistically
+in the shared L2s and LLC.  Epoch boundaries are scheduling barriers:
+the epoch's time is the slowest PE (load imbalance is paid there), and
+epochs accumulate (Section 4.3, Figure 5b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import SpadeConfig
+from repro.core.bypass import BypassPolicy
+from repro.core.cpe import Schedule
+from repro.core.instructions import InitializationInstruction, Primitive
+from repro.core.pe import PECounters, ProcessingElement
+from repro.core.timing import EpochTiming, epoch_timing, flush_time_ns
+from repro.memory.address import AddressMap
+from repro.memory.hierarchy import MemorySystem
+from repro.memory.stats import AccessStats
+from repro.sparse.tiled import TiledMatrix, TileInfo
+
+DEFAULT_CHUNK_NNZ = 4096
+"""Interleaving granularity across PEs inside an epoch."""
+
+
+@dataclass
+class EngineResult:
+    """Everything one kernel execution produced."""
+
+    primitive: Primitive
+    output_dense: Optional[np.ndarray]
+    output_vals: Optional[np.ndarray]
+    time_ns: float
+    epoch_timings: List[EpochTiming]
+    stats: AccessStats
+    counters: PECounters
+    per_pe_time_ns: List[float]
+    termination_ns: float
+    dirty_lines_flushed: int
+
+    @property
+    def compute_time_ns(self) -> float:
+        """Kernel time without the termination (mode-transition) cost."""
+        return self.time_ns - self.termination_ns
+
+    @property
+    def dram_bytes(self) -> int:
+        return (self.stats.dram_reads + self.stats.dram_writes) * 64
+
+    def bandwidth_utilization(self, peak_gbps: float) -> float:
+        if self.time_ns <= 0:
+            return 0.0
+        return (self.dram_bytes / self.time_ns) / peak_gbps
+
+
+@dataclass
+class _ChunkCursor:
+    """Walks one PE's tile list in fixed-size nonzero chunks."""
+
+    tiles: List[TileInfo]
+    chunk_nnz: int
+    tile_idx: int = 0
+    offset_in_tile: int = 0
+
+    def next_chunk(self) -> Optional[Tuple[TileInfo, int, int]]:
+        """Return (tile, lo, hi) nnz-range of the next chunk, or None."""
+        while self.tile_idx < len(self.tiles):
+            tile = self.tiles[self.tile_idx]
+            if self.offset_in_tile >= tile.nnz:
+                self.tile_idx += 1
+                self.offset_in_tile = 0
+                continue
+            lo = self.offset_in_tile
+            hi = min(lo + self.chunk_nnz, tile.nnz)
+            self.offset_in_tile = hi
+            return tile, lo, hi
+        return None
+
+
+class Engine:
+    """Binds a config, memory system, and PEs to execute one kernel."""
+
+    def __init__(
+        self,
+        config: SpadeConfig,
+        tiled: TiledMatrix,
+        init: InitializationInstruction,
+        address_map: AddressMap,
+        policy: BypassPolicy,
+        chunk_nnz: int = DEFAULT_CHUNK_NNZ,
+    ) -> None:
+        self.config = config
+        self.tiled = tiled
+        self.init = init
+        self.address_map = address_map
+        self.policy = policy
+        self.chunk_nnz = max(1, chunk_nnz)
+        self.memory = MemorySystem(config)
+        self.pes = [
+            ProcessingElement(
+                i, config.pe, self.memory, init, address_map, policy
+            )
+            for i in range(config.num_pes)
+        ]
+
+    # -- public entry points ---------------------------------------------
+
+    def run_spmm(
+        self, schedule: Schedule, b_dense: np.ndarray
+    ) -> EngineResult:
+        """Execute D = A @ B over the schedule."""
+        if self.init.primitive is not Primitive.SPMM:
+            raise ValueError("engine was initialised for a different primitive")
+        d_accum = np.zeros(
+            (self.tiled.num_rows, self.init.dense_row_size), dtype=np.float64
+        )
+        b64 = np.asarray(b_dense, dtype=np.float64)
+
+        def do_chunk(pe: ProcessingElement, tile: TileInfo, lo: int, hi: int):
+            off = tile.sparse_in_start_offset
+            r = self.tiled.r_ids[off + lo : off + hi]
+            c = self.tiled.c_ids[off + lo : off + hi]
+            v = self.tiled.vals[off + lo : off + hi]
+            pe.execute_spmm_chunk(r, c, off + lo)
+            np.add.at(d_accum, r, v[:, None].astype(np.float64) * b64[c])
+
+        epochs, per_pe_time = self._run_epochs(do_chunk)
+        term_ns, dirty = self._terminate()
+        stats = self.memory.collect_stats()
+        return EngineResult(
+            primitive=Primitive.SPMM,
+            output_dense=d_accum.astype(np.float32),
+            output_vals=None,
+            time_ns=sum(e.epoch_time_ns for e in epochs) + term_ns,
+            epoch_timings=epochs,
+            stats=stats,
+            counters=self._merged_counters(),
+            per_pe_time_ns=per_pe_time,
+            termination_ns=term_ns,
+            dirty_lines_flushed=dirty,
+        )
+
+    def run_sddmm(
+        self,
+        schedule: Schedule,
+        b_dense: np.ndarray,
+        c_dense: np.ndarray,
+    ) -> EngineResult:
+        """Execute D = A o (B @ C^T) over the schedule."""
+        if self.init.primitive is not Primitive.SDDMM:
+            raise ValueError("engine was initialised for a different primitive")
+        out_vals = np.zeros(self.tiled.out_vals_length, dtype=np.float64)
+        b64 = np.asarray(b_dense, dtype=np.float64)
+        c64 = np.asarray(c_dense, dtype=np.float64)
+
+        def do_chunk(pe: ProcessingElement, tile: TileInfo, lo: int, hi: int):
+            off = tile.sparse_in_start_offset
+            r = self.tiled.r_ids[off + lo : off + hi]
+            c = self.tiled.c_ids[off + lo : off + hi]
+            v = self.tiled.vals[off + lo : off + hi]
+            out_offsets = tile.sparse_out_start_offset + np.arange(
+                lo, hi, dtype=np.int64
+            )
+            pe.execute_sddmm_chunk(r, c, off + lo, out_offsets)
+            inner = np.einsum("ij,ij->i", b64[r], c64[c])
+            out_vals[out_offsets] = v.astype(np.float64) * inner
+
+        epochs, per_pe_time = self._run_epochs(do_chunk)
+        term_ns, dirty = self._terminate()
+        stats = self.memory.collect_stats()
+        return EngineResult(
+            primitive=Primitive.SDDMM,
+            output_dense=None,
+            output_vals=out_vals.astype(np.float32),
+            time_ns=sum(e.epoch_time_ns for e in epochs) + term_ns,
+            epoch_timings=epochs,
+            stats=stats,
+            counters=self._merged_counters(),
+            per_pe_time_ns=per_pe_time,
+            termination_ns=term_ns,
+            dirty_lines_flushed=dirty,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    _schedule: Optional[Schedule] = None
+
+    def bind_schedule(self, schedule: Schedule) -> None:
+        self._schedule = schedule
+
+    def _run_epochs(self, do_chunk) -> Tuple[List[EpochTiming], List[float]]:
+        schedule = self._schedule
+        if schedule is None:
+            raise RuntimeError("bind_schedule() must be called before running")
+        if schedule.num_pes != self.config.num_pes:
+            raise ValueError(
+                f"schedule is for {schedule.num_pes} PEs but the system "
+                f"has {self.config.num_pes}"
+            )
+        epoch_results: List[EpochTiming] = []
+        per_pe_total = [0.0] * self.config.num_pes
+        self._epoch_counters: List[List[PECounters]] = []
+
+        for epoch in schedule.epochs:
+            for pe in self.pes:
+                pe.counters = PECounters()
+            dram_before = self.memory.dram.accesses
+            cursors = [
+                _ChunkCursor(tiles, self.chunk_nnz) for tiles in epoch
+            ]
+            active = True
+            while active:
+                active = False
+                for pe, cursor in zip(self.pes, cursors):
+                    nxt = cursor.next_chunk()
+                    if nxt is None:
+                        continue
+                    active = True
+                    tile, lo, hi = nxt
+                    do_chunk(pe, tile, lo, hi)
+            per_pe = [pe.counters for pe in self.pes]
+            self._epoch_counters.append(per_pe)
+            dram_lines = self.memory.dram.accesses - dram_before
+            timing = epoch_timing(per_pe, dram_lines, self.config, self.memory)
+            epoch_results.append(timing)
+            for i, t in enumerate(timing.pe_times_ns):
+                per_pe_total[i] += t
+        return epoch_results, per_pe_total
+
+    def _terminate(self) -> Tuple[float, int]:
+        """WB&Invalidate on every PE; returns (flush time, dirty lines)."""
+        dirty = 0
+        for pe in self.pes:
+            pe.counters = PECounters()
+            dirty += pe.writeback_invalidate()
+        # VRF drain stores count as DRAM/cache writes already; the flush
+        # time models draining the dirty L1/BBF lines to memory.
+        return flush_time_ns(dirty, self.config), dirty
+
+    def _merged_counters(self) -> PECounters:
+        merged = PECounters()
+        for per_pe in getattr(self, "_epoch_counters", []):
+            for c in per_pe:
+                merged = merged.merged(c)
+        return merged

@@ -1,0 +1,108 @@
+"""The SPADE tile-based ISA (Section 4.2, Figure 4c).
+
+Five instructions: Initialization, Tile, Scheduling Barrier,
+WB&Invalidate, and Termination.  They are deliberately coarse-grained —
+a PE receives a whole tile of work per instruction and decomposes it
+into micro-operations internally, so there is no fetch/decode overhead
+and no instruction cache.
+
+The CPE writes instructions into per-PE memory-mapped Input registers
+(an MWAIT-like notification wakes the PE); the dataclasses here are the
+payloads of those registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Primitive(Enum):
+    """The primitive type argument of the Initialization instruction."""
+
+    SPMM = "spmm"
+    SDDMM = "sddmm"
+
+
+@dataclass(frozen=True)
+class InitializationInstruction:
+    """Broadcast to all PEs before any tile work (Figure 4c, left).
+
+    Carries everything tile instructions reference relative to: base
+    virtual addresses of the operand arrays, element sizes, the dense
+    row size K, and the cache-bypass strategy for each dense operand.
+    """
+
+    primitive: Primitive
+    rmatrix_base: int
+    cmatrix_base: int
+    sparse_r_ids_base: int
+    sparse_c_ids_base: int
+    sparse_vals_base: int
+    sparse_out_vals_base: int  # SDDMM only; 0 for SpMM
+    rmatrix_bypass: bool
+    cmatrix_bypass: bool
+    sizeof_indices: int
+    sizeof_vals: int
+    dense_row_size: int
+
+    def __post_init__(self) -> None:
+        if self.dense_row_size < 1:
+            raise ValueError("dense row size K must be >= 1")
+        if self.sizeof_indices not in (2, 4, 8):
+            raise ValueError("sizeof_indices must be 2, 4, or 8 bytes")
+        if self.sizeof_vals not in (2, 4, 8):
+            raise ValueError("sizeof_vals must be 2, 4, or 8 bytes")
+        if self.primitive is Primitive.SDDMM and not self.sparse_out_vals_base:
+            raise ValueError("SDDMM requires a sparse output base address")
+
+
+@dataclass(frozen=True)
+class TileInstruction:
+    """One tile of SpMM/SDDMM work for one PE (Figure 4c, right).
+
+    Arguments come straight from the Appendix A tiling metadata: the
+    offset of the tile's first nonzero in the entry arrays, the offset
+    of its first output value (SDDMM), and its nonzero count.  There are
+    no upper/lower bounds on tile size (Section 4.2).
+    """
+
+    sparse_in_start_offset: int
+    sparse_out_start_offset: int
+    nnz_num: int
+
+    def __post_init__(self) -> None:
+        if self.nnz_num < 1:
+            raise ValueError("a tile instruction must cover >= 1 nonzero")
+        if self.sparse_in_start_offset < 0 or self.sparse_out_start_offset < 0:
+            raise ValueError("offsets must be non-negative")
+
+
+@dataclass(frozen=True)
+class SchedulingBarrierInstruction:
+    """Barrier: the CPE sends no further tiles to *any* PE until every
+    PE has read its barrier (Section 4.3, Figure 5b)."""
+
+    barrier_id: int = 0
+
+
+@dataclass(frozen=True)
+class WBInvalidateInstruction:
+    """Write back and invalidate the PE's L1 and BBF (end of a
+    SPADE-mode section, Section 4.3)."""
+
+
+@dataclass(frozen=True)
+class TerminationInstruction:
+    """Pause the PE; read only after WB&Invalidate completes."""
+
+
+from typing import Union
+
+Instruction = Union[
+    InitializationInstruction,
+    TileInstruction,
+    SchedulingBarrierInstruction,
+    WBInvalidateInstruction,
+    TerminationInstruction,
+]

@@ -1,0 +1,116 @@
+"""CPU <-> SPADE mode transitions (Sections 4.1 and 7.D).
+
+Programs interleave CPU-mode and SPADE-mode sections.  Transitions cost
+cache maintenance:
+
+- **SPADE -> CPU**: write back + invalidate every PE's L1 and BBF
+  (including victim caches).  Measured at ~0.2% of SPADE-mode time.
+- **CPU -> SPADE**: write back + invalidate the CPU cores' L1s, plus any
+  cached data the PEs will access through BBFs.  For SpMM nothing else
+  is needed (the rMatrix is not CPU-touched, the sparse input is
+  read-only); for SDDMM the rMatrix must also be written back, which the
+  paper measures at ~3.4% of SPADE-mode time on average.
+- **start-up**: SPADE begins with cold caches (~0.9%).
+
+The models here convert those structural costs into time using the same
+bandwidth/latency parameters as the main timing model, so the bench for
+Section 7.D can report the overhead ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CACHE_LINE_BYTES, SpadeConfig
+from repro.core.instructions import Primitive
+
+
+@dataclass(frozen=True)
+class TransitionCosts:
+    """Time costs of one CPU->SPADE->CPU round trip."""
+
+    cpu_to_spade_ns: float
+    spade_to_cpu_ns: float
+    startup_ns: float
+
+    def total_overhead_ns(self) -> float:
+        return self.cpu_to_spade_ns + self.spade_to_cpu_ns + self.startup_ns
+
+    def overhead_fraction(self, spade_mode_ns: float) -> float:
+        if spade_mode_ns <= 0:
+            return 0.0
+        return self.total_overhead_ns() / spade_mode_ns
+
+
+def _drain_time_ns(dirty_bytes: float, config: SpadeConfig) -> float:
+    mem = config.memory
+    return (
+        dirty_bytes / mem.dram_achievable_gbps
+        + mem.dram_latency_ns
+        + mem.link_latency_ns
+    )
+
+
+def spade_to_cpu_cost(
+    dirty_lines_flushed: int, config: SpadeConfig
+) -> float:
+    """Time to write back and invalidate the PEs' L1s, BBFs, and victim
+    caches at the end of a SPADE-mode section."""
+    return _drain_time_ns(dirty_lines_flushed * CACHE_LINE_BYTES, config)
+
+
+def cpu_to_spade_cost(
+    primitive: Primitive,
+    rmatrix_bytes: int,
+    config: SpadeConfig,
+    cpu_l1_dirty_fraction: float = 0.5,
+) -> float:
+    """Time to prepare the caches before a SPADE-mode section.
+
+    Always: write back + invalidate the CPU cores' L1s (we assume half
+    the lines are dirty).  For SDDMM only: also write back + invalidate
+    the rMatrix, because the PEs will read it through the BBFs and the
+    CPU may have updated it (Section 7.D's GNN interleaving assumption).
+    Only rMatrix lines actually *resident* in the CPU caches need the
+    writeback, so the cost is bounded by the cache capacity.
+    """
+    host = config.host
+    l1_dirty = host.num_cores * host.l1d.size_bytes * cpu_l1_dirty_fraction
+    cache_capacity = (
+        host.llc_total_bytes + host.num_cores * host.l2.size_bytes
+    )
+    extra = (
+        min(rmatrix_bytes, cache_capacity)
+        if primitive is Primitive.SDDMM
+        else 0
+    )
+    return _drain_time_ns(l1_dirty + extra, config)
+
+
+def startup_cost(cold_dram_lines: int, config: SpadeConfig) -> float:
+    """Extra time attributable to starting with cold caches.
+
+    Only lines that *could* have been warm (bounded by LLC capacity)
+    pay an extra exposed DRAM round trip, amortised over the pipeline's
+    memory-level parallelism; the rest of the cold traffic is compulsory
+    on a warm machine too.  The engine already simulates cold caches,
+    so this estimate is for accounting against a warmed-up steady state
+    (the paper reports it at ~0.9% of SPADE-mode time)."""
+    mem = config.memory
+    warmable = min(cold_dram_lines, mem.llc_total_bytes // CACHE_LINE_BYTES)
+    return warmable * CACHE_LINE_BYTES / mem.dram_achievable_gbps
+
+
+def round_trip_costs(
+    primitive: Primitive,
+    rmatrix_bytes: int,
+    dirty_lines_flushed: int,
+    cold_dram_lines: int,
+    config: SpadeConfig,
+) -> TransitionCosts:
+    """All three overheads of one CPU->SPADE->CPU round trip."""
+    return TransitionCosts(
+        cpu_to_spade_ns=cpu_to_spade_cost(primitive, rmatrix_bytes, config),
+        spade_to_cpu_ns=spade_to_cpu_cost(dirty_lines_flushed, config),
+        startup_ns=startup_cost(cold_dram_lines, config),
+    )

@@ -1,0 +1,249 @@
+"""CPE <-> PE instruction protocol simulation (Section 4.1).
+
+The CPE communicates with PEs through per-PE memory-mapped *Input
+registers*.  Writing an Input register notifies the PE (an MWAIT-like
+wakeup); the PE reads the instruction, acknowledges by marking the
+register free, and the CPE may then overwrite it with the next
+instruction.  Scheduling barriers are enforced by the CPE withholding
+new tile instructions until every PE has read its barrier.
+
+This module simulates that handshake at message granularity: it does
+not change kernel results (the engine executes tiles directly), but it
+verifies protocol properties — bounded register occupancy, barrier
+semantics, the WB&Invalidate-before-Termination ordering — and counts
+the protocol traffic, which is negligible by design (the ISA is
+tile-grained precisely so that instruction delivery is off the critical
+path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.cpe import ControlProcessor, Schedule
+from repro.core.instructions import (
+    InitializationInstruction,
+    Instruction,
+    SchedulingBarrierInstruction,
+    TerminationInstruction,
+    TileInstruction,
+    WBInvalidateInstruction,
+)
+
+DEFAULT_INPUT_REGISTERS = 4
+"""Input registers per PE ("a few", Section 4.1)."""
+
+
+class ProtocolError(RuntimeError):
+    """A violation of the CPE<->PE handshake rules."""
+
+
+@dataclass
+class InputRegisterFile:
+    """One PE's memory-mapped Input registers."""
+
+    num_registers: int = DEFAULT_INPUT_REGISTERS
+    _slots: List[Optional[Instruction]] = field(default_factory=list)
+    writes: int = 0
+    notifications: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_registers < 1:
+            raise ValueError("need at least one Input register")
+        self._slots = [None] * self.num_registers
+
+    @property
+    def occupied(self) -> int:
+        return sum(1 for s in self._slots if s is not None)
+
+    @property
+    def has_free_slot(self) -> bool:
+        return self.occupied < self.num_registers
+
+    def cpe_write(self, instruction: Instruction) -> None:
+        """The CPE writes an instruction; the PE is notified in
+        hardware (Section 4.1)."""
+        for i, slot in enumerate(self._slots):
+            if slot is None:
+                self._slots[i] = instruction
+                self.writes += 1
+                self.notifications += 1
+                return
+        raise ProtocolError(
+            "CPE overwrote a full Input register file; it must wait for "
+            "the PE's read acknowledgement"
+        )
+
+    def pe_read(self) -> Optional[Instruction]:
+        """The PE reads the oldest pending instruction; reading frees
+        the register and informs the CPE."""
+        for i, slot in enumerate(self._slots):
+            if slot is not None:
+                self._slots[i] = None
+                return slot
+        return None
+
+
+@dataclass
+class PEProtocolState:
+    """Protocol-visible state of one PE."""
+
+    registers: InputRegisterFile
+    initialized: bool = False
+    at_barrier: Optional[int] = None
+    wb_invalidated: bool = False
+    terminated: bool = False
+    tiles_executed: int = 0
+
+
+@dataclass
+class ProtocolTrace:
+    """Counters describing one SPADE-mode section's protocol traffic."""
+
+    register_writes: int = 0
+    notifications: int = 0
+    barriers_crossed: int = 0
+    tiles_delivered: int = 0
+
+    def bytes_on_wire(self, register_bytes: int = 64) -> int:
+        """Instruction-delivery traffic: one register write each."""
+        return self.register_writes * register_bytes
+
+
+class ProgramRunner:
+    """Drives a whole SPADE-mode section through the CPE protocol.
+
+    The runner interleaves CPE writes and PE reads round-robin,
+    enforcing every rule of Sections 4.1-4.3:
+
+    - a PE executes nothing before Initialization,
+    - all PEs must read a barrier before any receives the next epoch,
+    - WB&Invalidate precedes Termination, and a terminated PE receives
+      nothing further.
+    """
+
+    def __init__(
+        self,
+        num_pes: int,
+        input_registers: int = DEFAULT_INPUT_REGISTERS,
+    ) -> None:
+        self.num_pes = num_pes
+        self.pes = [
+            PEProtocolState(InputRegisterFile(input_registers))
+            for _ in range(num_pes)
+        ]
+        self.trace = ProtocolTrace()
+
+    def run(
+        self,
+        schedule: Schedule,
+        init: InitializationInstruction,
+    ) -> ProtocolTrace:
+        """Deliver and consume the full instruction streams."""
+        cpe = ControlProcessor(self.num_pes)
+        streams = cpe.instruction_streams(schedule, init)
+        cursors = [0] * self.num_pes
+        pending_barrier: Optional[int] = None
+        barrier_read = [False] * self.num_pes
+
+        progress = True
+        while progress:
+            progress = False
+            for pe_id, state in enumerate(self.pes):
+                stream = streams[pe_id]
+                # CPE side: deliver the next instruction if allowed.
+                # While a barrier is open, a PE that has already read
+                # it receives nothing further — everything after the
+                # barrier belongs to the next epoch (Section 4.3);
+                # PEs still working toward the barrier keep receiving
+                # their remaining current-epoch instructions.
+                if cursors[pe_id] < len(stream):
+                    nxt = stream[cursors[pe_id]]
+                    blocked = (
+                        pending_barrier is not None
+                        and barrier_read[pe_id]
+                    )
+                    if not blocked and state.registers.has_free_slot:
+                        state.registers.cpe_write(nxt)
+                        cursors[pe_id] += 1
+                        self.trace.register_writes += 1
+                        progress = True
+                # PE side: consume one instruction.
+                consumed = state.registers.pe_read()
+                if consumed is not None:
+                    self._execute(pe_id, state, consumed)
+                    progress = True
+                    if isinstance(consumed, SchedulingBarrierInstruction):
+                        pending_barrier = consumed.barrier_id
+                        barrier_read[pe_id] = True
+                        if all(
+                            barrier_read[p]
+                            or not self._stream_has_barrier(
+                                streams[p], consumed.barrier_id
+                            )
+                            for p in range(self.num_pes)
+                        ):
+                            # Every PE has read it: release the epoch.
+                            pending_barrier = None
+                            barrier_read = [False] * self.num_pes
+                            self.trace.barriers_crossed += 1
+        self._check_completion(streams, cursors)
+        self.trace.notifications = sum(
+            s.registers.notifications for s in self.pes
+        )
+        return self.trace
+
+    # -- rule enforcement ---------------------------------------------------
+
+    @staticmethod
+    def _past_barrier(instruction: Instruction) -> bool:
+        """Instructions the CPE must withhold while a barrier is open."""
+        return isinstance(
+            instruction,
+            (TileInstruction, WBInvalidateInstruction,
+             TerminationInstruction),
+        )
+
+    @staticmethod
+    def _stream_has_barrier(stream, barrier_id: int) -> bool:
+        return any(
+            isinstance(i, SchedulingBarrierInstruction)
+            and i.barrier_id == barrier_id
+            for i in stream
+        )
+
+    def _execute(
+        self, pe_id: int, state: PEProtocolState, instruction: Instruction
+    ) -> None:
+        if state.terminated:
+            raise ProtocolError(
+                f"PE {pe_id} received work after Termination"
+            )
+        if isinstance(instruction, InitializationInstruction):
+            state.initialized = True
+        elif isinstance(instruction, TileInstruction):
+            if not state.initialized:
+                raise ProtocolError(
+                    f"PE {pe_id} received a tile before Initialization"
+                )
+            state.tiles_executed += 1
+            self.trace.tiles_delivered += 1
+        elif isinstance(instruction, WBInvalidateInstruction):
+            state.wb_invalidated = True
+        elif isinstance(instruction, TerminationInstruction):
+            if not state.wb_invalidated:
+                raise ProtocolError(
+                    f"PE {pe_id} terminated before WB&Invalidate"
+                )
+            state.terminated = True
+
+    def _check_completion(self, streams, cursors) -> None:
+        for pe_id, (stream, cursor) in enumerate(zip(streams, cursors)):
+            if cursor != len(stream):
+                raise ProtocolError(
+                    f"PE {pe_id} stalled at instruction {cursor} of "
+                    f"{len(stream)}"
+                )
+            if not self.pes[pe_id].terminated:
+                raise ProtocolError(f"PE {pe_id} never terminated")

@@ -1,0 +1,136 @@
+"""Bounded pipeline queues and reservation stations.
+
+These model the fixed-capacity structures of the PE pipeline (Table 1):
+the Sparse Load Queue (6 entries), Dense Load Queue (32), Store Queue
+(8), tOp queue (16), and vOp Reservation Stations (32).  Their
+capacities bound how many memory requests can be in flight, which is
+what gives SPADE its latency tolerance (Section 7.B); the analytic
+timing model reads the capacities, while the cycle-level micro model
+(:mod:`repro.core.microsim`) exercises the structures directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class BoundedQueue(Generic[T]):
+    """A FIFO with fixed capacity and occupancy statistics."""
+
+    def __init__(self, capacity: int, name: str = "queue") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[T] = deque()
+        self.pushes = 0
+        self.stalls = 0
+        self._occupancy_sum = 0
+        self._samples = 0
+
+    def try_push(self, item: T) -> bool:
+        """Push if not full; a failed push counts as a stall cycle."""
+        if len(self._items) >= self.capacity:
+            self.stalls += 1
+            return False
+        self._items.append(item)
+        self.pushes += 1
+        return True
+
+    def pop(self) -> T:
+        return self._items.popleft()
+
+    def peek(self) -> T:
+        return self._items[0]
+
+    def sample_occupancy(self) -> None:
+        self._occupancy_sum += len(self._items)
+        self._samples += 1
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def mean_occupancy(self) -> float:
+        return self._occupancy_sum / self._samples if self._samples else 0.0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+@dataclass
+class RSEntry:
+    """One vOp waiting in the reservation stations."""
+
+    vop_id: int
+    operands_pending: int
+    depends_on: Optional[int] = None
+    ready_cycle: int = 0
+
+
+class ReservationStations:
+    """The out-of-order vOp pool (Section 5.1 step 5).
+
+    vOps wait here until both operands have arrived and any RAW
+    dependence on an earlier vOp writing the same VR has resolved; they
+    then dispatch (oldest-ready-first) to the SIMD unit.
+    """
+
+    def __init__(self, num_entries: int) -> None:
+        if num_entries < 1:
+            raise ValueError("need at least one RS entry")
+        self.num_entries = num_entries
+        self._entries: List[RSEntry] = []
+        self.dispatches = 0
+        self.full_stalls = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.num_entries
+
+    def try_insert(self, entry: RSEntry) -> bool:
+        if self.is_full:
+            self.full_stalls += 1
+            return False
+        self._entries.append(entry)
+        return True
+
+    def operand_arrived(self, vop_id: int) -> None:
+        for entry in self._entries:
+            if entry.vop_id == vop_id and entry.operands_pending > 0:
+                entry.operands_pending -= 1
+                return
+
+    def dependence_resolved(self, vop_id: int) -> None:
+        for entry in self._entries:
+            if entry.depends_on == vop_id:
+                entry.depends_on = None
+
+    def dispatch_ready(self, now: int) -> Optional[RSEntry]:
+        """Remove and return the oldest ready vOp, if any."""
+        for i, entry in enumerate(self._entries):
+            if (
+                entry.operands_pending == 0
+                and entry.depends_on is None
+                and entry.ready_cycle <= now
+            ):
+                self.dispatches += 1
+                return self._entries.pop(i)
+        return None

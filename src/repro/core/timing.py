@@ -1,0 +1,151 @@
+"""Analytic latency-tolerance timing model (Sections 4.4, 7.B).
+
+The PE pipeline is built to overlap memory accesses with each other and
+with computation: the sparse front-end, the dense load path, and the
+store path each sustain as many in-flight requests as their queue
+capacities allow, and all three overlap with SIMD execution.  The model
+therefore computes, per PE and per barrier epoch:
+
+``t_compute``
+    tOps and vOps issue at one per cycle (Table 1).
+``t_sparse / t_dense / t_store``
+    latency-limited time of each request class: total latency of its
+    requests divided by the class's memory-level parallelism (MLP),
+    which is bounded by the corresponding queue/RS capacities.
+``t_pe = max(...)``
+    because the pipeline overlaps all classes with compute.
+
+System epoch time is the slowest PE, floored by the DRAM-bandwidth
+service time of the epoch's traffic; epochs are separated by barriers
+and therefore add up.  This reproduces the CFG0-CFG5 behaviour of
+Figure 10: growing queue sizes raise MLP, which cuts the latency-limited
+terms without changing traffic, and the benefit grows with link latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.config import CACHE_LINE_BYTES, SpadeConfig
+from repro.core.pe import PECounters
+from repro.memory.hierarchy import MemorySystem, ServiceLevel
+
+_LEVELS = list(ServiceLevel)
+
+
+@dataclass(frozen=True)
+class EpochTiming:
+    """Timing decomposition of one barrier epoch."""
+
+    pe_times_ns: List[float]
+    bandwidth_time_ns: float
+    epoch_time_ns: float
+    total_requests: int
+
+    @property
+    def critical_pe(self) -> int:
+        return max(
+            range(len(self.pe_times_ns)), key=self.pe_times_ns.__getitem__
+        )
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """Per-PE decomposition (for tests and pipeline analysis)."""
+
+    compute_ns: float
+    sparse_ns: float
+    dense_ns: float
+    store_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        return max(
+            self.compute_ns, self.sparse_ns, self.dense_ns, self.store_ns
+        )
+
+
+def _weighted_latency(
+    by_level: Sequence[int], memory: MemorySystem
+) -> float:
+    """Total round-trip nanoseconds of a request-count histogram."""
+    return sum(
+        count * memory.latency_ns(level)
+        for level, count in zip(_LEVELS, by_level)
+        if count
+    )
+
+
+def pe_breakdown(
+    counters: PECounters, config: SpadeConfig, memory: MemorySystem
+) -> TimingBreakdown:
+    """Latency-tolerance decomposition for one PE's counters."""
+    pe = config.pe
+    cycle_ns = pe.cycle_ns
+
+    issue_cycles = max(
+        counters.tops, counters.vops / max(pe.issue_vops_per_cycle, 1)
+    )
+    compute_ns = issue_cycles * cycle_ns
+
+    # MLP of each request class is bounded by its queue capacity; the
+    # dense path is additionally bounded by how many vOps can wait in
+    # the reservation stations for their operands.
+    mlp_sparse = max(1, pe.sparse_load_queue_entries)
+    mlp_dense = max(1, min(pe.dense_load_queue_entries, pe.vop_rs_entries))
+    mlp_store = max(1, pe.store_queue_entries)
+
+    sparse_ns = _weighted_latency(counters.sparse_by_level, memory) / mlp_sparse
+    dense_ns = _weighted_latency(counters.dense_reads_by_level, memory) / mlp_dense
+    store_ns = _weighted_latency(counters.stores_by_level, memory) / mlp_store
+    return TimingBreakdown(compute_ns, sparse_ns, dense_ns, store_ns)
+
+
+def pe_time_ns(
+    counters: PECounters, config: SpadeConfig, memory: MemorySystem
+) -> float:
+    """Execution time of one PE over one epoch's assigned work."""
+    return pe_breakdown(counters, config, memory).total_ns
+
+
+def epoch_timing(
+    per_pe: Sequence[PECounters],
+    dram_lines: int,
+    config: SpadeConfig,
+    memory: MemorySystem,
+) -> EpochTiming:
+    """Combine per-PE times and the shared DRAM bandwidth bound."""
+    pe_times = [pe_time_ns(c, config, memory) for c in per_pe]
+    dram_bytes = dram_lines * CACHE_LINE_BYTES
+    bw_time = dram_bytes / config.memory.dram_achievable_gbps
+    epoch_time = max(max(pe_times, default=0.0), bw_time)
+    return EpochTiming(
+        pe_times_ns=pe_times,
+        bandwidth_time_ns=bw_time,
+        epoch_time_ns=epoch_time,
+        total_requests=sum(c.total_requests for c in per_pe),
+    )
+
+
+def requests_per_cycle(
+    total_requests: int, total_time_ns: float, config: SpadeConfig
+) -> float:
+    """The Figure 10 'requests per cycle' metric: requests collectively
+    issued by all PE pipelines per PE clock cycle."""
+    if total_time_ns <= 0:
+        return 0.0
+    cycles = total_time_ns * config.pe.frequency_ghz
+    return total_requests / cycles
+
+
+def flush_time_ns(dirty_lines: int, config: SpadeConfig) -> float:
+    """Time to write back ``dirty_lines`` at DRAM bandwidth plus one
+    round trip — the SPADE->CPU transition cost (Section 7.D)."""
+    mem = config.memory
+    bytes_moved = dirty_lines * CACHE_LINE_BYTES
+    return (
+        bytes_moved / mem.dram_achievable_gbps
+        + mem.dram_latency_ns
+        + mem.link_latency_ns
+    )

@@ -1,0 +1,134 @@
+"""Vector Register File with tag CAM, status RAM, and Write-back Manager.
+
+Each PE has 64 physical vector registers, each holding one cache line
+(Table 1).  The vOp Generator tags registers with the memory line they
+cache (the VR Tag CAM, Section 5.1 step 4); before allocating, it checks
+the CAM so that a line already resident is reused without a memory
+request.  A status RAM tracks dirty/unused bits.
+
+SPADE has no explicit stores: the Write-back Manager drains dirty VRs in
+the background, starting when the dirty fraction exceeds a high
+threshold (25%) and stopping below a low threshold (15%) (Section 5.1
+step 9, Table 1).  Drained registers stay resident but clean.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class VectorRegisterFile:
+    """64-entry (configurable) fully-associative line-tagged VRF."""
+
+    __slots__ = (
+        "num_registers", "_high", "_low", "_tags", "_dirty_count",
+        "tag_hits", "tag_misses", "evictions", "manager_writebacks",
+        "eviction_writebacks",
+    )
+
+    def __init__(
+        self,
+        num_registers: int,
+        wb_high_threshold: float = 0.25,
+        wb_low_threshold: float = 0.15,
+    ) -> None:
+        if num_registers < 2:
+            raise ValueError("VRF needs at least 2 registers")
+        if not 0 <= wb_low_threshold <= wb_high_threshold <= 1:
+            raise ValueError("thresholds must satisfy 0 <= low <= high <= 1")
+        self.num_registers = num_registers
+        self._high = max(1, int(wb_high_threshold * num_registers))
+        self._low = int(wb_low_threshold * num_registers)
+        # Insertion-ordered: first = LRU.  line -> dirty flag.
+        self._tags: Dict[int, bool] = {}
+        self._dirty_count = 0
+        self.tag_hits = 0
+        self.tag_misses = 0
+        self.evictions = 0
+        self.manager_writebacks = 0
+        self.eviction_writebacks = 0
+
+    def access(
+        self, line: int, mark_dirty: bool = False
+    ) -> Tuple[bool, List[int]]:
+        """Look a line up in the tag CAM, allocating on miss.
+
+        Returns ``(hit, store_lines)`` where ``store_lines`` are the
+        memory lines written back by this access — the evicted dirty
+        victim (if any) plus any lines the Write-back Manager drained.
+        A hit means no memory load is needed for this operand.
+        """
+        stores: List[int] = []
+        dirty = self._tags.get(line)
+        if dirty is not None:
+            del self._tags[line]
+            new_dirty = dirty or mark_dirty
+            self._tags[line] = new_dirty
+            if new_dirty and not dirty:
+                self._dirty_count += 1
+            self.tag_hits += 1
+        else:
+            self.tag_misses += 1
+            if len(self._tags) >= self.num_registers:
+                victim = next(iter(self._tags))
+                victim_dirty = self._tags.pop(victim)
+                self.evictions += 1
+                if victim_dirty:
+                    self._dirty_count -= 1
+                    self.eviction_writebacks += 1
+                    stores.append(victim)
+            self._tags[line] = mark_dirty
+            if mark_dirty:
+                self._dirty_count += 1
+
+        if self._dirty_count > self._high:
+            stores.extend(self._drain_to_low())
+        return dirty is not None, stores
+
+    def _drain_to_low(self) -> List[int]:
+        """Write-back Manager: clean oldest dirty VRs until the dirty
+        count falls to the low threshold.  Lines stay resident."""
+        to_drain = self._dirty_count - self._low
+        drained: List[int] = []
+        for tagged_line, is_dirty in self._tags.items():
+            if len(drained) >= to_drain:
+                break
+            if is_dirty:
+                drained.append(tagged_line)
+        for tagged_line in drained:
+            self._tags[tagged_line] = False
+            self._dirty_count -= 1
+        self.manager_writebacks += len(drained)
+        return drained
+
+    def flush_dirty(self) -> List[int]:
+        """Write back all remaining dirty registers (end of tile set /
+        WB&Invalidate).  Returns the lines stored."""
+        dirty_lines = [ln for ln, d in self._tags.items() if d]
+        for ln in dirty_lines:
+            self._tags[ln] = False
+        self._dirty_count = 0
+        self.manager_writebacks += len(dirty_lines)
+        return dirty_lines
+
+    def invalidate_all(self) -> List[int]:
+        """Flush dirty contents and clear every tag."""
+        stores = self.flush_dirty()
+        self._tags.clear()
+        return stores
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._tags)
+
+    @property
+    def dirty_fraction(self) -> float:
+        return self._dirty_count / self.num_registers
+
+    @property
+    def tag_lookups(self) -> int:
+        return self.tag_hits + self.tag_misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.tag_hits / self.tag_lookups if self.tag_lookups else 0.0

@@ -1,0 +1,13 @@
+"""Reference (golden) kernels for SpMM and SDDMM.
+
+These numpy implementations define the correct output against which the
+simulator's functional execution is verified.
+"""
+
+from repro.kernels.reference import (
+    sddmm_reference,
+    spmm_reference,
+    spmm_reference_csr,
+)
+
+__all__ = ["spmm_reference", "sddmm_reference", "spmm_reference_csr"]

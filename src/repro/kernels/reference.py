@@ -1,0 +1,83 @@
+"""Golden numpy implementations of SpMM and SDDMM (Section 2.1).
+
+SpMM:   D = A @ B          (A sparse MxN, B dense NxK, D dense MxK)
+SDDMM:  D = A o (B @ C^T)  (A sparse MxN, B dense MxK, C dense NxK;
+                            o = elementwise product on A's nonzeros)
+
+In the paper's terminology: for SpMM the *rMatrix* is D (indexed by
+r_id) and the *cMatrix* is B (indexed by c_id); for SDDMM the rMatrix is
+B and the cMatrix is C^T.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def _check_operands(a: COOMatrix, b: np.ndarray, name: str) -> None:
+    if b.ndim != 2:
+        raise ValueError(f"{name} must be 2-D")
+
+
+def spmm_reference(a: COOMatrix, b: np.ndarray) -> np.ndarray:
+    """Dense result of ``a @ b``.
+
+    Accumulates in float64 and returns float32, so the result is a
+    stable reference regardless of nonzero ordering (the simulator's
+    out-of-order accumulation is associativity-tolerant, Section 5.1).
+    """
+    b = np.asarray(b, dtype=np.float32)
+    _check_operands(a, b, "B")
+    if b.shape[0] != a.num_cols:
+        raise ValueError(
+            f"B has {b.shape[0]} rows; expected {a.num_cols}"
+        )
+    out = np.zeros((a.num_rows, b.shape[1]), dtype=np.float64)
+    np.add.at(
+        out,
+        a.r_ids,
+        a.vals[:, None].astype(np.float64) * b[a.c_ids].astype(np.float64),
+    )
+    return out.astype(np.float32)
+
+
+def sddmm_reference(
+    a: COOMatrix, b: np.ndarray, c: np.ndarray
+) -> COOMatrix:
+    """Sparse result of ``A o (B @ C^T)`` with A's nonzero structure.
+
+    ``b`` is MxK (rMatrix, indexed by r_id); ``c`` is NxK, so ``c.T`` is
+    the KxN cMatrix indexed by c_id, matching Figure 1.
+    """
+    b = np.asarray(b, dtype=np.float32)
+    c = np.asarray(c, dtype=np.float32)
+    _check_operands(a, b, "B")
+    _check_operands(a, c, "C")
+    if b.shape[0] != a.num_rows:
+        raise ValueError(f"B has {b.shape[0]} rows; expected {a.num_rows}")
+    if c.shape[0] != a.num_cols:
+        raise ValueError(f"C has {c.shape[0]} rows; expected {a.num_cols}")
+    if b.shape[1] != c.shape[1]:
+        raise ValueError("B and C must share the dense row size K")
+    inner = np.einsum(
+        "ij,ij->i",
+        b[a.r_ids].astype(np.float64),
+        c[a.c_ids].astype(np.float64),
+    )
+    vals = (a.vals.astype(np.float64) * inner).astype(np.float32)
+    return COOMatrix(a.num_rows, a.num_cols, a.r_ids, a.c_ids, vals)
+
+
+def spmm_reference_csr(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
+    """Row-by-row CSR SpMM, as a CPU-baseline-shaped reference."""
+    b = np.asarray(b, dtype=np.float32)
+    out = np.zeros((a.num_rows, b.shape[1]), dtype=np.float64)
+    for row in range(a.num_rows):
+        cols, vals = a.row_slice(row)
+        if len(cols):
+            out[row] = (vals[:, None].astype(np.float64)
+                        * b[cols].astype(np.float64)).sum(axis=0)
+    return out.astype(np.float32)

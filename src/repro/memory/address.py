@@ -1,0 +1,135 @@
+"""Virtual-address layout of the kernel operands.
+
+SPADE PEs operate on the CPU's virtual addresses directly (Section 4.1),
+so the simulator lays the operand data structures out in one flat
+virtual address space.  Dense rows are padded to cache-line multiples
+(Section 4.3: "the dense matrix row size K must be a multiple of the
+cache line size"), so every dense row starts at a line boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.config import CACHE_LINE_BYTES, FLOAT_BYTES
+
+PAGE_BYTES = 4096
+"""Page size used by the STLB model."""
+
+
+def line_of(addr: int, line_bytes: int = CACHE_LINE_BYTES) -> int:
+    """Cache-line index containing a byte address."""
+    return addr // line_bytes
+
+
+def lines_spanning(
+    addr: int, nbytes: int, line_bytes: int = CACHE_LINE_BYTES
+) -> range:
+    """Range of line indices covering [addr, addr + nbytes)."""
+    if nbytes <= 0:
+        return range(0, 0)
+    first = addr // line_bytes
+    last = (addr + nbytes - 1) // line_bytes
+    return range(first, last + 1)
+
+
+def padded_row_bytes(dense_row_size: int, val_bytes: int = FLOAT_BYTES) -> int:
+    """Bytes of one dense row after padding to a cache-line multiple."""
+    raw = dense_row_size * val_bytes
+    return -(-raw // CACHE_LINE_BYTES) * CACHE_LINE_BYTES
+
+
+@dataclass
+class Region:
+    """One named allocation in the flat virtual address space."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+@dataclass
+class AddressMap:
+    """Allocator for the operand regions of one kernel invocation.
+
+    Regions are allocated page-aligned and never overlap; each region's
+    name tags the traffic statistics (sparse stream vs rMatrix vs
+    cMatrix vs output), which the power model and Figure 13 need.
+    """
+
+    # Base addresses start one page in, so that no region has base 0
+    # (address 0 is reserved/null in the Initialization instruction).
+    regions: Dict[str, Region] = field(default_factory=dict)
+    _next_base: int = PAGE_BYTES
+
+    def allocate(self, name: str, size: int) -> Region:
+        """Allocate a page-aligned region of at least ``size`` bytes."""
+        if name in self.regions:
+            raise ValueError(f"region {name!r} already allocated")
+        if size < 0:
+            raise ValueError("size must be >= 0")
+        base = self._next_base
+        padded = max(-(-size // PAGE_BYTES) * PAGE_BYTES, PAGE_BYTES)
+        self.regions[name] = Region(name, base, size)
+        self._next_base = base + padded
+        return self.regions[name]
+
+    def allocate_dense(
+        self, name: str, num_rows: int, dense_row_size: int
+    ) -> Region:
+        """Allocate a dense matrix with line-padded rows."""
+        return self.allocate(
+            name, num_rows * padded_row_bytes(dense_row_size)
+        )
+
+    def region_of(self, addr: int) -> Region:
+        for region in self.regions.values():
+            if region.contains(addr):
+                return region
+        raise KeyError(f"address {addr:#x} not in any region")
+
+    def dense_row_lines(
+        self, region_name: str, row: int, dense_row_size: int
+    ) -> np.ndarray:
+        """Line indices of one padded dense row."""
+        region = self.regions[region_name]
+        row_bytes = padded_row_bytes(dense_row_size)
+        base_line = line_of(region.base + row * row_bytes)
+        n_lines = row_bytes // CACHE_LINE_BYTES
+        return np.arange(base_line, base_line + n_lines, dtype=np.int64)
+
+    def dense_row_base_lines(
+        self, region_name: str, rows: np.ndarray, dense_row_size: int
+    ) -> np.ndarray:
+        """First-line index of each of many padded dense rows
+        (vectorised; the per-row lines are consecutive)."""
+        region = self.regions[region_name]
+        lines_per_row = padded_row_bytes(dense_row_size) // CACHE_LINE_BYTES
+        base_line = line_of(region.base)
+        return base_line + np.asarray(rows, dtype=np.int64) * lines_per_row
+
+    def stream_lines(
+        self, region_name: str, start_byte: int, nbytes: int
+    ) -> Tuple[int, int]:
+        """(first_line, num_lines) of a byte range inside a region."""
+        region = self.regions[region_name]
+        if start_byte + nbytes > region.size:
+            raise ValueError(
+                f"range [{start_byte}, {start_byte + nbytes}) exceeds "
+                f"region {region_name!r} of size {region.size}"
+            )
+        span = lines_spanning(region.base + start_byte, nbytes)
+        return span.start, len(span)
+
+    def total_allocated(self) -> int:
+        return sum(r.size for r in self.regions.values())

@@ -1,0 +1,91 @@
+"""Bypass Buffer (BBF) with victim cache.
+
+Each SPADE PE has a BBF that lets accesses skip the cache hierarchy
+(Section 4.1).  The BBF itself is a small fully-associative line buffer
+that coalesces streaming accesses (the sparse input stream and the SDDMM
+output stream); it is backed by a small set-associative *victim cache*
+that captures the working set of bypassed rMatrix lines (Section 5.2,
+third rMatrix case).  BBF contents go straight to/from DRAM, never
+through L1/L2/LLC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.config import CacheConfig
+from repro.memory.cache import Cache
+
+
+class BypassBuffer:
+    """Per-PE bypass path: stream buffer + victim cache."""
+
+    def __init__(
+        self,
+        entries: int,
+        victim_config: CacheConfig,
+        name: str = "bbf",
+    ) -> None:
+        if entries < 1:
+            raise ValueError("BBF needs at least one entry")
+        self.name = name
+        self.entries = entries
+        self._buffer: Dict[int, bool] = {}  # line -> dirty, LRU-ordered
+        self.victim = Cache(victim_config, name=f"{name}.victim")
+        self.stream_hits = 0
+        self.stream_misses = 0
+        self.writebacks = 0
+
+    # -- streaming path (sparse input / SDDMM output) ------------------
+
+    def stream_access(self, line: int, is_write: bool = False) -> bool:
+        """Access through the stream buffer only.  Returns hit.
+
+        A miss allocates the line, evicting the LRU entry (writeback if
+        dirty).  Sequential streams therefore fetch each line from DRAM
+        exactly once, matching the Sparse Data Loader's coalescing
+        behaviour (Section 5.1, step 1).
+        """
+        dirty = self._buffer.get(line)
+        if dirty is not None:
+            del self._buffer[line]
+            self._buffer[line] = dirty or is_write
+            self.stream_hits += 1
+            return True
+        self.stream_misses += 1
+        if len(self._buffer) >= self.entries:
+            victim = next(iter(self._buffer))
+            victim_dirty = self._buffer.pop(victim)
+            if victim_dirty:
+                self.writebacks += 1
+        self._buffer[line] = is_write
+        return False
+
+    # -- victim-cache path (bypassed dense data) ------------------------
+
+    def victim_access(self, line: int, is_write: bool = False) -> Tuple[bool, Optional[int]]:
+        """Access a bypassed dense line through the victim cache.
+
+        Returns ``(hit, evicted_dirty_line)``; evictions spill straight
+        to DRAM (the "main memory spills" of the KRO outlier in
+        Table 6).
+        """
+        return self.victim.access(line, is_write)
+
+    # -- maintenance -----------------------------------------------------
+
+    def flush(self) -> int:
+        """Write back and invalidate buffer + victim cache; returns dirty
+        lines written back (mode-transition cost, Section 7.D)."""
+        dirty = sum(1 for d in self._buffer.values() if d)
+        self._buffer.clear()
+        self.writebacks += dirty
+        return dirty + self.victim.flush()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._buffer)
+
+    def reset_stats(self) -> None:
+        self.stream_hits = self.stream_misses = self.writebacks = 0
+        self.victim.reset_stats()

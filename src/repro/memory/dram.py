@@ -1,0 +1,65 @@
+"""DRAM model: bandwidth, latency, and traffic accounting.
+
+The paper simulates DRAM with DRAMsim3; here we use a calibrated
+bandwidth/latency model.  Table 1 gives the 224-PE system a theoretical
+410 GB/s and a maximum *observed* 304 GB/s; the gap is the efficiency
+factor the model applies.  The model tracks read/write line counts (the
+"DRAM accesses" metric of Figures 10 and 13) and converts traffic to a
+bandwidth-limited service time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CACHE_LINE_BYTES, MemoryConfig
+
+
+@dataclass
+class DRAMModel:
+    """Aggregate DRAM behind the LLC."""
+
+    peak_gbps: float
+    achievable_gbps: float
+    latency_ns: float
+    reads: int = 0
+    writes: int = 0
+
+    @classmethod
+    def from_config(cls, mem: MemoryConfig) -> "DRAMModel":
+        return cls(
+            peak_gbps=mem.dram_peak_gbps,
+            achievable_gbps=mem.dram_achievable_gbps,
+            latency_ns=mem.dram_latency_ns,
+        )
+
+    def read_line(self) -> None:
+        self.reads += 1
+
+    def write_line(self) -> None:
+        self.writes += 1
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def bytes_transferred(self) -> int:
+        return self.accesses * CACHE_LINE_BYTES
+
+    def service_time_ns(self, bytes_moved: int | None = None) -> float:
+        """Time to move ``bytes_moved`` (default: all recorded traffic)
+        at the achievable bandwidth."""
+        if bytes_moved is None:
+            bytes_moved = self.bytes_transferred
+        return bytes_moved / self.achievable_gbps  # GB/s == B/ns
+
+    def utilization(self, elapsed_ns: float) -> float:
+        """Achieved fraction of peak bandwidth over an interval."""
+        if elapsed_ns <= 0:
+            return 0.0
+        achieved_gbps = self.bytes_transferred / elapsed_ns
+        return achieved_gbps / self.peak_gbps
+
+    def reset_stats(self) -> None:
+        self.reads = self.writes = 0

@@ -1,0 +1,259 @@
+"""The composed memory system: per-PE L1+BBF, shared L2s, LLC, DRAM.
+
+Topology (Figure 3 / Table 1): every PE has a private L1D and a Bypass
+Buffer (stream buffer + victim cache).  Groups of ``pes_per_l2`` PEs
+share one L2 and one STLB (the host core's).  All PEs share a single
+logical LLC (the union of the slices) and DRAM.
+
+Three access paths, matching Section 5.2:
+
+- ``dense_access(bypass=False)``: L1 -> L2 -> LLC -> DRAM, write-back /
+  write-allocate at each level;
+- ``dense_access(bypass=True)``: BBF victim cache -> DRAM (no cache
+  pollution, but spills go straight to memory);
+- ``stream_access``: BBF stream buffer -> DRAM, used for the sparse
+  input stream and SDDMM output (CFG4+).  Before CFG4 the sparse stream
+  goes through the caches instead (``cached_stream_access``).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import List, Optional
+
+from repro.config import CacheConfig, SpadeConfig
+from repro.memory.bbf import BypassBuffer
+from repro.memory.cache import Cache
+from repro.memory.dram import DRAMModel
+from repro.memory.stats import AccessStats, LevelStats
+from repro.memory.tlb import STLB
+
+
+class ServiceLevel(IntEnum):
+    """Where a request was satisfied (ordering = distance from the PE)."""
+
+    L1 = 0
+    VICTIM = 1
+    BBF = 2
+    L2 = 3
+    LLC = 4
+    DRAM = 5
+
+
+class MemorySystem:
+    """One SPADE system's full memory hierarchy."""
+
+    def __init__(self, config: SpadeConfig) -> None:
+        self.config = config
+        n = config.num_pes
+        group = config.memory.pes_per_l2
+        self.num_groups = max(1, -(-n // group))
+        self.l1s: List[Cache] = [
+            Cache(config.pe.l1d, name=f"l1[{i}]") for i in range(n)
+        ]
+        self.bbfs: List[BypassBuffer] = [
+            BypassBuffer(
+                config.pe.bbf_entries, config.pe.victim_cache,
+                name=f"bbf[{i}]",
+            )
+            for i in range(n)
+        ]
+        self.l2s: List[Cache] = [
+            Cache(config.memory.l2, name=f"l2[{g}]")
+            for g in range(self.num_groups)
+        ]
+        self.stlbs: List[STLB] = [STLB() for _ in range(self.num_groups)]
+        llc_cfg = CacheConfig(
+            size_bytes=config.memory.llc_slice.size_bytes
+            * config.memory.num_llc_slices,
+            associativity=config.memory.llc_slice.associativity,
+            line_bytes=config.memory.llc_slice.line_bytes,
+        )
+        self.llc = Cache(llc_cfg, name="llc")
+        self.dram = DRAMModel.from_config(config.memory)
+        self._region_traffic: dict = {}
+
+    # -- helpers ----------------------------------------------------------
+
+    def _group_of(self, pe_id: int) -> int:
+        return pe_id // self.config.memory.pes_per_l2
+
+    def _dram_read(self, region: Optional[str]) -> None:
+        self.dram.read_line()
+        if region:
+            self._region_traffic[region] = (
+                self._region_traffic.get(region, 0) + 1
+            )
+
+    def _dram_write(self, region: Optional[str] = None) -> None:
+        self.dram.write_line()
+        if region:
+            self._region_traffic[region] = (
+                self._region_traffic.get(region, 0) + 1
+            )
+
+    # -- access paths -----------------------------------------------------
+
+    def dense_access(
+        self,
+        pe_id: int,
+        line: int,
+        is_write: bool = False,
+        bypass: bool = False,
+        region: Optional[str] = None,
+    ) -> ServiceLevel:
+        """One dense-matrix line access from a PE; returns service level."""
+        group = self._group_of(pe_id)
+        self.stlbs[group].translate_line(line)
+        if bypass:
+            hit, evicted = self.bbfs[pe_id].victim_access(line, is_write)
+            if evicted is not None:
+                self._dram_write(region)
+            if hit:
+                return ServiceLevel.VICTIM
+            if not is_write:
+                self._dram_read(region)
+            return ServiceLevel.DRAM
+
+        hit, evicted = self.l1s[pe_id].access(line, is_write)
+        if evicted is not None:
+            # Dirty L1 eviction updates the L2 copy.
+            _, l2_evicted = self.l2s[group].access(evicted, is_write=True)
+            if l2_evicted is not None:
+                _, llc_evicted = self.llc.access(l2_evicted, is_write=True)
+                if llc_evicted is not None:
+                    self._dram_write(region)
+        if hit:
+            return ServiceLevel.L1
+        return self._fill_from_l2(group, line, region)
+
+    def _fill_from_l2(
+        self, group: int, line: int, region: Optional[str]
+    ) -> ServiceLevel:
+        hit, evicted = self.l2s[group].access(line, is_write=False)
+        if evicted is not None:
+            _, llc_evicted = self.llc.access(evicted, is_write=True)
+            if llc_evicted is not None:
+                self._dram_write(region)
+        if hit:
+            return ServiceLevel.L2
+        hit, llc_evicted = self.llc.access(line, is_write=False)
+        if llc_evicted is not None:
+            self._dram_write(region)
+        if hit:
+            return ServiceLevel.LLC
+        self._dram_read(region)
+        return ServiceLevel.DRAM
+
+    def stream_access(
+        self,
+        pe_id: int,
+        line: int,
+        is_write: bool = False,
+        region: Optional[str] = None,
+    ) -> ServiceLevel:
+        """Streaming access through the BBF stream buffer (bypasses all
+        caches).  Used for the sparse input and the SDDMM output."""
+        group = self._group_of(pe_id)
+        self.stlbs[group].translate_line(line)
+        if self.bbfs[pe_id].stream_access(line, is_write):
+            return ServiceLevel.BBF
+        if is_write:
+            # Write-allocate in the stream buffer; the line goes out to
+            # DRAM when evicted or flushed, but we account it now so the
+            # traffic total is independent of flush timing.
+            self._dram_write(region)
+        else:
+            self._dram_read(region)
+        return ServiceLevel.DRAM
+
+    def cached_stream_access(
+        self,
+        pe_id: int,
+        line: int,
+        is_write: bool = False,
+        region: Optional[str] = None,
+    ) -> ServiceLevel:
+        """Sparse-stream access through the normal cache path — the
+        pre-CFG4 behaviour whose pollution CFG4 eliminates (Table 4)."""
+        return self.dense_access(
+            pe_id, line, is_write=is_write, bypass=False, region=region
+        )
+
+    # -- maintenance --------------------------------------------------------
+
+    def flush_pe(self, pe_id: int) -> int:
+        """Write back and invalidate one PE's L1 and BBF (SPADE -> CPU
+        transition, Section 4.1).  Returns lines written back."""
+        dirty = self.l1s[pe_id].flush()
+        dirty += self.bbfs[pe_id].flush()
+        return dirty
+
+    def flush_all(self) -> int:
+        total = sum(self.flush_pe(i) for i in range(len(self.l1s)))
+        for l2 in self.l2s:
+            total += l2.flush()
+        total += self.llc.flush()
+        return total
+
+    # -- latency ------------------------------------------------------------
+
+    def latency_ns(self, level: ServiceLevel) -> float:
+        """Average round-trip latency to a service level, including the
+        PE <-> memory-controller link latency (LL) for levels beyond the
+        private structures (Section 7.B)."""
+        mem = self.config.memory
+        if level == ServiceLevel.L1:
+            return mem.l1_latency_ns
+        if level in (ServiceLevel.VICTIM, ServiceLevel.BBF):
+            return mem.l1_latency_ns  # small private SRAM, L1-like
+        if level == ServiceLevel.L2:
+            return mem.l2_latency_ns
+        if level == ServiceLevel.LLC:
+            return mem.llc_latency_ns + mem.link_latency_ns
+        return mem.dram_latency_ns + mem.link_latency_ns
+
+    # -- statistics -----------------------------------------------------------
+
+    def collect_stats(self) -> AccessStats:
+        """Aggregate the live counters into one AccessStats snapshot."""
+        stats = AccessStats()
+        for l1 in self.l1s:
+            stats.l1 = stats.l1.merged(
+                LevelStats(l1.hits, l1.misses, l1.writebacks)
+            )
+        for l2 in self.l2s:
+            stats.l2 = stats.l2.merged(
+                LevelStats(l2.hits, l2.misses, l2.writebacks)
+            )
+        stats.llc = LevelStats(
+            self.llc.hits, self.llc.misses, self.llc.writebacks
+        )
+        for bbf in self.bbfs:
+            stats.victim = stats.victim.merged(
+                LevelStats(
+                    bbf.victim.hits, bbf.victim.misses,
+                    bbf.victim.writebacks,
+                )
+            )
+            stats.bbf_stream = stats.bbf_stream.merged(
+                LevelStats(bbf.stream_hits, bbf.stream_misses, bbf.writebacks)
+            )
+        stats.dram_reads = self.dram.reads
+        stats.dram_writes = self.dram.writes
+        stats.stlb_misses = sum(t.misses for t in self.stlbs)
+        stats.by_region = dict(self._region_traffic)
+        return stats
+
+    def reset_stats(self) -> None:
+        for l1 in self.l1s:
+            l1.reset_stats()
+        for l2 in self.l2s:
+            l2.reset_stats()
+        self.llc.reset_stats()
+        for bbf in self.bbfs:
+            bbf.reset_stats()
+        for stlb in self.stlbs:
+            stlb.reset_stats()
+        self.dram.reset_stats()
+        self._region_traffic.clear()

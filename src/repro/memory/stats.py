@@ -1,0 +1,103 @@
+"""Traffic statistics aggregated across the memory hierarchy.
+
+These counters are the raw material of the evaluation: Figure 10 plots
+DRAM and LLC accesses, Figure 13 plots total memory accesses and
+bandwidth utilization, and Figure 14's power breakdown weights each
+level's access energy by these counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class LevelStats:
+    """Hit/miss counts at one hierarchy level."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def merged(self, other: "LevelStats") -> "LevelStats":
+        return LevelStats(
+            self.hits + other.hits,
+            self.misses + other.misses,
+            self.writebacks + other.writebacks,
+        )
+
+
+@dataclass
+class AccessStats:
+    """Full traffic picture of one kernel execution."""
+
+    l1: LevelStats = field(default_factory=LevelStats)
+    l2: LevelStats = field(default_factory=LevelStats)
+    llc: LevelStats = field(default_factory=LevelStats)
+    victim: LevelStats = field(default_factory=LevelStats)
+    bbf_stream: LevelStats = field(default_factory=LevelStats)
+    dram_reads: int = 0
+    dram_writes: int = 0
+    stlb_misses: int = 0
+    by_region: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dram_accesses(self) -> int:
+        return self.dram_reads + self.dram_writes
+
+    @property
+    def total_pe_requests(self) -> int:
+        """Requests issued by PE pipelines (before any filtering by
+        lower levels): L1 + victim-cache + stream-buffer accesses."""
+        return (
+            self.l1.accesses
+            + self.victim.accesses
+            + self.bbf_stream.accesses
+        )
+
+    def record_region(self, region: str, lines: int = 1) -> None:
+        self.by_region[region] = self.by_region.get(region, 0) + lines
+
+    def merged(self, other: "AccessStats") -> "AccessStats":
+        out = AccessStats(
+            l1=self.l1.merged(other.l1),
+            l2=self.l2.merged(other.l2),
+            llc=self.llc.merged(other.llc),
+            victim=self.victim.merged(other.victim),
+            bbf_stream=self.bbf_stream.merged(other.bbf_stream),
+            dram_reads=self.dram_reads + other.dram_reads,
+            dram_writes=self.dram_writes + other.dram_writes,
+            stlb_misses=self.stlb_misses + other.stlb_misses,
+        )
+        out.by_region = dict(self.by_region)
+        for k, v in other.by_region.items():
+            out.by_region[k] = out.by_region.get(k, 0) + v
+        return out
+
+    def summary(self) -> str:
+        rows = [
+            ("L1", self.l1),
+            ("L2", self.l2),
+            ("LLC", self.llc),
+            ("victim", self.victim),
+            ("BBF stream", self.bbf_stream),
+        ]
+        lines = [
+            f"{name:<10} hits={s.hits:>10} misses={s.misses:>10} "
+            f"hit_rate={s.hit_rate:6.2%}"
+            for name, s in rows
+        ]
+        lines.append(
+            f"{'DRAM':<10} reads={self.dram_reads:>9} "
+            f"writes={self.dram_writes:>9}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Secondary TLB (STLB) model.
+
+SPADE PEs share their host core's STLB (Section 4.1, "like the DMA
+engines in [24]").  Pages of the matrix structures are pinned before a
+SPADE-mode section, so PEs never page-fault, but they *can* suffer TLB
+misses.  The model is a fully-associative LRU translation cache at page
+granularity; misses cost a fixed page-walk latency that feeds the
+timing model's average access latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.memory.address import PAGE_BYTES
+
+DEFAULT_STLB_ENTRIES = 1536
+"""Ice Lake STLB capacity (shared 4K/2M second-level TLB)."""
+
+PAGE_WALK_LATENCY_NS = 50.0
+"""Approximate page-table-walk latency on an STLB miss."""
+
+
+class STLB:
+    """Shared second-level TLB for one core's PEs."""
+
+    __slots__ = ("entries", "_tlb", "hits", "misses")
+
+    def __init__(self, entries: int = DEFAULT_STLB_ENTRIES) -> None:
+        if entries < 1:
+            raise ValueError("STLB needs at least one entry")
+        self.entries = entries
+        self._tlb: Dict[int, None] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def translate_line(self, line: int, line_bytes: int = 64) -> bool:
+        """Translate the page containing a cache line; returns hit."""
+        page = (line * line_bytes) // PAGE_BYTES
+        if page in self._tlb:
+            del self._tlb[page]
+            self._tlb[page] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._tlb) >= self.entries:
+            del self._tlb[next(iter(self._tlb))]
+        self._tlb[page] = None
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def walk_overhead_ns(self) -> float:
+        """Total page-walk time accumulated so far."""
+        return self.misses * PAGE_WALK_LATENCY_NS
+
+    def flush(self) -> None:
+        self._tlb.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = 0

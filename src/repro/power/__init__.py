@@ -1,0 +1,27 @@
+"""Area and power modelling (Sections 6.E and 7.G, Figure 14).
+
+A CACTI-style parametric SRAM model at 32 nm, technology scaling to the
+host's 10 nm node, and report helpers producing the paper's two power
+results: the SPADE add-on cost relative to the Ice Lake host, and the
+SPADE-mode power breakdown across PEs / L2 / LLC / DRAM.
+"""
+
+from repro.power.cacti import SRAMModel, sram_model
+from repro.power.scaling import scale_area, scale_power
+from repro.power.report import (
+    PowerBreakdown,
+    SpadeAreaPower,
+    power_breakdown,
+    spade_area_power,
+)
+
+__all__ = [
+    "SRAMModel",
+    "sram_model",
+    "scale_area",
+    "scale_power",
+    "SpadeAreaPower",
+    "PowerBreakdown",
+    "spade_area_power",
+    "power_breakdown",
+]

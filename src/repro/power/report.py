@@ -1,0 +1,200 @@
+"""Composed area/power reports (Section 7.G, Figure 14).
+
+``spade_area_power`` totals the add-on silicon SPADE brings to the host
+(PE pipelines, L1s, BBFs, victim caches) at 10 nm and compares it to the
+Ice Lake host's TDP and die area.  ``power_breakdown`` produces the
+Figure 14 decomposition of SPADE-mode power into PEs+L1+BBF+VC, L2, LLC,
+and DRAM, with the paper's conservative assumption that PE pipelines run
+at maximum dynamic power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import SpadeConfig
+from repro.memory.stats import AccessStats
+from repro.power.cacti import (
+    DRAM_ENERGY_PJ_PER_BYTE,
+    EXTRA_LOGIC_FRACTION,
+    SIMD_UNIT_AREA_MM2,
+    SIMD_UNIT_ENERGY_PER_OP_PJ,
+    SIMD_UNIT_LEAKAGE_MW,
+    SRAMModel,
+    sram_model,
+)
+from repro.power.scaling import scale_area, scale_power
+
+
+@dataclass(frozen=True)
+class PEStructures:
+    """The SRAM structures of one PE, modelled at 32 nm."""
+
+    l1d: SRAMModel
+    bbf: SRAMModel
+    victim: SRAMModel
+    vrf: SRAMModel
+    vr_tag_cam: SRAMModel
+    pipeline_queues: SRAMModel
+
+
+def pe_structures(config: SpadeConfig) -> PEStructures:
+    """Instantiate the per-PE structure models from Table 1 geometry."""
+    pe = config.pe
+    queue_bytes = (
+        pe.sparse_load_queue_entries * 24
+        + pe.dense_load_queue_entries * 16
+        + pe.store_queue_entries * 72
+        + pe.vop_rs_entries * 32
+        + pe.top_queue_entries * 32
+    )
+    return PEStructures(
+        l1d=sram_model("l1d", pe.l1d.size_bytes),
+        bbf=sram_model("bbf", pe.bbf_entries * 64),
+        victim=sram_model("victim", pe.victim_cache.size_bytes),
+        vrf=sram_model("vrf", pe.num_vector_registers * 64, ports=2),
+        vr_tag_cam=sram_model(
+            "vr_tag", pe.num_vector_registers * 8, is_cam=True
+        ),
+        pipeline_queues=sram_model("queues", queue_bytes),
+    )
+
+
+@dataclass(frozen=True)
+class SpadeAreaPower:
+    """The SPADE add-on cost at 10 nm (Section 7.G)."""
+
+    num_pes: int
+    area_mm2: float
+    power_w: float
+    host_tdp_w: float
+    host_area_mm2: float
+
+    @property
+    def power_fraction_of_host(self) -> float:
+        return self.power_w / self.host_tdp_w
+
+    @property
+    def area_fraction_of_host(self) -> float:
+        return self.area_mm2 / self.host_area_mm2
+
+
+def pe_pipeline_area_mm2(config: SpadeConfig) -> float:
+    """One PE's pipeline + private SRAM area at 32 nm."""
+    s = pe_structures(config)
+    pipeline = (
+        s.vrf.area_mm2
+        + s.vr_tag_cam.area_mm2
+        + s.pipeline_queues.area_mm2
+        + SIMD_UNIT_AREA_MM2
+    ) * (1.0 + EXTRA_LOGIC_FRACTION)
+    return pipeline + s.l1d.area_mm2 + s.bbf.area_mm2 + s.victim.area_mm2
+
+
+def pe_max_dynamic_power_w(config: SpadeConfig) -> float:
+    """One PE's maximum dynamic power at 32 nm: every cycle issues a
+    vOp (16-lane FMA), two VRF accesses, a tag-CAM match, and an
+    L1/BBF-class access (the paper's conservative assumption)."""
+    s = pe_structures(config)
+    freq_hz = config.pe.frequency_ghz * 1e9
+    energy_per_cycle_pj = (
+        16 * SIMD_UNIT_ENERGY_PER_OP_PJ
+        + 2 * s.vrf.read_energy_pj
+        + s.vr_tag_cam.read_energy_pj
+        + s.l1d.read_energy_pj
+        + s.pipeline_queues.read_energy_pj
+    ) * (1.0 + EXTRA_LOGIC_FRACTION)
+    dynamic_w = energy_per_cycle_pj * 1e-12 * freq_hz
+    leakage_w = (
+        s.l1d.leakage_mw
+        + s.bbf.leakage_mw
+        + s.victim.leakage_mw
+        + s.vrf.leakage_mw
+        + s.vr_tag_cam.leakage_mw
+        + s.pipeline_queues.leakage_mw
+        + SIMD_UNIT_LEAKAGE_MW
+    ) / 1000.0
+    return dynamic_w + leakage_w
+
+
+def spade_area_power(config: SpadeConfig) -> SpadeAreaPower:
+    """Total SPADE add-on area and power at 10 nm versus the host."""
+    area_32 = pe_pipeline_area_mm2(config) * config.num_pes
+    power_32 = pe_max_dynamic_power_w(config) * config.num_pes
+    return SpadeAreaPower(
+        num_pes=config.num_pes,
+        area_mm2=scale_area(area_32, 32, 10),
+        power_w=scale_power(power_32, 32, 10),
+        host_tdp_w=config.host.tdp_watts,
+        host_area_mm2=config.host.die_area_mm2,
+    )
+
+
+# Shared-cache access energies at 10 nm (CACTI-class values for the
+# multi-megabyte L2/LLC arrays of Table 1).
+L2_ACCESS_ENERGY_PJ = 60.0
+LLC_ACCESS_ENERGY_PJ = 220.0
+L2_LEAKAGE_W_PER_MB = 0.05
+LLC_LEAKAGE_W_PER_MB = 0.04
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """SPADE-mode power decomposition (Figure 14)."""
+
+    pe_w: float
+    l2_w: float
+    llc_w: float
+    dram_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.pe_w + self.l2_w + self.llc_w + self.dram_w
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total_w
+        if total <= 0:
+            return {"pe": 0.0, "l2": 0.0, "llc": 0.0, "dram": 0.0}
+        return {
+            "pe": self.pe_w / total,
+            "l2": self.l2_w / total,
+            "llc": self.llc_w / total,
+            "dram": self.dram_w / total,
+        }
+
+
+def power_breakdown(
+    stats: AccessStats, time_ns: float, config: SpadeConfig
+) -> PowerBreakdown:
+    """Figure 14: power during SPADE-mode execution of one kernel.
+
+    PEs (with L1s, BBFs, victim caches) are charged their maximum
+    dynamic power; L2/LLC power comes from simulated access counts plus
+    leakage; DRAM power from simulated traffic at DDR access energy.
+    """
+    if time_ns <= 0:
+        raise ValueError("time_ns must be positive")
+    pe_w = scale_power(
+        pe_max_dynamic_power_w(config) * config.num_pes, 32, 10
+    )
+    time_s = time_ns * 1e-9
+    l2_dynamic = stats.l2.accesses * L2_ACCESS_ENERGY_PJ * 1e-12 / time_s
+    llc_dynamic = stats.llc.accesses * LLC_ACCESS_ENERGY_PJ * 1e-12 / time_s
+    num_l2s = max(1, config.num_pes // config.memory.pes_per_l2)
+    l2_leak = (
+        config.memory.l2.size_bytes * num_l2s / 1024**2
+    ) * L2_LEAKAGE_W_PER_MB
+    llc_leak = (
+        config.memory.llc_total_bytes / 1024**2
+    ) * LLC_LEAKAGE_W_PER_MB
+    dram_bytes = (stats.dram_reads + stats.dram_writes) * 64
+    dram_w = dram_bytes * DRAM_ENERGY_PJ_PER_BYTE * 1e-12 / time_s
+    # Background DRAM power (refresh, standby) proportional to channels.
+    dram_w += 4.0 * config.memory.dram_peak_gbps / 410.0
+    return PowerBreakdown(
+        pe_w=pe_w,
+        l2_w=l2_dynamic + l2_leak,
+        llc_w=llc_dynamic + llc_leak,
+        dram_w=dram_w,
+    )

@@ -1,0 +1,140 @@
+"""Structural analysis of sparse matrices: reuse statistics and an
+estimate of Restructuring Utility (Section 2.2, Table 2).
+
+The paper classifies matrices by whether they benefit from SPADE's
+flexibility knobs (tiling, barriers, bypassing).  That benefit is
+predictable from the nonzero structure: matrices with many repeated
+column indices spread across distant rows have "Distant Reuse" that
+tiling/barriers can capture, while banded low-degree matrices do not.
+These metrics feed both the autotuner's search-ordering heuristics and
+the documentation of the synthetic suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.suite import RU
+
+
+@dataclass(frozen=True)
+class ReuseStats:
+    """Summary statistics of reuse opportunities in a sparse matrix."""
+
+    num_rows: int
+    num_cols: int
+    nnz: int
+    avg_row_nnz: float
+    max_row_nnz: int
+    avg_col_nnz: float
+    max_col_nnz: int
+    row_gini: float
+    col_gini: float
+    mean_col_span: float
+    bandedness: float
+
+    @property
+    def density(self) -> float:
+        cells = self.num_rows * self.num_cols
+        return self.nnz / cells if cells else 0.0
+
+
+def _gini(counts: np.ndarray) -> float:
+    """Gini coefficient of a nonnegative count distribution (0 = uniform,
+    -> 1 = all mass on one element).  Measures hub skew."""
+    counts = np.sort(counts[counts > 0].astype(np.float64))
+    n = len(counts)
+    if n == 0:
+        return 0.0
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    ranks = np.arange(1, n + 1)
+    return float(2.0 * (ranks * counts).sum() / (n * total) - (n + 1) / n)
+
+
+def reuse_stats(coo: COOMatrix) -> ReuseStats:
+    """Compute reuse statistics for a matrix."""
+    row_counts = coo.row_nnz_counts()
+    col_counts = coo.col_nnz_counts()
+    nnz = max(coo.nnz, 1)
+
+    # Column span: over rows touching a column, how far apart (in rows)
+    # are its uses?  Large spans = distant reuse that barriers can help.
+    spans = np.zeros(coo.num_cols, dtype=np.float64)
+    if coo.nnz:
+        order = np.lexsort((coo.r_ids, coo.c_ids))
+        c_sorted = coo.c_ids[order]
+        r_sorted = coo.r_ids[order]
+        first = np.flatnonzero(np.diff(c_sorted, prepend=-1))
+        last = np.append(first[1:] - 1, len(c_sorted) - 1)
+        spans[c_sorted[first]] = r_sorted[last] - r_sorted[first]
+    used = col_counts > 1
+    mean_span = float(spans[used].mean()) if used.any() else 0.0
+
+    # Bandedness: fraction of nonzeros within a narrow diagonal band.
+    band = max(1, coo.num_rows // 64)
+    in_band = (
+        np.abs(coo.r_ids - coo.c_ids) <= band if coo.nnz else np.array([])
+    )
+    bandedness = float(in_band.mean()) if coo.nnz else 0.0
+
+    return ReuseStats(
+        num_rows=coo.num_rows,
+        num_cols=coo.num_cols,
+        nnz=coo.nnz,
+        avg_row_nnz=coo.nnz / max(coo.num_rows, 1),
+        max_row_nnz=int(row_counts.max()) if coo.num_rows else 0,
+        avg_col_nnz=coo.nnz / max(coo.num_cols, 1),
+        max_col_nnz=int(col_counts.max()) if coo.num_cols else 0,
+        row_gini=_gini(row_counts),
+        col_gini=_gini(col_counts),
+        mean_col_span=mean_span / max(coo.num_rows, 1),
+        bandedness=bandedness,
+    )
+
+
+def estimate_ru(coo: COOMatrix) -> RU:
+    """Heuristic Restructuring Utility classification.
+
+    High RU needs both abundant column reuse (high average column degree
+    or strong hub skew) and reuse that is *distant* (not already captured
+    by a banded structure).  Banded, low-degree matrices are low RU.
+    """
+    stats = reuse_stats(coo)
+    if stats.bandedness > 0.6 or stats.avg_col_nnz < 8:
+        return RU.LOW
+    score = 0.0
+    score += min(stats.avg_col_nnz / 32.0, 2.0)
+    score += stats.col_gini
+    score += min(stats.mean_col_span * 2.0, 1.0)
+    if stats.density > 1e-3:
+        score += 1.0
+    if score >= 2.5:
+        return RU.HIGH
+    if score >= 1.2:
+        return RU.MEDIUM
+    return RU.LOW
+
+
+def working_set_bytes(
+    coo: COOMatrix, dense_row_size: int, val_bytes: int = 4
+) -> dict:
+    """Footprints of the operand structures for an SpMM with row size K.
+
+    Returns a dict with the sparse stream, rMatrix, and cMatrix sizes —
+    the quantities the bypass heuristics of Section 5.2 reason about.
+    """
+    row_bytes = dense_row_size * val_bytes
+    return {
+        "sparse_stream": coo.footprint_bytes(),
+        "rmatrix": coo.num_rows * row_bytes,
+        "cmatrix": coo.num_cols * row_bytes,
+        "touched_rmatrix": int(np.count_nonzero(coo.row_nnz_counts()))
+        * row_bytes,
+        "touched_cmatrix": int(np.count_nonzero(coo.col_nnz_counts()))
+        * row_bytes,
+    }

@@ -1,0 +1,179 @@
+"""COO (coordinate) sparse matrix format.
+
+SPADE's evaluation uses COO for the accelerator (Section 6.C): three
+parallel arrays ``r_ids``, ``c_ids``, ``vals`` (Figure 15a).  This module
+is the canonical in-memory representation from which the tiled layout of
+Appendix A is derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+
+@dataclass
+class COOMatrix:
+    """A sparse matrix in coordinate format.
+
+    Invariants (enforced by :meth:`validate`): the three arrays have equal
+    length, indices are in-range, and there are no duplicate coordinates.
+    Entries need not be sorted — the tiled layout reorders them anyway.
+    """
+
+    num_rows: int
+    num_cols: int
+    r_ids: np.ndarray
+    c_ids: np.ndarray
+    vals: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.r_ids = np.ascontiguousarray(self.r_ids, dtype=np.int64)
+        self.c_ids = np.ascontiguousarray(self.c_ids, dtype=np.int64)
+        self.vals = np.ascontiguousarray(self.vals, dtype=np.float32)
+        self.validate()
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "COOMatrix":
+        """Build from a 2-D dense array, keeping nonzero entries."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError("dense input must be 2-D")
+        r, c = np.nonzero(dense)
+        return cls(dense.shape[0], dense.shape[1], r, c, dense[r, c])
+
+    @classmethod
+    def from_scipy(cls, mat) -> "COOMatrix":
+        """Build from any scipy.sparse matrix."""
+        coo = mat.tocoo()
+        coo.sum_duplicates()
+        return cls(coo.shape[0], coo.shape[1], coo.row, coo.col, coo.data)
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_rows: int,
+        num_cols: int,
+        edges: np.ndarray,
+        vals: np.ndarray | None = None,
+    ) -> "COOMatrix":
+        """Build from an ``(nnz, 2)`` array of (row, col) pairs.
+
+        Duplicate coordinates are collapsed (values summed), matching the
+        semantics of assembling a graph adjacency matrix.
+        """
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError("edges must have shape (nnz, 2)")
+        if vals is None:
+            vals = np.ones(len(edges), dtype=np.float32)
+        key = edges[:, 0] * num_cols + edges[:, 1]
+        order = np.argsort(key, kind="stable")
+        key = key[order]
+        vals = np.asarray(vals, dtype=np.float32)[order]
+        unique_key, start = np.unique(key, return_index=True)
+        summed = np.add.reduceat(vals, start) if len(vals) else vals
+        return cls(
+            num_rows,
+            num_cols,
+            unique_key // num_cols,
+            unique_key % num_cols,
+            summed,
+        )
+
+    # -- properties ----------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return len(self.vals)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.num_rows, self.num_cols)
+
+    @property
+    def density(self) -> float:
+        cells = self.num_rows * self.num_cols
+        return self.nnz / cells if cells else 0.0
+
+    # -- operations ----------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any violated invariant."""
+        n = len(self.vals)
+        if len(self.r_ids) != n or len(self.c_ids) != n:
+            raise ValueError("r_ids, c_ids, vals must have equal length")
+        if n:
+            if self.r_ids.min() < 0 or self.r_ids.max() >= self.num_rows:
+                raise ValueError("row index out of range")
+            if self.c_ids.min() < 0 or self.c_ids.max() >= self.num_cols:
+                raise ValueError("column index out of range")
+            key = self.r_ids * self.num_cols + self.c_ids
+            if len(np.unique(key)) != n:
+                raise ValueError("duplicate coordinates in COO matrix")
+
+    def sorted_by_row(self) -> "COOMatrix":
+        """Return a copy with entries in row-major (row, then col) order."""
+        order = np.lexsort((self.c_ids, self.r_ids))
+        return COOMatrix(
+            self.num_rows,
+            self.num_cols,
+            self.r_ids[order],
+            self.c_ids[order],
+            self.vals[order],
+        )
+
+    def transpose(self) -> "COOMatrix":
+        return COOMatrix(
+            self.num_cols, self.num_rows, self.c_ids, self.r_ids, self.vals
+        )
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=np.float32)
+        out[self.r_ids, self.c_ids] = self.vals
+        return out
+
+    def to_scipy(self):
+        import scipy.sparse as sp
+
+        return sp.coo_matrix(
+            (self.vals, (self.r_ids, self.c_ids)), shape=self.shape
+        )
+
+    def row_nnz_counts(self) -> np.ndarray:
+        """Number of nonzeros in each row (length ``num_rows``)."""
+        return np.bincount(self.r_ids, minlength=self.num_rows)
+
+    def col_nnz_counts(self) -> np.ndarray:
+        """Number of nonzeros in each column (length ``num_cols``)."""
+        return np.bincount(self.c_ids, minlength=self.num_cols)
+
+    def iter_entries(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield (r_id, c_id, val) tuples in storage order."""
+        for r, c, v in zip(self.r_ids, self.c_ids, self.vals):
+            yield int(r), int(c), float(v)
+
+    def footprint_bytes(self, index_bytes: int = 4, val_bytes: int = 4) -> int:
+        """Memory footprint of the three COO arrays."""
+        return self.nnz * (2 * index_bytes + val_bytes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, COOMatrix):
+            return NotImplemented
+        a, b = self.sorted_by_row(), other.sorted_by_row()
+        return (
+            a.shape == b.shape
+            and np.array_equal(a.r_ids, b.r_ids)
+            and np.array_equal(a.c_ids, b.c_ids)
+            and np.allclose(a.vals, b.vals)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"COOMatrix({self.num_rows}x{self.num_cols}, nnz={self.nnz}, "
+            f"density={self.density:.2e})"
+        )

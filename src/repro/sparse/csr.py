@@ -1,0 +1,87 @@
+"""CSR (compressed sparse row) format.
+
+The paper's CPU and GPU baselines use CSR "for high performance"
+(Section 6.C), so the baseline models consume CSR; SPADE itself consumes
+the tiled COO layout.  CSR also backs the reference kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+
+
+@dataclass
+class CSRMatrix:
+    """A sparse matrix in compressed sparse row format."""
+
+    num_rows: int
+    num_cols: int
+    row_ptr: np.ndarray
+    col_ids: np.ndarray
+    vals: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.row_ptr = np.ascontiguousarray(self.row_ptr, dtype=np.int64)
+        self.col_ids = np.ascontiguousarray(self.col_ids, dtype=np.int64)
+        self.vals = np.ascontiguousarray(self.vals, dtype=np.float32)
+        self.validate()
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
+        s = coo.sorted_by_row()
+        row_ptr = np.zeros(coo.num_rows + 1, dtype=np.int64)
+        np.cumsum(np.bincount(s.r_ids, minlength=coo.num_rows), out=row_ptr[1:])
+        return cls(coo.num_rows, coo.num_cols, row_ptr, s.c_ids, s.vals)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.vals)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.num_rows, self.num_cols)
+
+    def validate(self) -> None:
+        if len(self.row_ptr) != self.num_rows + 1:
+            raise ValueError("row_ptr must have num_rows + 1 entries")
+        if self.row_ptr[0] != 0 or self.row_ptr[-1] != len(self.vals):
+            raise ValueError("row_ptr endpoints inconsistent with vals")
+        if np.any(np.diff(self.row_ptr) < 0):
+            raise ValueError("row_ptr must be non-decreasing")
+        if len(self.col_ids) != len(self.vals):
+            raise ValueError("col_ids and vals must have equal length")
+        if len(self.col_ids) and (
+            self.col_ids.min() < 0 or self.col_ids.max() >= self.num_cols
+        ):
+            raise ValueError("column index out of range")
+
+    def row_slice(self, row: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Column ids and values of one row."""
+        lo, hi = self.row_ptr[row], self.row_ptr[row + 1]
+        return self.col_ids[lo:hi], self.vals[lo:hi]
+
+    def to_coo(self) -> COOMatrix:
+        r_ids = np.repeat(
+            np.arange(self.num_rows, dtype=np.int64), np.diff(self.row_ptr)
+        )
+        return COOMatrix(
+            self.num_rows, self.num_cols, r_ids, self.col_ids, self.vals
+        )
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_coo().to_dense()
+
+    def footprint_bytes(self, index_bytes: int = 4, val_bytes: int = 4) -> int:
+        """CSR footprint: row pointers + column ids + values."""
+        return (
+            (self.num_rows + 1) * index_bytes
+            + self.nnz * (index_bytes + val_bytes)
+        )
+
+    def __repr__(self) -> str:
+        return f"CSRMatrix({self.num_rows}x{self.num_cols}, nnz={self.nnz})"

@@ -1,0 +1,287 @@
+"""Synthetic sparse-matrix generators standing in for Table 2.
+
+The paper evaluates on ten SuiteSparse graphs.  Those exact matrices are
+not redistributable here, so each generator below reproduces the
+*structural property* of one graph family — the property that determines
+its Restructuring Utility (RU) class and hence its behaviour in every
+experiment:
+
+- Road networks (ASI, ROA): near-planar, degree ~2-3, strongly banded
+  after geographic numbering → almost no reuse to restructure (low RU).
+- Delaunay meshes (DEL): planar triangulation, degree ~6, spatial but
+  shuffled numbering → low RU.
+- Packing / FEM problems (PAC, SER): 3-D stencils and block-banded
+  finite-element structure → local reuse already captured by any tiling
+  (low/medium RU).
+- Citation graphs (PAP): dense cliques of co-cited papers → medium RU.
+- Social networks (LIV, ORK): power-law degree distribution, hub columns
+  reused across the whole matrix → medium/high RU.
+- Kronecker graphs (KRO): heavy power-law, extreme hubs → high RU.
+- Mycielskian (MYC): an exact Mycielskian construction — few rows, very
+  dense → high RU and load imbalance under row-panel scheduling.
+
+All generators are deterministic given ``seed`` and return adjacency
+matrices as :class:`~repro.sparse.coo.COOMatrix` (symmetrised, no
+self-loops, unless noted).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+
+
+def _symmetrize(num_nodes: int, edges: np.ndarray) -> COOMatrix:
+    """Build a symmetric adjacency matrix, dropping self-loops."""
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    both = np.concatenate([edges, edges[:, ::-1]])
+    return COOMatrix.from_edges(num_nodes, num_nodes, both)
+
+
+def road_graph(
+    side: int = 256, extra_edge_frac: float = 0.2, seed: int = 0
+) -> COOMatrix:
+    """A road-network-like graph (stand-in for asia_osm / road_usa).
+
+    A 2-D grid with a fraction of random *local* shortcut edges; nodes
+    numbered row-major, so the adjacency matrix is tightly banded, like
+    geographically numbered road networks.
+    """
+    rng = np.random.default_rng(seed)
+    n = side * side
+    idx = np.arange(n).reshape(side, side)
+    right = np.stack(
+        [idx[:, :-1].ravel(), idx[:, 1:].ravel()], axis=1
+    )
+    down = np.stack([idx[:-1, :].ravel(), idx[1:, :].ravel()], axis=1)
+    edges = [right, down]
+    n_extra = int(extra_edge_frac * n)
+    if n_extra:
+        src = rng.integers(0, n, n_extra)
+        # Shortcuts stay local: jump at most ~2 rows of the grid away.
+        dst = np.clip(
+            src + rng.integers(-2 * side, 2 * side + 1, n_extra), 0, n - 1
+        )
+        edges.append(np.stack([src, dst], axis=1))
+    return _symmetrize(n, np.concatenate(edges))
+
+
+def delaunay_like(
+    num_nodes: int = 65536, avg_degree: int = 6, seed: int = 1
+) -> COOMatrix:
+    """A Delaunay-mesh-like graph (stand-in for delaunay_n24).
+
+    Approximates a planar triangulation by connecting each random point
+    to its nearest neighbours on a space-partitioning grid; node
+    numbering follows a coarse spatial order, yielding moderate banding.
+    """
+    rng = np.random.default_rng(seed)
+    pts = rng.random((num_nodes, 2))
+    cells_per_side = max(1, int(np.sqrt(num_nodes / 8)))
+    cell = (
+        np.minimum((pts[:, 0] * cells_per_side).astype(np.int64),
+                   cells_per_side - 1) * cells_per_side
+        + np.minimum((pts[:, 1] * cells_per_side).astype(np.int64),
+                     cells_per_side - 1)
+    )
+    # Renumber nodes by cell (coarse spatial sort, like mesh generators).
+    order = np.argsort(cell, kind="stable")
+    rank = np.empty(num_nodes, dtype=np.int64)
+    rank[order] = np.arange(num_nodes)
+    # Each node connects to avg_degree/2 nearby nodes in the spatial order.
+    half = max(1, avg_degree // 2)
+    src = np.repeat(np.arange(num_nodes), half)
+    offset = rng.integers(1, 2 * half + 2, len(src))
+    dst = np.minimum(src + offset, num_nodes - 1)
+    edges = np.stack([rank[order][src], rank[order][dst]], axis=1)
+    return _symmetrize(num_nodes, edges)
+
+
+def rmat_graph(
+    scale: int = 16,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 2,
+) -> COOMatrix:
+    """An R-MAT / Kronecker graph (stand-in for kron_g500-logn20).
+
+    Standard Graph500 recursive-matrix generator: ``2**scale`` nodes,
+    ``edge_factor * 2**scale`` directed edge samples, quadrant
+    probabilities (a, b, c, d=1-a-b-c).  Heavy power-law hubs give it
+    high column reuse → high RU.
+    """
+    if not 0 < a + b + c < 1:
+        raise ValueError("a + b + c must lie in (0, 1)")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    rows = np.zeros(m, dtype=np.int64)
+    cols = np.zeros(m, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(m)
+        bit_row = (r >= a + b).astype(np.int64)
+        # Within each half, split between the two quadrants.
+        top_split = (r >= a) & (r < a + b)
+        bot_split = r >= a + b + c
+        bit_col = (top_split | bot_split).astype(np.int64)
+        rows = (rows << 1) | bit_row
+        cols = (cols << 1) | bit_col
+    return _symmetrize(n, np.stack([rows, cols], axis=1))
+
+
+def social_network(
+    num_nodes: int = 65536, avg_degree: int = 24, seed: int = 3
+) -> COOMatrix:
+    """A preferential-attachment social network (LIV / ORK stand-in).
+
+    Vectorised Barabási–Albert-style model: targets are sampled
+    proportionally to a Zipf-like rank distribution, producing power-law
+    hub columns with matrix-wide reuse.
+    """
+    rng = np.random.default_rng(seed)
+    m = (avg_degree // 2) * num_nodes
+    src = rng.integers(0, num_nodes, m)
+    # Zipf(1.0)-distributed ranks over node ids: node 0 is the top hub.
+    u = rng.random(m)
+    dst = (num_nodes ** u - 1).astype(np.int64)
+    dst = np.clip(dst, 0, num_nodes - 1)
+    # Scatter hub identities across the id space deterministically so the
+    # heavy columns are not all adjacent (as in real crawls).
+    perm = _feistel_permutation(num_nodes, seed)
+    edges = np.stack([src, perm[dst]], axis=1)
+    return _symmetrize(num_nodes, edges)
+
+
+def citation_graph(
+    num_communities: int = 512,
+    community_size: int = 64,
+    inter_frac: float = 0.05,
+    seed: int = 4,
+) -> COOMatrix:
+    """A co-citation graph (coPapersCiteseer stand-in).
+
+    Papers form near-cliques (co-cited clusters) plus sparse
+    inter-community links — dense local blocks with some distant reuse.
+    """
+    rng = np.random.default_rng(seed)
+    n = num_communities * community_size
+    # Intra-community edges: each node links to ~community_size/2 peers.
+    per_node = max(2, community_size // 2)
+    src = np.repeat(np.arange(n), per_node)
+    base = (src // community_size) * community_size
+    dst = base + rng.integers(0, community_size, len(src))
+    edges = [np.stack([src, dst], axis=1)]
+    n_inter = int(inter_frac * len(src))
+    if n_inter:
+        edges.append(rng.integers(0, n, (n_inter, 2)))
+    return _symmetrize(n, np.concatenate(edges))
+
+
+def mycielskian_graph(iterations: int = 10) -> COOMatrix:
+    """The exact Mycielskian construction (mycielskian17 stand-in).
+
+    Starting from K2 and applying the Mycielski operation ``iterations``
+    times gives a triangle-free graph whose density grows rapidly while
+    the node count only doubles — few rows, many nonzeros per row, the
+    load-imbalance stress case of the paper (Figures 11c and 12).
+    """
+    if iterations < 0:
+        raise ValueError("iterations must be >= 0")
+    edges = {(0, 1)}
+    n = 2
+    for _ in range(iterations):
+        # Mycielskian M(G): vertices V (0..n-1), U (n..2n-1), w (2n).
+        new_edges = set(edges)
+        for (u, v) in edges:
+            new_edges.add((u, v + n))
+            new_edges.add((v, u + n))
+        for i in range(n):
+            new_edges.add((i + n, 2 * n))
+        edges = new_edges
+        n = 2 * n + 1
+    arr = np.array(sorted(edges), dtype=np.int64)
+    return _symmetrize(n, arr)
+
+
+def packing_like(
+    nx: int = 40, ny: int = 40, nz: int = 40, seed: int = 5
+) -> COOMatrix:
+    """A 3-D packing / numerical-simulation matrix (PAC stand-in).
+
+    27-point-ish stencil on a 3-D grid: multi-banded structure with
+    purely local coupling → low RU.
+    """
+    rng = np.random.default_rng(seed)
+    n = nx * ny * nz
+    idx = np.arange(n)
+    offsets = [1, nx, nx * ny, nx + 1, nx * ny + nx, nx * ny + 1]
+    edges = []
+    for off in offsets:
+        src = idx[: n - off]
+        edges.append(np.stack([src, src + off], axis=1))
+    # Sprinkle a few longer-range contacts (particle neighbours).
+    n_extra = n // 4
+    src = rng.integers(0, n, n_extra)
+    dst = np.clip(src + rng.integers(-3 * nx, 3 * nx + 1, n_extra), 0, n - 1)
+    edges.append(np.stack([src, dst], axis=1))
+    return _symmetrize(n, np.concatenate(edges))
+
+
+def fem_like(
+    num_blocks: int = 2048, block_size: int = 24,
+    bandwidth_blocks: int = 6, seed: int = 6,
+) -> COOMatrix:
+    """A block-banded FEM matrix (Serena stand-in).
+
+    Dense small blocks along a banded block structure, as produced by
+    3-D finite-element discretisations with multiple DOFs per node.
+    """
+    rng = np.random.default_rng(seed)
+    n = num_blocks * block_size
+    edges = []
+    for boff in range(bandwidth_blocks + 1):
+        nb = num_blocks - boff
+        # Connect a random subset of DOF pairs within each block pair.
+        per_block = block_size * 3
+        src_block = np.repeat(np.arange(nb), per_block)
+        src = src_block * block_size + rng.integers(
+            0, block_size, len(src_block)
+        )
+        dst = (src_block + boff) * block_size + rng.integers(
+            0, block_size, len(src_block)
+        )
+        edges.append(np.stack([src, dst], axis=1))
+    return _symmetrize(n, np.concatenate(edges))
+
+
+def uniform_random(
+    num_rows: int, num_cols: int, nnz: int, seed: int = 7
+) -> COOMatrix:
+    """A uniformly random sparse matrix (no structure), for tests."""
+    rng = np.random.default_rng(seed)
+    r = rng.integers(0, num_rows, nnz)
+    c = rng.integers(0, num_cols, nnz)
+    v = rng.standard_normal(nnz).astype(np.float32)
+    return COOMatrix.from_edges(num_rows, num_cols, np.stack([r, c], 1), v)
+
+
+def banded(num_rows: int, bandwidth: int, seed: int = 8) -> COOMatrix:
+    """A simple banded square matrix, for tests."""
+    rng = np.random.default_rng(seed)
+    src = np.repeat(np.arange(num_rows), 4)
+    dst = np.clip(
+        src + rng.integers(-bandwidth, bandwidth + 1, len(src)),
+        0,
+        num_rows - 1,
+    )
+    return _symmetrize(num_rows, np.stack([src, dst], axis=1))
+
+
+def _feistel_permutation(n: int, seed: int) -> np.ndarray:
+    """A deterministic pseudorandom permutation of ``range(n)``."""
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    perm = rng.permutation(n)
+    return perm

@@ -1,0 +1,124 @@
+"""MatrixMarket I/O.
+
+The paper's benchmarks come from the SuiteSparse collection, which
+distributes matrices in MatrixMarket (``.mtx``) coordinate format.  We
+cannot redistribute those matrices, but this module lets a user with a
+local copy run the real inputs through the simulator, and lets the
+synthetic suite be exported for inspection with standard tools.
+
+Supported: ``matrix coordinate (real|integer|pattern)
+(general|symmetric)``.  Pattern matrices read as all-ones values;
+symmetric matrices are expanded to full storage on read (SPADE operates
+on the full nonzero set).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+
+_HEADER_PREFIX = "%%MatrixMarket"
+_SUPPORTED_FIELDS = ("real", "integer", "pattern")
+_SUPPORTED_SYMMETRY = ("general", "symmetric")
+
+
+class MatrixMarketError(ValueError):
+    """Malformed or unsupported MatrixMarket content."""
+
+
+def _open(source: Union[str, Path, TextIO], mode: str):
+    if hasattr(source, "read") or hasattr(source, "write"):
+        return source, False
+    return open(source, mode), True
+
+
+def read_matrix_market(source: Union[str, Path, TextIO]) -> COOMatrix:
+    """Parse a MatrixMarket coordinate file into a COO matrix."""
+    stream, should_close = _open(source, "r")
+    try:
+        header = stream.readline()
+        if not header.startswith(_HEADER_PREFIX):
+            raise MatrixMarketError(
+                f"missing {_HEADER_PREFIX} header; got {header[:40]!r}"
+            )
+        parts = header.strip().split()
+        if len(parts) != 5:
+            raise MatrixMarketError(f"malformed header: {header!r}")
+        _, obj, fmt, field, symmetry = (p.lower() for p in parts)
+        if obj != "matrix" or fmt != "coordinate":
+            raise MatrixMarketError(
+                "only 'matrix coordinate' files are supported"
+            )
+        if field not in _SUPPORTED_FIELDS:
+            raise MatrixMarketError(f"unsupported field {field!r}")
+        if symmetry not in _SUPPORTED_SYMMETRY:
+            raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+
+        line = stream.readline()
+        while line.startswith("%"):
+            line = stream.readline()
+        dims = line.split()
+        if len(dims) != 3:
+            raise MatrixMarketError(f"malformed size line: {line!r}")
+        num_rows, num_cols, nnz = (int(d) for d in dims)
+
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.ones(nnz, dtype=np.float32)
+        for i in range(nnz):
+            entry = stream.readline().split()
+            if field == "pattern":
+                if len(entry) != 2:
+                    raise MatrixMarketError(
+                        f"pattern entry {i} malformed: {entry}"
+                    )
+            elif len(entry) != 3:
+                raise MatrixMarketError(f"entry {i} malformed: {entry}")
+            rows[i] = int(entry[0]) - 1  # 1-indexed on disk
+            cols[i] = int(entry[1]) - 1
+            if field != "pattern":
+                vals[i] = float(entry[2])
+
+        if symmetry == "symmetric":
+            off_diag = rows != cols
+            rows = np.concatenate([rows, cols[off_diag]])
+            cols = np.concatenate([cols, rows[: nnz][off_diag]])
+            vals = np.concatenate([vals, vals[off_diag]])
+        return COOMatrix(num_rows, num_cols, rows, cols, vals)
+    finally:
+        if should_close:
+            stream.close()
+
+
+def write_matrix_market(
+    coo: COOMatrix,
+    target: Union[str, Path, TextIO],
+    comment: str = "written by repro (SPADE reproduction)",
+) -> None:
+    """Write a COO matrix as 'matrix coordinate real general'."""
+    stream, should_close = _open(target, "w")
+    try:
+        stream.write(f"{_HEADER_PREFIX} matrix coordinate real general\n")
+        for line in comment.splitlines():
+            stream.write(f"% {line}\n")
+        stream.write(f"{coo.num_rows} {coo.num_cols} {coo.nnz}\n")
+        sorted_coo = coo.sorted_by_row()
+        for r, c, v in zip(
+            sorted_coo.r_ids, sorted_coo.c_ids, sorted_coo.vals
+        ):
+            stream.write(f"{r + 1} {c + 1} {v:.9g}\n")
+    finally:
+        if should_close:
+            stream.close()
+
+
+def roundtrip_string(coo: COOMatrix) -> str:
+    """Serialise a matrix to a MatrixMarket string (for tests/tools)."""
+    buf = io.StringIO()
+    write_matrix_market(coo, buf)
+    return buf.getvalue()

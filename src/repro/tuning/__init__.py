@@ -1,0 +1,16 @@
+"""SPADE Opt: the flexibility-knob search of Section 7.A / Table 3."""
+
+from repro.tuning.space import (
+    opt_search_space,
+    paper_col_panels,
+    paper_row_panels,
+)
+from repro.tuning.autotune import AutotuneResult, autotune
+
+__all__ = [
+    "opt_search_space",
+    "paper_row_panels",
+    "paper_col_panels",
+    "autotune",
+    "AutotuneResult",
+]

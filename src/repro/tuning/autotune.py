@@ -1,0 +1,127 @@
+"""SPADE Opt autotuner: pick the best flexibility-knob setting.
+
+Section 7.A: "we set SPADE Opt to be, for each individual matrix, the
+version with the best-performing parameter settings that we tried."
+The autotuner simply executes each candidate setting on the simulated
+system and keeps the fastest; results are memoised per (matrix, kernel,
+K, system) so repeated benchmark invocations do not re-search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.accelerator import (
+    ExecutionReport,
+    KernelSettings,
+    SpadeSystem,
+)
+from repro.sparse.coo import COOMatrix
+from repro.tuning.space import opt_search_space, quick_search_space
+
+
+@dataclass
+class AutotuneResult:
+    """Outcome of one SPADE Opt search."""
+
+    best_settings: KernelSettings
+    best_report: ExecutionReport
+    trials: List[Tuple[KernelSettings, float]]
+
+    @property
+    def best_time_ns(self) -> float:
+        return self.best_report.time_ns
+
+    @property
+    def speedup_over_base(self) -> float:
+        """How much faster the best setting is than SPADE Base, if Base
+        was among the trials (it always is in the standard spaces)."""
+        base_times = [
+            t for s, t in self.trials if s == KernelSettings.base()
+        ]
+        if not base_times:
+            return 1.0
+        return base_times[0] / self.best_time_ns
+
+    def ranked(self) -> List[Tuple[KernelSettings, float]]:
+        return sorted(self.trials, key=lambda st: st[1])
+
+
+_MEMO: Dict[tuple, AutotuneResult] = {}
+
+
+def _matrix_key(a: COOMatrix) -> tuple:
+    return (
+        a.num_rows,
+        a.num_cols,
+        a.nnz,
+        int(a.r_ids[0]) if a.nnz else -1,
+        int(a.c_ids[-1]) if a.nnz else -1,
+        float(a.vals.sum()),
+    )
+
+
+def autotune(
+    system: SpadeSystem,
+    a: COOMatrix,
+    kernel: str,
+    k: int,
+    quick: bool = False,
+    space: Optional[List[KernelSettings]] = None,
+    rng_seed: int = 7,
+    row_panel_divisor: int = 1,
+) -> AutotuneResult:
+    """Search the Table 3 space for the fastest setting.
+
+    ``kernel`` is "spmm" or "sddmm".  ``quick=True`` uses the reduced
+    space (for benchmarks); an explicit ``space`` overrides both.
+    """
+    if kernel not in ("spmm", "sddmm"):
+        raise ValueError("kernel must be 'spmm' or 'sddmm'")
+    memo_key = (
+        _matrix_key(a), kernel, k, system.config.name,
+        system.config.num_pes, quick, space is None, row_panel_divisor,
+    )
+    if space is None and memo_key in _MEMO:
+        return _MEMO[memo_key]
+
+    candidates = space
+    if candidates is None:
+        candidates = (
+            quick_search_space(a, k, row_panel_divisor)
+            if quick
+            else opt_search_space(a, k, row_panel_divisor=row_panel_divisor)
+        )
+
+    rng = np.random.default_rng(rng_seed)
+    b = rng.random((a.num_cols, k), dtype=np.float32)
+    if kernel == "sddmm":
+        b_r = rng.random((a.num_rows, k), dtype=np.float32)
+
+    trials: List[Tuple[KernelSettings, float]] = []
+    best: Optional[ExecutionReport] = None
+    best_settings: Optional[KernelSettings] = None
+    for settings in candidates:
+        if kernel == "spmm":
+            report = system.spmm(a, b, settings)
+        else:
+            report = system.sddmm(a, b_r, b, settings)
+        trials.append((settings, report.time_ns))
+        if best is None or report.time_ns < best.time_ns:
+            best = report
+            best_settings = settings
+
+    result = AutotuneResult(
+        best_settings=best_settings, best_report=best, trials=trials
+    )
+    if space is None:
+        _MEMO[memo_key] = result
+    return result
+
+
+def clear_memo() -> None:
+    """Drop all memoised autotune results (for tests)."""
+    _MEMO.clear()

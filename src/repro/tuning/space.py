@@ -1,0 +1,129 @@
+"""The SPADE Opt parameter space (Table 3).
+
+For each dense row size K the paper sweeps: three row panel sizes,
+three column panel sizes (small / medium / all columns), rMatrix bypass
+on/off, and scheduling barriers (only for the medium column panel).
+For MYC, which has very few rows, a row panel of 16 is added to
+mitigate load imbalance.
+
+Because this reproduction runs scaled-down matrices, column panel sizes
+can be generated in two modes: ``paper`` uses the literal Table 3
+values; ``scaled`` (default) derives panels with the same *relative*
+coverage (columns / 256, columns / 8, all columns), preserving the
+small/medium/large character of each point on any matrix size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.accelerator import KernelSettings
+from repro.sparse.coo import COOMatrix
+
+SMALL_ROW_PANEL_THRESHOLD = 4096
+"""Matrices with fewer rows than this also try RP=16 (the MYC rule)."""
+
+
+def paper_row_panels(divisor: int = 1) -> List[int]:
+    """Table 3 row panel sizes, optionally divided by ``divisor``.
+
+    The paper's row panel sizes target million-row matrices; on
+    scaled-down matrices, dividing them (and the victim cache, see
+    ``scaled_config``) by the same factor preserves the panels-per-PE
+    and panel-footprint-vs-victim-cache ratios that drive Tables 5/6
+    and Figure 11.
+    """
+    return [max(2, rp // divisor) for rp in (64, 256, 1024)]
+
+
+def paper_col_panels(k: int) -> List[Optional[int]]:
+    """Table 3 column panel sizes (None = all_columns)."""
+    if k <= 32:
+        return [8192, 524288, None]
+    return [2048, 131072, None]
+
+
+def scaled_col_panels(num_cols: int) -> List[Optional[int]]:
+    """Small / medium / all-columns panels scaled to the matrix width."""
+    small = max(64, num_cols // 256)
+    medium = max(small * 8, num_cols // 8)
+    if medium >= num_cols:
+        medium = max(small + 1, num_cols // 2)
+    return [small, medium, None]
+
+
+def _medium_panel(panels: Sequence[Optional[int]]) -> Optional[int]:
+    """The 'medium' entry — the only one that gets barrier variants."""
+    finite = [p for p in panels if p is not None]
+    return sorted(finite)[-1] if finite else None
+
+
+def opt_search_space(
+    matrix: COOMatrix,
+    k: int,
+    mode: str = "scaled",
+    include_bypass: bool = True,
+    include_barriers: bool = True,
+    row_panel_divisor: int = 1,
+) -> List[KernelSettings]:
+    """All SPADE Opt candidate settings for one matrix and K.
+
+    Mirrors Table 3's restrictions: barriers are only tried with the
+    medium column panel; bypass doubles every point; SPADE Base
+    (RP=256, CP=all) is always among the candidates.
+    """
+    if mode == "paper":
+        col_panels = paper_col_panels(k)
+    elif mode == "scaled":
+        col_panels = scaled_col_panels(matrix.num_cols)
+    else:
+        raise ValueError(f"unknown mode {mode!r}; use 'paper' or 'scaled'")
+
+    row_panels = paper_row_panels(row_panel_divisor)
+    if matrix.num_rows < SMALL_ROW_PANEL_THRESHOLD // row_panel_divisor:
+        row_panels = [max(2, 16 // row_panel_divisor)] + row_panels
+    medium = _medium_panel(col_panels)
+
+    space: List[KernelSettings] = []
+    for rp in row_panels:
+        for cp in col_panels:
+            barrier_options = [False]
+            if include_barriers and cp is not None and cp == medium:
+                barrier_options.append(True)
+            bypass_options = [False, True] if include_bypass else [False]
+            for barriers in barrier_options:
+                for bypass in bypass_options:
+                    space.append(
+                        KernelSettings(
+                            row_panel_size=rp,
+                            col_panel_size=cp,
+                            rmatrix_bypass=bypass,
+                            use_barriers=barriers,
+                        )
+                    )
+    return space
+
+
+def quick_search_space(
+    matrix: COOMatrix, k: int, row_panel_divisor: int = 1
+) -> List[KernelSettings]:
+    """A reduced sweep for fast benchmarking: base, small tiles,
+    small tiles + barriers, and bypass variants."""
+    small_cp, medium_cp, _ = scaled_col_panels(matrix.num_cols)
+    small_threshold = SMALL_ROW_PANEL_THRESHOLD // row_panel_divisor
+    rp_small, rp_base, rp_large = paper_row_panels(row_panel_divisor)
+    rp = rp_small if matrix.num_rows < small_threshold else rp_large
+    base_rp = rp_base
+    return [
+        KernelSettings(row_panel_size=base_rp),
+        KernelSettings(row_panel_size=base_rp, rmatrix_bypass=True),
+        KernelSettings(row_panel_size=rp, col_panel_size=small_cp),
+        KernelSettings(
+            row_panel_size=rp, col_panel_size=medium_cp, use_barriers=True
+        ),
+        KernelSettings(
+            row_panel_size=rp,
+            col_panel_size=small_cp,
+            rmatrix_bypass=True,
+        ),
+    ]

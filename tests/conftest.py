@@ -1,0 +1,67 @@
+"""Shared fixtures: small deterministic matrices and systems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import mini_config, scaled_config
+from repro.core.accelerator import SpadeSystem
+from repro.sparse.coo import COOMatrix
+from repro.sparse.generators import banded, rmat_graph, uniform_random
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_matrix() -> COOMatrix:
+    """The 4x4 example matrix of Appendix A, Figure 15."""
+    dense = np.array(
+        [
+            [0.0, 1.0, 2.0, 0.0],
+            [0.0, 0.0, 0.0, 3.0],
+            [0.0, 4.0, 0.0, 5.0],
+            [7.0, 0.0, 6.0, 0.0],
+        ],
+        dtype=np.float32,
+    )
+    return COOMatrix.from_dense(dense)
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> COOMatrix:
+    """A power-law graph small enough for full simulation in tests."""
+    return rmat_graph(scale=7, edge_factor=8, seed=99)
+
+
+@pytest.fixture(scope="session")
+def banded_matrix() -> COOMatrix:
+    return banded(num_rows=300, bandwidth=6, seed=3)
+
+
+@pytest.fixture(scope="session")
+def random_rect() -> COOMatrix:
+    """A rectangular random matrix (rows != cols)."""
+    return uniform_random(num_rows=96, num_cols=160, nnz=700, seed=21)
+
+
+@pytest.fixture()
+def small_system() -> SpadeSystem:
+    return SpadeSystem(scaled_config(4, cache_shrink=8))
+
+
+@pytest.fixture()
+def mini_system() -> SpadeSystem:
+    return SpadeSystem(mini_config(4))
+
+
+@pytest.fixture(scope="session")
+def dense_b_factory():
+    def make(num_rows: int, k: int, seed: int = 7) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return rng.random((num_rows, k), dtype=np.float32)
+
+    return make

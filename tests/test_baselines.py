@@ -1,0 +1,190 @@
+"""Unit tests for the CPU, GPU, and Sextans baseline models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu import CPUModel
+from repro.baselines.gpu import GPUModel, TransferModel
+from repro.baselines.sextans import SextansModel
+from repro.baselines.traffic import (
+    TrafficEstimate,
+    dense_operand_traffic,
+    gathered_traffic,
+    kernel_flops,
+    sddmm_traffic,
+    spmm_traffic,
+)
+from repro.config import paper_config
+from repro.sparse.generators import banded, rmat_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(scale=9, edge_factor=8, seed=5)
+
+
+class TestTrafficEstimation:
+    def test_flops(self, graph):
+        assert kernel_flops(graph, 32) == 2 * graph.nnz * 32
+
+    def test_capacity_model_fits_in_cache(self):
+        # 100 rows of 128 B = 12.8 KB fits a 1 MB cache: read once.
+        traffic = dense_operand_traffic(100, 100000, 128, 1 << 20)
+        assert traffic == 100 * 128
+
+    def test_capacity_model_overflow(self):
+        fits = dense_operand_traffic(1000, 100000, 128, 1000 * 128)
+        overflow = dense_operand_traffic(1000, 100000, 128, 100 * 128)
+        assert overflow > fits
+
+    def test_gathered_traffic_credits_local_reuse(self):
+        """A banded access stream reuses columns locally; a big cache
+        should collapse traffic to the compulsory footprint."""
+        m = banded(512, 4, seed=1)
+        order = np.argsort(m.r_ids, kind="stable")
+        rows, cols = m.r_ids[order], m.c_ids[order]
+        big = gathered_traffic(rows, cols, 128, 10 * 1024 * 1024)
+        tiny = gathered_traffic(rows, cols, 128, 4 * 128)
+        footprint = len(np.unique(cols)) * 128
+        assert big == footprint
+        assert tiny > big
+
+    def test_gathered_traffic_empty(self):
+        assert gathered_traffic(np.array([]), np.array([]), 128, 1e6) == 0
+
+    def test_spmm_traffic_components(self, graph):
+        t = spmm_traffic(graph, 32, cache_bytes=1 << 20)
+        assert t.sparse_bytes == graph.nnz * 12
+        assert t.rmatrix_bytes == 2 * graph.num_rows * 128
+        assert t.cmatrix_bytes > 0
+        assert t.output_bytes == 0
+        assert t.total_bytes == (
+            t.sparse_bytes + t.rmatrix_bytes + t.cmatrix_bytes
+        )
+
+    def test_sddmm_traffic_has_output(self, graph):
+        t = sddmm_traffic(graph, 32, cache_bytes=1 << 20)
+        assert t.output_bytes > 0
+
+    def test_bigger_cache_less_traffic(self, graph):
+        small = spmm_traffic(graph, 32, cache_bytes=1 << 14)
+        big = spmm_traffic(graph, 32, cache_bytes=1 << 26)
+        assert big.cmatrix_bytes <= small.cmatrix_bytes
+
+
+class TestCPUModel:
+    @pytest.fixture()
+    def cpu(self):
+        return CPUModel(paper_config().host)
+
+    def test_spmm_returns_positive_time(self, cpu, graph):
+        res = cpu.spmm(graph, 32)
+        assert res.time_ns > 0
+        assert res.time_ms == pytest.approx(res.time_ns / 1e6)
+        assert res.bound in ("memory", "compute")
+
+    def test_time_is_roofline_max(self, cpu, graph):
+        res = cpu.spmm(graph, 32)
+        assert res.time_ns == max(res.compute_ns, res.memory_ns)
+
+    def test_k_scales_time(self, cpu, graph):
+        assert cpu.spmm(graph, 128).time_ns > cpu.spmm(graph, 32).time_ns
+
+    def test_sddmm_taco_penalty(self, cpu, graph):
+        """TACO (SDDMM) runs below the plain roofline: the model applies
+        a penalty factor on top of the traffic-derived memory time."""
+        from repro.baselines.cpu import TACO_SDDMM_PENALTY
+        from repro.baselines.traffic import sddmm_traffic
+
+        res = cpu.sddmm(graph, 32)
+        traffic = sddmm_traffic(
+            graph, 32, cpu.host.llc_total_bytes, sparse_bytes_per_nnz=8
+        )
+        plain_memory_ns = traffic.total_bytes / cpu.effective_bandwidth
+        assert TACO_SDDMM_PENALTY > 1.0
+        assert res.memory_ns == pytest.approx(
+            plain_memory_ns * TACO_SDDMM_PENALTY
+        )
+
+    def test_peak_flops_formula(self, cpu):
+        h = paper_config().host
+        expected = h.num_cores * 3 * 16 * 2 * 2.6
+        assert cpu.peak_flops_per_ns == pytest.approx(expected)
+
+
+class TestGPUModel:
+    @pytest.fixture()
+    def gpu(self):
+        return GPUModel(scale_ratio=1.0)
+
+    def test_kernel_faster_than_transfer(self, gpu, graph):
+        """The Figure 2 result: transfers dominate single iterations."""
+        res = gpu.spmm(graph, 32)
+        assert res.transfer_ns > res.kernel_ns
+        assert res.transfer_fraction > 0.5
+
+    def test_transfer_model_both_directions(self):
+        t = TransferModel(bytes_to_device=1000, bytes_to_host=500)
+        assert t.total_bytes == 1500
+        assert t.time_ns > 1500 / t.pcie_gbps
+
+    def test_memory_capacity_check(self, gpu, graph):
+        assert gpu.fits_in_memory(graph, 32)
+        tiny_gpu = GPUModel(scale_ratio=1e-6)
+        assert not tiny_gpu.fits_in_memory(graph, 128)
+
+    def test_scale_ratio_scales_everything(self, graph):
+        full = GPUModel(1.0).spmm(graph, 32)
+        half = GPUModel(0.5).spmm(graph, 32)
+        assert half.kernel_ns > full.kernel_ns
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            GPUModel(scale_ratio=0)
+
+    def test_sddmm_transfers_both_dense(self, gpu, graph):
+        spmm = gpu.spmm(graph, 32)
+        sddmm = gpu.sddmm(graph, 32)
+        assert sddmm.transfer_ns > spmm.transfer_ns * 0.9
+
+
+class TestSextansModel:
+    @pytest.fixture()
+    def sextans(self):
+        return SextansModel(dram_peak_gbps=410.0)
+
+    def test_idealized_50pct_bandwidth(self, sextans):
+        assert sextans.effective_gbps == pytest.approx(205.0)
+
+    def test_sparse_rereads_grow_with_k(self, sextans, graph):
+        """Section 7.F: Sextans re-reads sparse data as K grows."""
+        r32 = sextans.spmm(graph, 32)
+        r128 = sextans.spmm(graph, 128)
+        assert r32.sparse_passes == 2
+        assert r128.sparse_passes == 8
+
+    def test_output_batching_when_scratchpad_small(self, graph):
+        big = SextansModel(410.0, scale_ratio=1.0)
+        small = SextansModel(410.0, scale_ratio=1e-4)
+        assert small.spmm(graph, 32).output_batches > (
+            big.spmm(graph, 32).output_batches
+        )
+
+    def test_batching_multiplies_dense_traffic(self, graph):
+        small = SextansModel(410.0, scale_ratio=1e-4)
+        big = SextansModel(410.0, scale_ratio=1.0)
+        assert small.spmm(graph, 32).dram_bytes > (
+            big.spmm(graph, 32).dram_bytes
+        )
+
+    def test_memory_time_only(self, sextans, graph):
+        """Idealized compute: kernel time equals traffic / bandwidth."""
+        res = sextans.spmm(graph, 32)
+        assert res.kernel_ns == pytest.approx(
+            res.dram_bytes / sextans.effective_gbps
+        )
+
+    def test_transfer_included_separately(self, sextans, graph):
+        res = sextans.spmm(graph, 32)
+        assert res.total_ns == res.kernel_ns + res.transfer_ns
+        assert res.transfer_ns > 0

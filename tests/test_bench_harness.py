@@ -1,0 +1,129 @@
+"""Unit tests for the benchmark harness and experiment smoke tests.
+
+Full experiments run under benchmarks/; here we check the harness
+plumbing and run tiny-scale smoke versions of each experiment driver.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import fig02, fig09, fig11, fig12, fig13, fig14
+from repro.bench import sec7d, sec7g, table5, table6
+from repro.bench.harness import (
+    BenchEnvironment,
+    dense_input,
+    format_table,
+    geomean,
+    suite_matrix,
+)
+
+TINY_ENV = BenchEnvironment(
+    scale="tiny", num_pes=2, opt_mode="quick",
+    cache_shrink=8.0, row_panel_divisor=8,
+)
+
+
+class TestHarness:
+    def test_ratio(self):
+        assert TINY_ENV.ratio == pytest.approx(2 / 224)
+
+    def test_spade_config_factors(self):
+        c1 = TINY_ENV.spade_config(1)
+        c2 = TINY_ENV.spade_config(2)
+        assert c2.num_pes == 2 * c1.num_pes
+
+    def test_base_settings_scaled_rp(self):
+        assert TINY_ENV.base_settings().row_panel_size == 32
+
+    def test_suite_matrix_memoised(self):
+        a = suite_matrix("ASI", "tiny")
+        b = suite_matrix("ASI", "tiny")
+        assert a is b
+
+    def test_dense_input_deterministic(self):
+        x = dense_input(100, 8)
+        y = dense_input(100, 8)
+        np.testing.assert_array_equal(x, y)
+        assert x.dtype == np.float32
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+
+    def test_format_table(self):
+        text = format_table(
+            ["a", "bb"], [[1, 2.5], [10, 0.001]], title="T"
+        )
+        assert text.startswith("T\n")
+        assert "bb" in text
+
+    def test_models_constructible(self):
+        assert TINY_ENV.cpu_model() is not None
+        assert TINY_ENV.gpu_model() is not None
+        assert TINY_ENV.sextans_model() is not None
+
+
+class TestExperimentSmoke:
+    """Each experiment driver runs end-to-end at tiny scale."""
+
+    def test_fig02(self):
+        rows = fig02.run(TINY_ENV)
+        assert len(rows) == 20  # 10 matrices x 2 K values
+        assert fig02.format_result(rows)
+
+    def test_fig09(self):
+        rows = fig09.run(
+            TINY_ENV, kernels=("spmm",), k_values=(32,),
+            matrices=["ASI", "KRO"],
+        )
+        assert len(rows) == 2
+        assert all(r.spade_base > 0 for r in rows)
+        assert fig09.format_result(rows)
+
+    def test_fig11(self):
+        maps = fig11.run(TINY_ENV, matrices=("KRO",))
+        assert maps[0].matrix == "KRO"
+        assert max(maps[0].normalized_time.values()) == pytest.approx(1.0)
+        assert fig11.format_result(maps)
+
+    def test_table5(self):
+        rows = table5.run(
+            TINY_ENV, kernels=("spmm",), k_values=(32,),
+            matrices=("ASI",),
+        )
+        assert len(rows) == 1
+        assert table5.format_result(rows)
+
+    def test_table6(self):
+        rows = table6.run(
+            TINY_ENV, kernels=("spmm",), k_values=(32,),
+            matrices=("DEL",),
+        )
+        assert len(rows) == 1
+        assert table6.format_result(rows)
+
+    def test_fig12(self):
+        rows = fig12.run(TINY_ENV, matrices=("ASI",), factors=(2,))
+        assert rows[0].speedups[2] > 0
+        assert fig12.format_result(rows)
+
+    def test_fig13(self):
+        rows = fig13.run(TINY_ENV, matrices=("ASI", "KRO"))
+        assert len(rows) == 2
+        assert fig13.format_result(rows)
+        assert fig13.summary(rows)["mean_speedup"] > 0
+
+    def test_fig14(self):
+        rows = fig14.run(TINY_ENV, matrices=("ASI",))
+        assert sum(rows[0].fractions.values()) == pytest.approx(1.0)
+        assert fig14.format_result(rows)
+
+    def test_sec7d(self):
+        rows = sec7d.run(TINY_ENV, kernels=("spmm",), matrices=("ASI",))
+        assert rows[0].spade_mode_ns > 0
+        assert sec7d.format_result(rows)
+
+    def test_sec7g(self):
+        result = sec7g.run()
+        assert result.area_error < 0.10
+        assert sec7g.format_result(result)

@@ -1,0 +1,85 @@
+"""Unit tests for the results-report assembler."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.reporting import (
+    assemble_report,
+    available_results,
+    check_against_paper,
+    extract_headlines,
+    write_report,
+)
+
+
+@pytest.fixture()
+def results_dir(tmp_path) -> Path:
+    (tmp_path / "fig09.txt").write_text(
+        "Figure 9: speedup over CPU\n"
+        "geomean vs CPU: Base 1.82x (paper 1.67), Opt 2.33x "
+        "(paper 2.32), SPADE2 4.54x (paper 3.52)\n"
+    )
+    (tmp_path / "sec7g.txt").write_text(
+        "area :  24.99 mm^2 (paper 24.64; error 1.4%)\n"
+        "power:  19.95 W    (paper 20.3; error 1.7%)\n"
+    )
+    (tmp_path / "zzz_custom.txt").write_text("custom experiment\n")
+    return tmp_path
+
+
+class TestAssembly:
+    def test_canonical_ordering(self, results_dir):
+        names = available_results(results_dir)
+        assert names.index("fig09") < names.index("sec7g")
+        assert names[-1] == "zzz_custom"  # unknown names go last
+
+    def test_report_contains_all_sections(self, results_dir):
+        report = assemble_report(results_dir)
+        assert "## fig09" in report
+        assert "## sec7g" in report
+        assert "## zzz_custom" in report
+
+    def test_empty_dir(self, tmp_path):
+        assert "no persisted results" in assemble_report(tmp_path)
+
+    def test_write_report(self, results_dir):
+        path = write_report(results_dir)
+        assert path.exists()
+        assert path.read_text().startswith("# SPADE reproduction")
+
+
+class TestHeadlines:
+    def test_extraction(self, results_dir):
+        headlines = extract_headlines(results_dir)
+        assert headlines["fig09_base_vs_cpu"] == pytest.approx(1.82)
+        assert headlines["fig09_opt_vs_cpu"] == pytest.approx(2.33)
+        assert headlines["sec7g_area_mm2"] == pytest.approx(24.99)
+        assert headlines["sec7g_power_w"] == pytest.approx(19.95)
+
+    def test_check_within_tolerance(self, results_dir):
+        headlines = extract_headlines(results_dir)
+        assert check_against_paper(headlines, tolerance=0.5) == []
+
+    def test_check_flags_outliers(self):
+        notes = check_against_paper(
+            {"fig09_base_vs_cpu": 10.0}, tolerance=0.5
+        )
+        assert len(notes) == 1
+        assert "fig09_base_vs_cpu" in notes[0]
+
+    def test_missing_headlines_ignored(self):
+        assert check_against_paper({}) == []
+
+
+class TestRealResults:
+    """If the repo's own results directory is populated (after a bench
+    run), the measured headlines must be within 2x of the paper."""
+
+    def test_repo_results_sane(self):
+        results = Path(__file__).parent.parent / "benchmarks" / "results"
+        if not results.exists() or not any(results.glob("*.txt")):
+            pytest.skip("no persisted bench results yet")
+        headlines = extract_headlines(results)
+        assert headlines, "results present but no headlines extracted"
+        assert check_against_paper(headlines, tolerance=1.0) == []

@@ -1,0 +1,82 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--matrix", "KRO"])
+        args_d = vars(args)
+        assert args_d["kernel"] == "spmm"
+        assert args_d["k"] == 32
+        assert args_d["pes"] == 8
+
+    def test_experiment_names_listed(self):
+        assert "fig09" in EXPERIMENTS
+        assert "sec7g" in EXPERIMENTS
+        assert len(EXPERIMENTS) == 11
+
+
+class TestCommands:
+    def test_suite(self, capsys):
+        assert main(["suite", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "KRO" in out and "mycielskian17" in out
+
+    def test_config(self, capsys):
+        assert main(["config", "--pes", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "16" in out
+
+    def test_run_spmm(self, capsys):
+        code = main([
+            "run", "--matrix", "ASI", "--scale", "tiny",
+            "--pes", "2", "--k", "16",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated time" in out
+        assert "DRAM accesses" in out
+
+    def test_run_sddmm(self, capsys):
+        code = main([
+            "run", "--matrix", "PAC", "--scale", "tiny",
+            "--pes", "2", "--kernel", "sddmm", "--k", "16",
+        ])
+        assert code == 0
+        assert "sddmm" in capsys.readouterr().out
+
+    def test_run_mtx_file(self, tmp_path, tiny_matrix, capsys):
+        from repro.sparse.io import write_matrix_market
+
+        path = tmp_path / "m.mtx"
+        write_matrix_market(tiny_matrix, path)
+        code = main([
+            "run", "--matrix", str(path), "--pes", "2", "--k", "16",
+        ])
+        assert code == 0
+        assert "4x4" in capsys.readouterr().out
+
+    def test_autotune(self, capsys):
+        code = main([
+            "autotune", "--matrix", "KRO", "--scale", "tiny",
+            "--pes", "2", "--k", "16",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best" in out
+        assert "SPADE Opt gain over Base" in out
+
+    def test_experiment_sec7g(self, capsys):
+        assert main(["experiment", "sec7g"]) == 0
+        assert "24.64" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

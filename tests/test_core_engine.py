@@ -1,0 +1,179 @@
+"""Unit tests for the execution engine and PE trace model internals."""
+
+import numpy as np
+import pytest
+
+from repro import KernelSettings
+from repro.config import scaled_config
+from repro.core.accelerator import SpadeSystem
+from repro.core.engine import _ChunkCursor
+from repro.core.pe import PECounters
+from repro.memory.hierarchy import ServiceLevel
+from repro.sparse.tiled import TileInfo
+
+
+def _tile(nnz, offset=0, tid=0):
+    return TileInfo(
+        tile_id=tid, row_panel_id=0, col_panel_id=tid,
+        sparse_in_start_offset=offset, sparse_out_start_offset=0, nnz=nnz,
+    )
+
+
+class TestChunkCursor:
+    def test_walks_tiles_in_chunks(self):
+        tiles = [_tile(10, 0, 0), _tile(5, 10, 1)]
+        cursor = _ChunkCursor(tiles, chunk_nnz=4)
+        chunks = []
+        while True:
+            nxt = cursor.next_chunk()
+            if nxt is None:
+                break
+            chunks.append((nxt[0].tile_id, nxt[1], nxt[2]))
+        assert chunks == [
+            (0, 0, 4), (0, 4, 8), (0, 8, 10), (1, 0, 4), (1, 4, 5),
+        ]
+
+    def test_empty_tiles_list(self):
+        assert _ChunkCursor([], 4).next_chunk() is None
+
+    def test_chunk_covers_all_nnz(self):
+        tiles = [_tile(17, 0, 0), _tile(3, 17, 1), _tile(29, 20, 2)]
+        cursor = _ChunkCursor(tiles, chunk_nnz=7)
+        total = 0
+        while (nxt := cursor.next_chunk()) is not None:
+            total += nxt[2] - nxt[1]
+        assert total == 49
+
+
+class TestPECounters:
+    def test_merge_sums_everything(self):
+        a = PECounters(tops=1, vops=2, sparse_line_reads=3)
+        a.dense_reads_by_level[ServiceLevel.DRAM] = 7
+        b = PECounters(tops=10, vops=20, sparse_line_reads=30)
+        b.dense_reads_by_level[ServiceLevel.DRAM] = 70
+        m = a.merged(b)
+        assert m.tops == 11 and m.vops == 22
+        assert m.dense_reads_by_level[ServiceLevel.DRAM] == 77
+
+    def test_total_requests(self):
+        c = PECounters(sparse_line_reads=5)
+        c.dense_reads_by_level[ServiceLevel.L1] = 3
+        c.stores_by_level[ServiceLevel.DRAM] = 2
+        assert c.total_requests == 10
+
+
+class TestEngineAccounting:
+    @pytest.fixture()
+    def report(self, small_graph, dense_b_factory):
+        system = SpadeSystem(scaled_config(4, cache_shrink=8))
+        b = dense_b_factory(small_graph.num_cols, 32)
+        return system.spmm(small_graph, b)
+
+    def test_dense_reads_split_across_levels(self, report):
+        total = sum(report.counters.dense_reads_by_level)
+        assert total > 0
+        # VRF filtering keeps dense reads at or below 2 per vOp.
+        assert total <= 2 * report.counters.vops
+
+    def test_sparse_lines_match_stream_size(self, report, small_graph):
+        # Three arrays x nnz x 4B, in 64B lines, per-tile rounding; with
+        # one big tile the line counts are essentially nnz*12/64.
+        approx_lines = 3 * small_graph.nnz * 4 / 64
+        assert report.counters.sparse_line_reads == pytest.approx(
+            approx_lines, rel=0.2
+        )
+
+    def test_dram_reads_bounded_by_requests(self, report):
+        assert report.stats.dram_reads <= report.counters.total_requests
+
+    def test_stores_generated_by_writeback_manager(self, report):
+        assert sum(report.counters.stores_by_level) > 0
+
+    def test_termination_flush_accounted(self, report):
+        assert report.result.termination_ns > 0
+        assert report.result.dirty_lines_flushed >= 0
+        assert report.result.compute_time_ns < report.time_ns
+
+    def test_region_traffic_tags(self, report):
+        regions = report.stats.by_region
+        assert "sparse" in regions
+        assert "cmatrix" in regions or "rmatrix" in regions
+
+    def test_epoch_counters_sum_to_totals(
+        self, small_graph, dense_b_factory
+    ):
+        system = SpadeSystem(scaled_config(4, cache_shrink=8))
+        b = dense_b_factory(small_graph.num_cols, 32)
+        rep = system.spmm(
+            small_graph, b,
+            KernelSettings(
+                row_panel_size=16, col_panel_size=32, use_barriers=True
+            ),
+        )
+        assert rep.counters.tops == small_graph.nnz
+
+    def test_schedule_pe_mismatch_rejected(
+        self, small_graph, dense_b_factory
+    ):
+        from repro.core.cpe import ControlProcessor
+        from repro.core.engine import Engine
+        from repro.core.instructions import Primitive
+        from repro.sparse.tiled import tile_matrix
+
+        system = SpadeSystem(scaled_config(4, cache_shrink=8))
+        tiled = tile_matrix(small_graph, 256, None)
+        amap = system._build_address_map(tiled, 32, Primitive.SPMM)
+        init = system.cpe.make_initialization(
+            Primitive.SPMM, amap, False, False, 32
+        )
+        from repro.core.bypass import BypassPolicy
+
+        engine = Engine(
+            system.config, tiled, init, amap, BypassPolicy()
+        )
+        wrong_schedule = ControlProcessor(2).build_schedule(tiled)
+        engine.bind_schedule(wrong_schedule)
+        with pytest.raises(ValueError, match="PEs"):
+            engine.run_spmm(
+                wrong_schedule,
+                dense_b_factory(small_graph.num_cols, 32),
+            )
+
+    def test_unbound_schedule_rejected(self, small_graph, dense_b_factory):
+        from repro.core.bypass import BypassPolicy
+        from repro.core.cpe import ControlProcessor
+        from repro.core.engine import Engine
+        from repro.core.instructions import Primitive
+        from repro.sparse.tiled import tile_matrix
+
+        system = SpadeSystem(scaled_config(4, cache_shrink=8))
+        tiled = tile_matrix(small_graph, 256, None)
+        amap = system._build_address_map(tiled, 32, Primitive.SPMM)
+        init = system.cpe.make_initialization(
+            Primitive.SPMM, amap, False, False, 32
+        )
+        engine = Engine(system.config, tiled, init, amap, BypassPolicy())
+        schedule = ControlProcessor(4).build_schedule(tiled)
+        with pytest.raises(RuntimeError, match="bind_schedule"):
+            engine.run_spmm(
+                schedule, dense_b_factory(small_graph.num_cols, 32)
+            )
+
+
+class TestVRFFiltering:
+    def test_row_reuse_filtered_by_vrf(self, dense_b_factory):
+        """Consecutive nonzeros in the same row share rMatrix lines;
+        the VRF tag CAM must absorb those repeats."""
+        from repro.sparse.coo import COOMatrix
+
+        n = 64
+        r = np.zeros(n, dtype=np.int64)  # all in row 0
+        c = np.arange(n, dtype=np.int64)
+        m = COOMatrix(4, n, r, c, np.ones(n, dtype=np.float32))
+        system = SpadeSystem(scaled_config(1, cache_shrink=8))
+        rep = system.spmm(m, dense_b_factory(n, 32))
+        rmatrix_reads = rep.stats.by_region.get("rmatrix", 0)
+        # 64 tOps all touch the same 2 rMatrix lines: far fewer DRAM
+        # rmatrix reads than tOps.
+        assert rep.counters.vops == n * 2
+        assert rmatrix_reads <= 8

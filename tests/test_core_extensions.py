@@ -1,0 +1,63 @@
+"""Unit tests for the SpMV / SDDVV extension primitives (Section 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.extensions import sddvv, spmv
+
+
+class TestSpMV:
+    def test_matches_dense_matvec(self, small_system, small_graph, rng):
+        x = rng.random(small_graph.num_cols).astype(np.float32)
+        y, report = spmv(small_system, small_graph, x)
+        expected = small_graph.to_dense() @ x
+        np.testing.assert_allclose(y, expected, rtol=1e-4, atol=1e-4)
+        assert report.time_ns > 0
+
+    def test_one_vop_per_nonzero(self, small_system, small_graph, rng):
+        """K=1 pads to a single line per row: exactly one vOp per tOp."""
+        x = rng.random(small_graph.num_cols).astype(np.float32)
+        _, report = spmv(small_system, small_graph, x)
+        assert report.counters.vops == report.counters.tops
+
+    def test_rectangular(self, small_system, random_rect, rng):
+        x = rng.random(random_rect.num_cols).astype(np.float32)
+        y, _ = spmv(small_system, random_rect, x)
+        assert y.shape == (random_rect.num_rows,)
+
+    def test_shape_validation(self, small_system, small_graph):
+        with pytest.raises(ValueError, match="shape"):
+            spmv(small_system, small_graph, np.ones(3, dtype=np.float32))
+        with pytest.raises(ValueError, match="shape"):
+            spmv(
+                small_system, small_graph,
+                np.ones((small_graph.num_cols, 2), dtype=np.float32),
+            )
+
+
+class TestSDDVV:
+    def test_matches_outer_product_sampling(
+        self, small_system, small_graph, rng
+    ):
+        u = rng.random(small_graph.num_rows).astype(np.float32)
+        v = rng.random(small_graph.num_cols).astype(np.float32)
+        out, report = sddvv(small_system, small_graph, u, v)
+        expected = small_graph.to_dense() * np.outer(u, v)
+        np.testing.assert_allclose(
+            out.to_dense(), expected, rtol=1e-4, atol=1e-5
+        )
+        assert report.time_ns > 0
+
+    def test_preserves_structure(self, small_system, small_graph, rng):
+        u = rng.random(small_graph.num_rows).astype(np.float32)
+        v = rng.random(small_graph.num_cols).astype(np.float32)
+        out, _ = sddvv(small_system, small_graph, u, v)
+        np.testing.assert_array_equal(
+            np.sort(out.r_ids), np.sort(small_graph.r_ids)
+        )
+
+    def test_shape_validation(self, small_system, random_rect):
+        u_bad = np.ones(random_rect.num_rows + 1, dtype=np.float32)
+        v = np.ones(random_rect.num_cols, dtype=np.float32)
+        with pytest.raises(ValueError, match="u must"):
+            sddvv(small_system, random_rect, u_bad, v)

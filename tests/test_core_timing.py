@@ -1,0 +1,142 @@
+"""Unit tests for the latency-tolerance timing model and mode
+transitions."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import scaled_config
+from repro.core.instructions import Primitive
+from repro.core.modes import (
+    TransitionCosts,
+    cpu_to_spade_cost,
+    round_trip_costs,
+    spade_to_cpu_cost,
+)
+from repro.core.pe import PECounters
+from repro.core.timing import (
+    epoch_timing,
+    flush_time_ns,
+    pe_breakdown,
+    pe_time_ns,
+    requests_per_cycle,
+)
+from repro.memory.hierarchy import MemorySystem, ServiceLevel
+
+
+@pytest.fixture()
+def cfg():
+    return scaled_config(4)
+
+
+@pytest.fixture()
+def mem(cfg):
+    return MemorySystem(cfg)
+
+
+def counters_with(dram_reads=0, l1_reads=0, tops=0, vops=0) -> PECounters:
+    c = PECounters(tops=tops, vops=vops)
+    c.dense_reads_by_level[ServiceLevel.DRAM] = dram_reads
+    c.dense_reads_by_level[ServiceLevel.L1] = l1_reads
+    return c
+
+
+class TestPEBreakdown:
+    def test_compute_bound_when_no_memory(self, cfg, mem):
+        c = counters_with(tops=1000, vops=2000)
+        bd = pe_breakdown(c, cfg, mem)
+        assert bd.total_ns == bd.compute_ns
+        assert bd.compute_ns == pytest.approx(2000 * cfg.pe.cycle_ns)
+
+    def test_memory_bound_when_many_dram_reads(self, cfg, mem):
+        c = counters_with(dram_reads=100_000, vops=10)
+        bd = pe_breakdown(c, cfg, mem)
+        assert bd.total_ns == bd.dense_ns
+
+    def test_mlp_divides_latency(self, cfg, mem):
+        c = counters_with(dram_reads=320)
+        bd = pe_breakdown(c, cfg, mem)
+        lat = mem.latency_ns(ServiceLevel.DRAM)
+        mlp = min(cfg.pe.dense_load_queue_entries, cfg.pe.vop_rs_entries)
+        assert bd.dense_ns == pytest.approx(320 * lat / mlp)
+
+    def test_bigger_rs_means_faster(self, cfg, mem):
+        """The CFG0 -> CFG1 effect: more RS entries, more overlap."""
+        c = counters_with(dram_reads=10_000)
+        small_rs = replace(cfg, pe=replace(cfg.pe, vop_rs_entries=16))
+        assert pe_time_ns(c, small_rs, mem) > pe_time_ns(c, cfg, mem)
+
+    def test_link_latency_slows_memory_bound(self, cfg):
+        """The Figure 10 LL sweep: higher link latency hurts more when
+        MLP is low."""
+        c = counters_with(dram_reads=10_000)
+        slow_cfg = replace(
+            cfg, memory=replace(cfg.memory, link_latency_ns=960.0)
+        )
+        fast = pe_time_ns(c, cfg, MemorySystem(cfg))
+        slow = pe_time_ns(c, slow_cfg, MemorySystem(slow_cfg))
+        assert slow > fast
+
+    def test_l1_hits_are_cheap(self, cfg, mem):
+        dram = counters_with(dram_reads=1000)
+        l1 = counters_with(l1_reads=1000)
+        assert pe_time_ns(l1, cfg, mem) < pe_time_ns(dram, cfg, mem)
+
+
+class TestEpochTiming:
+    def test_slowest_pe_dominates(self, cfg, mem):
+        fast = counters_with(tops=10, vops=10)
+        slow = counters_with(tops=10_000, vops=20_000)
+        timing = epoch_timing([fast, slow], 0, cfg, mem)
+        assert timing.critical_pe == 1
+        assert timing.epoch_time_ns == max(timing.pe_times_ns)
+
+    def test_bandwidth_floor(self, cfg, mem):
+        tiny = counters_with(tops=1, vops=1)
+        dram_lines = 10_000_000
+        timing = epoch_timing([tiny], dram_lines, cfg, mem)
+        expected_bw = dram_lines * 64 / cfg.memory.dram_achievable_gbps
+        assert timing.epoch_time_ns == pytest.approx(expected_bw)
+
+    def test_total_requests_summed(self, cfg, mem):
+        a = counters_with(dram_reads=10)
+        b = counters_with(dram_reads=5)
+        timing = epoch_timing([a, b], 0, cfg, mem)
+        assert timing.total_requests == 15
+
+
+class TestMetrics:
+    def test_requests_per_cycle(self, cfg):
+        # 800 requests over 1000 ns at 0.8 GHz = 800 cycles -> 1.0 rpc.
+        assert requests_per_cycle(800, 1000.0, cfg) == pytest.approx(1.0)
+        assert requests_per_cycle(800, 0.0, cfg) == 0.0
+
+    def test_flush_time_scales_with_dirty_lines(self, cfg):
+        assert flush_time_ns(1000, cfg) > flush_time_ns(10, cfg)
+
+
+class TestModeTransitions:
+    def test_spade_to_cpu_scales_with_dirty(self, cfg):
+        assert spade_to_cpu_cost(1000, cfg) > spade_to_cpu_cost(0, cfg)
+
+    def test_sddmm_transition_more_expensive(self, cfg):
+        """Section 7.D: SDDMM must also write back the rMatrix."""
+        rmatrix = 10 * 1024 * 1024
+        spmm = cpu_to_spade_cost(Primitive.SPMM, rmatrix, cfg)
+        sddmm = cpu_to_spade_cost(Primitive.SDDMM, rmatrix, cfg)
+        assert sddmm > spmm
+
+    def test_round_trip_composition(self, cfg):
+        costs = round_trip_costs(
+            Primitive.SDDMM,
+            rmatrix_bytes=1024,
+            dirty_lines_flushed=10,
+            cold_dram_lines=100,
+            config=cfg,
+        )
+        assert isinstance(costs, TransitionCosts)
+        assert costs.total_overhead_ns() == pytest.approx(
+            costs.cpu_to_spade_ns + costs.spade_to_cpu_ns + costs.startup_ns
+        )
+        assert costs.overhead_fraction(1e9) > 0
+        assert costs.overhead_fraction(0) == 0.0

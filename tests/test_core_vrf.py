@@ -1,0 +1,178 @@
+"""Unit tests for the VRF (tag CAM, status, Write-back Manager) and the
+pipeline queue structures."""
+
+import pytest
+
+from repro.core.queues import BoundedQueue, ReservationStations, RSEntry
+from repro.core.vrf import VectorRegisterFile
+
+
+class TestVRFTagCAM:
+    def test_miss_then_hit(self):
+        vrf = VectorRegisterFile(8)
+        hit, stores = vrf.access(100)
+        assert not hit and not stores
+        hit, _ = vrf.access(100)
+        assert hit
+
+    def test_capacity_eviction_lru(self):
+        vrf = VectorRegisterFile(4, wb_high_threshold=1.0,
+                                 wb_low_threshold=1.0)
+        for line in range(4):
+            vrf.access(line)
+        vrf.access(0)  # 0 becomes MRU
+        vrf.access(99)  # evicts 1 (LRU)
+        hit, _ = vrf.access(0)
+        assert hit
+        hit, _ = vrf.access(1)
+        assert not hit
+
+    def test_dirty_eviction_generates_store(self):
+        vrf = VectorRegisterFile(2, wb_high_threshold=1.0,
+                                 wb_low_threshold=1.0)
+        vrf.access(1, mark_dirty=True)
+        vrf.access(2)
+        _, stores = vrf.access(3)  # evicts 1 (dirty)
+        assert stores == [1]
+        assert vrf.eviction_writebacks == 1
+
+    def test_clean_eviction_no_store(self):
+        vrf = VectorRegisterFile(2)
+        vrf.access(1)
+        vrf.access(2)
+        _, stores = vrf.access(3)
+        assert stores == []
+
+    def test_hit_rate_tracking(self):
+        vrf = VectorRegisterFile(8)
+        vrf.access(1)
+        vrf.access(1)
+        vrf.access(2)
+        assert vrf.tag_lookups == 3
+        assert vrf.hit_rate == pytest.approx(1 / 3)
+
+    def test_requires_two_registers(self):
+        with pytest.raises(ValueError):
+            VectorRegisterFile(1)
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            VectorRegisterFile(8, wb_high_threshold=0.1,
+                               wb_low_threshold=0.5)
+
+
+class TestWritebackManager:
+    def test_drains_to_low_threshold(self):
+        """Table 1: start writing back above 25% dirty, stop at 15%."""
+        vrf = VectorRegisterFile(
+            64, wb_high_threshold=0.25, wb_low_threshold=0.15
+        )
+        stores = []
+        for line in range(17):  # 17 dirty > 16 = high threshold
+            _, s = vrf.access(line, mark_dirty=True)
+            stores.extend(s)
+        assert stores  # manager fired
+        # Dirty count must now be at the low threshold.
+        assert vrf.dirty_fraction <= 0.15 + 1e-9
+
+    def test_drained_lines_stay_resident(self):
+        vrf = VectorRegisterFile(
+            8, wb_high_threshold=0.25, wb_low_threshold=0.0
+        )
+        all_stores = []
+        for line in range(3):
+            _, s = vrf.access(line, mark_dirty=True)
+            all_stores.extend(s)
+        for line in range(3):
+            hit, _ = vrf.access(line)
+            assert hit  # still in the VRF, just clean
+
+    def test_rewrite_after_drain_marks_dirty_again(self):
+        vrf = VectorRegisterFile(
+            8, wb_high_threshold=0.25, wb_low_threshold=0.0
+        )
+        for line in range(3):
+            vrf.access(line, mark_dirty=True)
+        vrf.access(0, mark_dirty=True)
+        assert vrf.dirty_fraction > 0
+
+    def test_flush_dirty_returns_all_dirty(self):
+        vrf = VectorRegisterFile(16, wb_high_threshold=1.0,
+                                 wb_low_threshold=1.0)
+        for line in range(5):
+            vrf.access(line, mark_dirty=True)
+        vrf.access(99)  # clean
+        assert sorted(vrf.flush_dirty()) == list(range(5))
+        assert vrf.dirty_fraction == 0.0
+
+    def test_invalidate_all_clears_tags(self):
+        vrf = VectorRegisterFile(8)
+        vrf.access(1, mark_dirty=True)
+        stores = vrf.invalidate_all()
+        assert stores == [1]
+        assert vrf.occupancy == 0
+
+
+class TestBoundedQueue:
+    def test_push_pop_fifo(self):
+        q = BoundedQueue(3)
+        q.try_push("a")
+        q.try_push("b")
+        assert q.pop() == "a"
+        assert q.peek() == "b"
+
+    def test_full_push_stalls(self):
+        q = BoundedQueue(1)
+        assert q.try_push(1)
+        assert not q.try_push(2)
+        assert q.stalls == 1
+        assert q.is_full
+
+    def test_occupancy_sampling(self):
+        q = BoundedQueue(4)
+        q.try_push(1)
+        q.sample_occupancy()
+        q.try_push(2)
+        q.sample_occupancy()
+        assert q.mean_occupancy == pytest.approx(1.5)
+
+    def test_requires_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(0)
+
+
+class TestReservationStations:
+    def test_dispatch_requires_operands(self):
+        rs = ReservationStations(4)
+        rs.try_insert(RSEntry(vop_id=1, operands_pending=2))
+        assert rs.dispatch_ready(now=0) is None
+        rs.operand_arrived(1)
+        rs.operand_arrived(1)
+        entry = rs.dispatch_ready(now=0)
+        assert entry is not None and entry.vop_id == 1
+
+    def test_raw_dependence_blocks_dispatch(self):
+        """Section 5.1: the only inter-vOp dependence is RAW on a VR."""
+        rs = ReservationStations(4)
+        rs.try_insert(RSEntry(vop_id=2, operands_pending=0, depends_on=1))
+        assert rs.dispatch_ready(now=0) is None
+        rs.dependence_resolved(1)
+        assert rs.dispatch_ready(now=0).vop_id == 2
+
+    def test_full_insert_stalls(self):
+        rs = ReservationStations(1)
+        assert rs.try_insert(RSEntry(vop_id=1, operands_pending=0))
+        assert not rs.try_insert(RSEntry(vop_id=2, operands_pending=0))
+        assert rs.full_stalls == 1
+
+    def test_oldest_ready_first(self):
+        rs = ReservationStations(4)
+        rs.try_insert(RSEntry(vop_id=1, operands_pending=1))
+        rs.try_insert(RSEntry(vop_id=2, operands_pending=0))
+        assert rs.dispatch_ready(now=0).vop_id == 2
+
+    def test_ready_cycle_respected(self):
+        rs = ReservationStations(2)
+        rs.try_insert(RSEntry(vop_id=1, operands_pending=0, ready_cycle=10))
+        assert rs.dispatch_ready(now=5) is None
+        assert rs.dispatch_ready(now=10).vop_id == 1

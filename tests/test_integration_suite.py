@@ -1,0 +1,77 @@
+"""Suite-wide integration battery: every Table 2 matrix, both kernels,
+multiple settings, all verified against the golden kernels at tiny
+scale."""
+
+import numpy as np
+import pytest
+
+from repro import KernelSettings, SpadeSystem, sddmm_output_to_coo
+from repro.config import scaled_config
+from repro.kernels import sddmm_reference, spmm_reference
+from repro.sparse.suite import suite_names, get_benchmark
+from repro.sparse.tiled import tile_matrix
+
+
+@pytest.fixture(scope="module")
+def system():
+    return SpadeSystem(scaled_config(4, cache_shrink=16))
+
+
+def _operands(a, k=16):
+    rng = np.random.default_rng(a.nnz)
+    b = rng.random((a.num_cols, k), dtype=np.float32)
+    b_r = rng.random((a.num_rows, k), dtype=np.float32)
+    return b, b_r
+
+
+@pytest.mark.parametrize("name", suite_names())
+class TestWholeSuite:
+    def test_spmm_exact(self, system, name):
+        a = get_benchmark(name).build("tiny")
+        b, _ = _operands(a)
+        rep = system.spmm(a, b)
+        np.testing.assert_allclose(
+            rep.output, spmm_reference(a, b), rtol=1e-4, atol=1e-4
+        )
+
+    def test_sddmm_exact(self, system, name):
+        a = get_benchmark(name).build("tiny")
+        b, b_r = _operands(a)
+        settings = KernelSettings(row_panel_size=32, col_panel_size=64)
+        rep = system.sddmm(a, b_r, b, settings)
+        tiled = tile_matrix(a, 32, 64)
+        got = sddmm_output_to_coo(tiled, rep.output)
+        assert got == sddmm_reference(a, b_r, b)
+
+    def test_settings_never_change_results(self, system, name):
+        """Flexibility knobs are performance-only: three very different
+        settings must agree bit-for-bit after float32 rounding."""
+        a = get_benchmark(name).build("tiny")
+        b, _ = _operands(a)
+        outputs = [
+            system.spmm(a, b, s).output
+            for s in (
+                KernelSettings(),
+                KernelSettings(
+                    row_panel_size=8, col_panel_size=16,
+                    use_barriers=True,
+                ),
+                KernelSettings(rmatrix_bypass=True),
+            )
+        ]
+        np.testing.assert_allclose(
+            outputs[0], outputs[1], rtol=1e-5, atol=1e-5
+        )
+        np.testing.assert_allclose(
+            outputs[0], outputs[2], rtol=1e-5, atol=1e-5
+        )
+
+    def test_traffic_sanity(self, system, name):
+        """Physical sanity: DRAM reads cannot exceed issued requests,
+        and the sparse stream traffic matches its footprint."""
+        a = get_benchmark(name).build("tiny")
+        b, _ = _operands(a)
+        rep = system.spmm(a, b)
+        assert rep.stats.dram_reads <= rep.counters.total_requests
+        sparse_lines = rep.counters.sparse_line_reads
+        assert sparse_lines >= 3 * a.nnz * 4 // 64

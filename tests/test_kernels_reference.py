@@ -1,0 +1,91 @@
+"""Unit tests for the golden SpMM/SDDMM reference kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.reference import (
+    sddmm_reference,
+    spmm_reference,
+    spmm_reference_csr,
+)
+from repro.sparse.csr import CSRMatrix
+
+
+class TestSpMM:
+    def test_matches_dense_matmul(self, tiny_matrix, dense_b_factory):
+        b = dense_b_factory(tiny_matrix.num_cols, 8)
+        expected = tiny_matrix.to_dense() @ b
+        np.testing.assert_allclose(
+            spmm_reference(tiny_matrix, b), expected, rtol=1e-5
+        )
+
+    def test_matches_scipy(self, small_graph, dense_b_factory):
+        b = dense_b_factory(small_graph.num_cols, 32)
+        expected = small_graph.to_scipy() @ b
+        np.testing.assert_allclose(
+            spmm_reference(small_graph, b), expected, rtol=1e-4, atol=1e-4
+        )
+
+    def test_rectangular(self, random_rect, dense_b_factory):
+        b = dense_b_factory(random_rect.num_cols, 16)
+        out = spmm_reference(random_rect, b)
+        assert out.shape == (random_rect.num_rows, 16)
+
+    def test_csr_variant_agrees(self, random_rect, dense_b_factory):
+        b = dense_b_factory(random_rect.num_cols, 8)
+        csr = CSRMatrix.from_coo(random_rect)
+        np.testing.assert_allclose(
+            spmm_reference_csr(csr, b),
+            spmm_reference(random_rect, b),
+            rtol=1e-5, atol=1e-6,
+        )
+
+    def test_duplicate_rows_accumulate(self):
+        from repro.sparse.coo import COOMatrix
+
+        m = COOMatrix(
+            2, 3, np.array([0, 0]), np.array([0, 2]),
+            np.array([2.0, 3.0], dtype=np.float32),
+        )
+        b = np.eye(3, dtype=np.float32)
+        out = spmm_reference(m, b)
+        np.testing.assert_allclose(out[0], [2.0, 0.0, 3.0])
+
+    def test_shape_mismatch(self, tiny_matrix):
+        with pytest.raises(ValueError, match="rows"):
+            spmm_reference(tiny_matrix, np.ones((7, 4), dtype=np.float32))
+
+
+class TestSDDMM:
+    def test_matches_dense_formula(self, tiny_matrix, dense_b_factory):
+        k = 8
+        b = dense_b_factory(tiny_matrix.num_rows, k, seed=1)
+        c = dense_b_factory(tiny_matrix.num_cols, k, seed=2)
+        out = sddmm_reference(tiny_matrix, b, c)
+        expected = tiny_matrix.to_dense() * (b @ c.T)
+        np.testing.assert_allclose(out.to_dense(), expected, rtol=1e-5)
+
+    def test_preserves_structure(self, small_graph, dense_b_factory):
+        b = dense_b_factory(small_graph.num_rows, 16, seed=3)
+        c = dense_b_factory(small_graph.num_cols, 16, seed=4)
+        out = sddmm_reference(small_graph, b, c)
+        np.testing.assert_array_equal(out.r_ids, small_graph.r_ids)
+        np.testing.assert_array_equal(out.c_ids, small_graph.c_ids)
+
+    def test_rectangular(self, random_rect, dense_b_factory):
+        b = dense_b_factory(random_rect.num_rows, 8, seed=5)
+        c = dense_b_factory(random_rect.num_cols, 8, seed=6)
+        out = sddmm_reference(random_rect, b, c)
+        assert out.shape == random_rect.shape
+
+    def test_k_mismatch(self, tiny_matrix):
+        b = np.ones((4, 8), dtype=np.float32)
+        c = np.ones((4, 16), dtype=np.float32)
+        with pytest.raises(ValueError, match="row size K"):
+            sddmm_reference(tiny_matrix, b, c)
+
+    def test_b_rows_mismatch(self, random_rect):
+        b = np.ones((random_rect.num_rows + 1, 8), dtype=np.float32)
+        c = np.ones((random_rect.num_cols, 8), dtype=np.float32)
+        with pytest.raises(ValueError, match="B has"):
+            sddmm_reference(random_rect, b, c)

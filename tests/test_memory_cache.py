@@ -1,0 +1,130 @@
+"""Unit tests for the set-associative cache."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.memory.cache import Cache
+
+
+def make_cache(size_kb=1, assoc=2) -> Cache:
+    return Cache(CacheConfig(size_bytes=size_kb * 1024, associativity=assoc))
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        cfg = CacheConfig(size_bytes=8192, associativity=4)
+        assert cfg.num_sets == 32
+        assert cfg.num_lines == 128
+
+    def test_rejects_misaligned_size(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            CacheConfig(size_bytes=1000, associativity=3)
+
+
+class TestHitMiss:
+    def test_first_access_misses(self):
+        c = make_cache()
+        hit, evicted = c.access(0)
+        assert not hit and evicted is None
+        assert c.misses == 1
+
+    def test_second_access_hits(self):
+        c = make_cache()
+        c.access(0)
+        hit, _ = c.access(0)
+        assert hit
+        assert c.hits == 1
+
+    def test_hit_rate(self):
+        c = make_cache()
+        c.access(0)
+        c.access(0)
+        c.access(0)
+        assert c.hit_rate == pytest.approx(2 / 3)
+
+    def test_probe_does_not_touch_stats(self):
+        c = make_cache()
+        c.access(5)
+        before = (c.hits, c.misses)
+        assert c.probe(5)
+        assert not c.probe(6)
+        assert (c.hits, c.misses) == before
+
+
+class TestLRUReplacement:
+    def test_lru_eviction_order(self):
+        # 2-way cache: fill one set with lines A, B; touching A then
+        # inserting C must evict B (the LRU).
+        c = make_cache(size_kb=1, assoc=2)
+        sets = c.num_sets
+        a, b_, new = 0, sets, 2 * sets  # same set index
+        c.access(a)
+        c.access(b_)
+        c.access(a)  # a becomes MRU
+        c.access(new)  # evicts b_
+        assert c.probe(a)
+        assert not c.probe(b_)
+        assert c.probe(new)
+
+    def test_eviction_of_clean_line_returns_none(self):
+        c = make_cache(size_kb=1, assoc=2)
+        sets = c.num_sets
+        c.access(0)
+        c.access(sets)
+        _, evicted = c.access(2 * sets)
+        assert evicted is None  # victim was clean
+
+    def test_eviction_of_dirty_line_returned(self):
+        c = make_cache(size_kb=1, assoc=2)
+        sets = c.num_sets
+        c.access(0, is_write=True)
+        c.access(sets)
+        _, evicted = c.access(2 * sets)
+        assert evicted == 0
+        assert c.writebacks == 1
+
+    def test_working_set_within_capacity_never_evicts(self):
+        c = make_cache(size_kb=1, assoc=4)
+        lines = list(range(c.num_sets * 4))
+        for ln in lines:
+            c.access(ln)
+        for ln in lines:
+            hit, _ = c.access(ln)
+            assert hit
+
+
+class TestDirtyTracking:
+    def test_write_marks_dirty(self):
+        c = make_cache()
+        c.access(3, is_write=True)
+        assert c.dirty_lines() == 1
+
+    def test_read_after_write_keeps_dirty(self):
+        c = make_cache()
+        c.access(3, is_write=True)
+        c.access(3, is_write=False)
+        assert c.dirty_lines() == 1
+
+    def test_invalidate_returns_dirty_flag(self):
+        c = make_cache()
+        c.access(1, is_write=True)
+        c.access(2, is_write=False)
+        assert c.invalidate(1) is True
+        assert c.invalidate(2) is False
+        assert c.invalidate(99) is False
+
+    def test_flush_writes_back_dirty_only(self):
+        c = make_cache()
+        c.access(1, is_write=True)
+        c.access(2)
+        c.access(3, is_write=True)
+        assert c.flush() == 2
+        assert c.occupancy() == 0
+        assert c.writebacks == 2
+
+    def test_reset_stats(self):
+        c = make_cache()
+        c.access(1, is_write=True)
+        c.flush()
+        c.reset_stats()
+        assert c.hits == c.misses == c.writebacks == c.fills == 0

@@ -1,0 +1,122 @@
+"""Cross-validation: the analytic timing model vs the cycle-level
+micro-simulator.
+
+The engine's analytic latency-tolerance model (repro.core.timing) and
+the cycle-driven pipeline (repro.core.microsim) abstract the same
+hardware at different fidelities.  They will not agree on absolute
+cycles, but they must agree on every *direction* the paper's Figure 10
+analysis rests on; these tests pin that agreement.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import PEConfig, scaled_config
+from repro.core.microsim import PEMicroSimulator
+from repro.core.pe import PECounters
+from repro.core.timing import pe_time_ns
+from repro.memory.hierarchy import MemorySystem, ServiceLevel
+
+
+@pytest.fixture(scope="module")
+def tile():
+    rng = np.random.default_rng(11)
+    n = 400
+    return (
+        rng.integers(0, 64, n),
+        rng.integers(0, 64, n),
+        rng.random(n).astype(np.float32),
+    )
+
+
+def micro_cycles(tile, pe_config, latency):
+    sim = PEMicroSimulator(pe_config, memory_latency_cycles=latency)
+    return sim.run_tile(*tile).cycles
+
+
+def analytic_time(
+    pe_config, link_latency_ns, dram_reads=1000, sparse_lines=75
+):
+    cfg = scaled_config(1)
+    cfg = replace(
+        cfg,
+        pe=pe_config,
+        memory=replace(cfg.memory, link_latency_ns=link_latency_ns),
+    )
+    counters = PECounters(tops=400, vops=800)
+    counters.dense_reads_by_level[ServiceLevel.DRAM] = dram_reads
+    counters.sparse_by_level[ServiceLevel.DRAM] = sparse_lines
+    return pe_time_ns(counters, cfg, MemorySystem(cfg))
+
+
+class TestDirectionalAgreement:
+    def test_latency_hurts_in_both_models(self, tile):
+        pe = PEConfig()
+        micro_ratio = micro_cycles(tile, pe, 400) / micro_cycles(
+            tile, pe, 100
+        )
+        analytic_ratio = analytic_time(pe, 960.0) / analytic_time(pe, 60.0)
+        assert micro_ratio > 1.2
+        assert analytic_ratio > 1.2
+
+    def test_rs_capacity_helps_in_both_models(self, tile):
+        small = replace(PEConfig(), vop_rs_entries=4)
+        big = replace(PEConfig(), vop_rs_entries=32)
+        assert micro_cycles(tile, big, 200) < micro_cycles(
+            tile, small, 200
+        )
+        assert analytic_time(big, 480.0) < analytic_time(small, 480.0)
+
+    def test_rs_benefit_grows_with_latency_in_both(self, tile):
+        """The central Figure 10 interaction: queue capacity matters
+        more when memory is farther away."""
+        small = replace(PEConfig(), vop_rs_entries=8)
+        big = replace(PEConfig(), vop_rs_entries=32)
+
+        micro_gain_low = micro_cycles(tile, small, 50) / micro_cycles(
+            tile, big, 50
+        )
+        micro_gain_high = micro_cycles(tile, small, 400) / micro_cycles(
+            tile, big, 400
+        )
+        assert micro_gain_high >= micro_gain_low * 0.95
+
+        analytic_gain_low = analytic_time(small, 60.0) / analytic_time(
+            big, 60.0
+        )
+        analytic_gain_high = analytic_time(small, 960.0) / analytic_time(
+            big, 960.0
+        )
+        assert analytic_gain_high >= analytic_gain_low * 0.95
+
+    def test_compute_floor_in_both(self, tile):
+        """With near-zero memory latency, time approaches the issue
+        floor of one vOp per cycle."""
+        pe = PEConfig()
+        n_vops = len(tile[0]) * 2
+        cycles = micro_cycles(tile, pe, 1)
+        assert cycles < 4 * n_vops  # within a small factor of the floor
+
+        t = analytic_time(pe, 0.0, dram_reads=0, sparse_lines=0)
+        floor_ns = 800 * pe.cycle_ns
+        assert t == pytest.approx(floor_ns)
+
+
+class TestAnalyticConsistency:
+    def test_time_monotone_in_traffic(self):
+        pe = PEConfig()
+        t_small = analytic_time(pe, 60.0, dram_reads=100)
+        t_big = analytic_time(pe, 60.0, dram_reads=100_000)
+        assert t_big > t_small
+
+    def test_time_insensitive_to_hits(self):
+        """L1 hits are nearly free compared to DRAM misses."""
+        cfg = scaled_config(1)
+        mem = MemorySystem(cfg)
+        hits = PECounters(tops=10, vops=20)
+        hits.dense_reads_by_level[ServiceLevel.L1] = 10_000
+        misses = PECounters(tops=10, vops=20)
+        misses.dense_reads_by_level[ServiceLevel.DRAM] = 10_000
+        assert pe_time_ns(hits, cfg, mem) < pe_time_ns(misses, cfg, mem) / 10

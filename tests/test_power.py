@@ -1,0 +1,125 @@
+"""Unit tests for the area/power model (Sections 6.E, 7.G, Figure 14)."""
+
+import pytest
+
+from repro.config import paper_config, scaled_config
+from repro.memory.stats import AccessStats, LevelStats
+from repro.power.cacti import sram_model
+from repro.power.report import (
+    pe_max_dynamic_power_w,
+    pe_pipeline_area_mm2,
+    power_breakdown,
+    spade_area_power,
+)
+from repro.power.scaling import scale_area, scale_energy, scale_power
+
+
+class TestSRAMModel:
+    def test_area_grows_with_size(self):
+        small = sram_model("a", 1024)
+        big = sram_model("b", 64 * 1024)
+        assert big.area_mm2 > small.area_mm2
+
+    def test_energy_grows_sublinearly(self):
+        small = sram_model("a", 1024)
+        big = sram_model("b", 64 * 1024)
+        ratio = big.read_energy_pj / small.read_energy_pj
+        assert 1 < ratio < 64
+
+    def test_cam_more_expensive(self):
+        ram = sram_model("r", 512)
+        cam = sram_model("c", 512, is_cam=True)
+        assert cam.area_mm2 > ram.area_mm2
+        assert cam.read_energy_pj > ram.read_energy_pj
+
+    def test_multiport_penalty(self):
+        one = sram_model("r", 4096, ports=1)
+        two = sram_model("r", 4096, ports=2)
+        assert two.area_mm2 > one.area_mm2
+
+    def test_dynamic_energy_accumulates(self):
+        m = sram_model("m", 1024)
+        assert m.dynamic_energy_nj(1000, 500) > m.dynamic_energy_nj(10)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            sram_model("bad", 0)
+
+
+class TestScaling:
+    def test_area_shrinks_toward_10nm(self):
+        assert scale_area(100, 32, 10) < 100
+        assert scale_area(100, 65, 10) < scale_area(100, 32, 10)
+
+    def test_power_shrinks_toward_10nm(self):
+        assert scale_power(10, 32, 10) < 10
+
+    def test_identity(self):
+        assert scale_area(5.0, 32, 32) == 5.0
+        assert scale_energy(5.0, 10, 10) == 5.0
+
+    def test_unknown_pair_rejected(self):
+        with pytest.raises(ValueError, match="scaling factor"):
+            scale_area(1.0, 14, 10)
+
+
+class TestSection7G:
+    """The paper's headline area/power numbers must reproduce."""
+
+    def test_area_within_10pct_of_paper(self):
+        ap = spade_area_power(paper_config())
+        assert ap.area_mm2 == pytest.approx(24.64, rel=0.10)
+
+    def test_power_within_10pct_of_paper(self):
+        ap = spade_area_power(paper_config())
+        assert ap.power_w == pytest.approx(20.3, rel=0.10)
+
+    def test_fractions_match_paper(self):
+        ap = spade_area_power(paper_config())
+        assert ap.power_fraction_of_host == pytest.approx(0.043, abs=0.01)
+        assert ap.area_fraction_of_host == pytest.approx(0.025, abs=0.005)
+
+    def test_area_scales_with_pe_count(self):
+        full = spade_area_power(paper_config())
+        half = spade_area_power(scaled_config(112))
+        assert half.area_mm2 < full.area_mm2
+
+    def test_per_pe_quantities_positive(self):
+        cfg = paper_config()
+        assert pe_pipeline_area_mm2(cfg) > 0
+        assert pe_max_dynamic_power_w(cfg) > 0
+
+
+class TestPowerBreakdown:
+    def _stats(self, dram=10_000, llc=5_000, l2=20_000) -> AccessStats:
+        s = AccessStats()
+        s.l2 = LevelStats(hits=l2 // 2, misses=l2 // 2)
+        s.llc = LevelStats(hits=llc // 2, misses=llc // 2)
+        s.dram_reads = dram
+        return s
+
+    def test_fractions_sum_to_one(self):
+        bd = power_breakdown(self._stats(), 1e6, paper_config())
+        assert sum(bd.fractions().values()) == pytest.approx(1.0)
+
+    def test_dram_dominates_bandwidth_bound_runs(self):
+        """Figure 14: DRAM > 50% of power for traffic-heavy kernels."""
+        cfg = paper_config()
+        heavy = self._stats(dram=50_000_000)
+        bd = power_breakdown(heavy, 1e7, cfg)
+        assert bd.fractions()["dram"] > 0.5
+
+    def test_pe_fraction_modest(self):
+        cfg = paper_config()
+        bd = power_breakdown(self._stats(dram=50_000_000), 1e7, cfg)
+        assert bd.fractions()["pe"] < 0.35
+
+    def test_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            power_breakdown(self._stats(), 0.0, paper_config())
+
+    def test_zero_total_fractions(self):
+        from repro.power.report import PowerBreakdown
+
+        empty = PowerBreakdown(0, 0, 0, 0)
+        assert set(empty.fractions().values()) == {0.0}

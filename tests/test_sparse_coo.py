@@ -1,0 +1,129 @@
+"""Unit tests for the COO format."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import COOMatrix
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, tiny_matrix):
+        dense = tiny_matrix.to_dense()
+        again = COOMatrix.from_dense(dense)
+        assert again == tiny_matrix
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            COOMatrix.from_dense(np.ones(4))
+
+    def test_from_edges_sums_duplicates(self):
+        edges = np.array([[0, 1], [0, 1], [2, 3]])
+        vals = np.array([1.0, 2.0, 5.0], dtype=np.float32)
+        m = COOMatrix.from_edges(4, 4, edges, vals)
+        assert m.nnz == 2
+        assert m.to_dense()[0, 1] == pytest.approx(3.0)
+        assert m.to_dense()[2, 3] == pytest.approx(5.0)
+
+    def test_from_edges_default_values_are_ones(self):
+        m = COOMatrix.from_edges(3, 3, np.array([[0, 0], [1, 2]]))
+        assert set(np.unique(m.vals)) == {1.0}
+
+    def test_from_edges_bad_shape(self):
+        with pytest.raises(ValueError, match=r"\(nnz, 2\)"):
+            COOMatrix.from_edges(3, 3, np.array([0, 1, 2]))
+
+    def test_from_scipy(self, tiny_matrix):
+        sp = tiny_matrix.to_scipy()
+        assert COOMatrix.from_scipy(sp) == tiny_matrix
+
+
+class TestValidation:
+    def test_rejects_row_out_of_range(self):
+        with pytest.raises(ValueError, match="row index"):
+            COOMatrix(2, 2, np.array([2]), np.array([0]), np.array([1.0]))
+
+    def test_rejects_col_out_of_range(self):
+        with pytest.raises(ValueError, match="column index"):
+            COOMatrix(2, 2, np.array([0]), np.array([5]), np.array([1.0]))
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            COOMatrix(2, 2, np.array([-1]), np.array([0]), np.array([1.0]))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            COOMatrix(
+                2, 2, np.array([0, 1]), np.array([0]), np.array([1.0])
+            )
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            COOMatrix(
+                2, 2, np.array([0, 0]), np.array([1, 1]),
+                np.array([1.0, 2.0]),
+            )
+
+    def test_empty_matrix_is_valid(self):
+        m = COOMatrix(3, 3, np.array([]), np.array([]), np.array([]))
+        assert m.nnz == 0
+        assert m.density == 0.0
+
+
+class TestOperations:
+    def test_sorted_by_row(self, small_graph):
+        s = small_graph.sorted_by_row()
+        keys = s.r_ids * s.num_cols + s.c_ids
+        assert np.all(np.diff(keys) > 0)
+        assert s == small_graph
+
+    def test_transpose_involution(self, random_rect):
+        t = random_rect.transpose()
+        assert t.shape == (random_rect.num_cols, random_rect.num_rows)
+        assert t.transpose() == random_rect
+
+    def test_transpose_dense_agrees(self, random_rect):
+        np.testing.assert_allclose(
+            random_rect.transpose().to_dense(), random_rect.to_dense().T
+        )
+
+    def test_row_col_counts_sum_to_nnz(self, small_graph):
+        assert small_graph.row_nnz_counts().sum() == small_graph.nnz
+        assert small_graph.col_nnz_counts().sum() == small_graph.nnz
+
+    def test_iter_entries_matches_arrays(self, tiny_matrix):
+        entries = list(tiny_matrix.iter_entries())
+        assert len(entries) == tiny_matrix.nnz
+        r, c, v = entries[0]
+        assert tiny_matrix.to_dense()[r, c] == pytest.approx(v)
+
+    def test_footprint_bytes(self, tiny_matrix):
+        assert tiny_matrix.footprint_bytes() == tiny_matrix.nnz * 12
+        assert tiny_matrix.footprint_bytes(index_bytes=8) == (
+            tiny_matrix.nnz * 20
+        )
+
+    def test_equality_ignores_storage_order(self, tiny_matrix):
+        perm = np.random.default_rng(0).permutation(tiny_matrix.nnz)
+        shuffled = COOMatrix(
+            tiny_matrix.num_rows,
+            tiny_matrix.num_cols,
+            tiny_matrix.r_ids[perm],
+            tiny_matrix.c_ids[perm],
+            tiny_matrix.vals[perm],
+        )
+        assert shuffled == tiny_matrix
+
+    def test_inequality_different_values(self, tiny_matrix):
+        other = COOMatrix(
+            tiny_matrix.num_rows,
+            tiny_matrix.num_cols,
+            tiny_matrix.r_ids,
+            tiny_matrix.c_ids,
+            tiny_matrix.vals * 2,
+        )
+        assert other != tiny_matrix
+
+    def test_repr_contains_shape_and_nnz(self, tiny_matrix):
+        text = repr(tiny_matrix)
+        assert "4x4" in text
+        assert "nnz=7" in text

@@ -1,0 +1,83 @@
+"""Unit tests for the CSR format."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+@pytest.fixture()
+def csr(tiny_matrix) -> CSRMatrix:
+    return CSRMatrix.from_coo(tiny_matrix)
+
+
+class TestConversion:
+    def test_roundtrip_through_coo(self, tiny_matrix, csr):
+        assert csr.to_coo() == tiny_matrix
+
+    def test_dense_agrees(self, tiny_matrix, csr):
+        np.testing.assert_allclose(csr.to_dense(), tiny_matrix.to_dense())
+
+    def test_nnz_preserved(self, small_graph):
+        assert CSRMatrix.from_coo(small_graph).nnz == small_graph.nnz
+
+    def test_rectangular(self, random_rect):
+        csr = CSRMatrix.from_coo(random_rect)
+        assert csr.shape == random_rect.shape
+        assert csr.to_coo() == random_rect
+
+
+class TestValidation:
+    def test_row_ptr_length(self):
+        with pytest.raises(ValueError, match="row_ptr"):
+            CSRMatrix(
+                2, 2, np.array([0, 1]), np.array([0]), np.array([1.0])
+            )
+
+    def test_row_ptr_endpoint(self):
+        with pytest.raises(ValueError, match="endpoints"):
+            CSRMatrix(
+                2, 2, np.array([0, 1, 5]), np.array([0]), np.array([1.0])
+            )
+
+    def test_row_ptr_monotonic(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSRMatrix(
+                2, 2, np.array([0, 3, 2]),
+                np.array([0, 1]), np.array([1.0, 2.0]),
+            )
+
+    def test_col_out_of_range(self):
+        with pytest.raises(ValueError, match="column index"):
+            CSRMatrix(
+                1, 2, np.array([0, 1]), np.array([5]), np.array([1.0])
+            )
+
+
+class TestAccess:
+    def test_row_slice_contents(self, csr, tiny_matrix):
+        dense = tiny_matrix.to_dense()
+        for row in range(csr.num_rows):
+            cols, vals = csr.row_slice(row)
+            np.testing.assert_allclose(dense[row, cols], vals)
+            assert len(cols) == int((dense[row] != 0).sum())
+
+    def test_row_slice_sorted_columns(self, small_graph):
+        csr = CSRMatrix.from_coo(small_graph)
+        for row in range(0, csr.num_rows, 17):
+            cols, _ = csr.row_slice(row)
+            assert np.all(np.diff(cols) > 0)
+
+    def test_footprint_bytes(self, csr):
+        expected = (csr.num_rows + 1) * 4 + csr.nnz * 8
+        assert csr.footprint_bytes() == expected
+
+    def test_empty_rows_handled(self):
+        m = COOMatrix(5, 5, np.array([4]), np.array([0]), np.array([2.0]))
+        csr = CSRMatrix.from_coo(m)
+        for row in range(4):
+            cols, vals = csr.row_slice(row)
+            assert len(cols) == 0
+        cols, vals = csr.row_slice(4)
+        assert list(cols) == [0]

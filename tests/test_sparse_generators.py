@@ -1,0 +1,117 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import generators as gen
+
+
+def _is_symmetric(m) -> bool:
+    return m == m.transpose()
+
+
+def _has_no_self_loops(m) -> bool:
+    return not np.any(m.r_ids == m.c_ids)
+
+
+class TestStructuralProperties:
+    def test_road_graph_symmetric_no_loops(self):
+        m = gen.road_graph(side=16, seed=1)
+        assert _is_symmetric(m)
+        assert _has_no_self_loops(m)
+
+    def test_road_graph_is_banded(self):
+        m = gen.road_graph(side=32, seed=1)
+        band = np.abs(m.r_ids - m.c_ids)
+        # Grid + local shortcuts: everything within ~2 grid rows.
+        assert band.max() <= 2 * 32
+
+    def test_delaunay_degree_bounded(self):
+        m = gen.delaunay_like(num_nodes=1024, avg_degree=6, seed=2)
+        assert _is_symmetric(m)
+        mean_degree = m.nnz / m.num_rows
+        assert 2 <= mean_degree <= 14
+
+    def test_rmat_power_law_hubs(self):
+        m = gen.rmat_graph(scale=10, edge_factor=8, seed=3)
+        counts = np.sort(m.col_nnz_counts())[::-1]
+        mean = counts[counts > 0].mean()
+        # Heavy-tailed: the top hub is far above the mean degree.
+        assert counts[0] > 8 * mean
+
+    def test_rmat_rejects_bad_probs(self):
+        with pytest.raises(ValueError):
+            gen.rmat_graph(scale=4, a=0.5, b=0.3, c=0.3)
+
+    def test_social_network_hubs(self):
+        m = gen.social_network(num_nodes=2048, avg_degree=12, seed=4)
+        counts = np.sort(m.col_nnz_counts())[::-1]
+        assert counts[0] > 5 * counts[counts > 0].mean()
+
+    def test_citation_graph_community_blocks(self):
+        m = gen.citation_graph(
+            num_communities=8, community_size=32, inter_frac=0.0, seed=5
+        )
+        # With no inter-community edges, all entries stay in-block.
+        assert np.all(m.r_ids // 32 == m.c_ids // 32)
+
+    def test_packing_multibanded(self):
+        m = gen.packing_like(nx=8, ny=8, nz=8, seed=6)
+        assert _is_symmetric(m)
+        assert m.num_rows == 512
+
+    def test_fem_block_banded(self):
+        m = gen.fem_like(num_blocks=16, block_size=8,
+                         bandwidth_blocks=2, seed=7)
+        block_dist = np.abs(m.r_ids // 8 - m.c_ids // 8)
+        assert block_dist.max() <= 2
+
+    def test_banded_respects_bandwidth(self):
+        m = gen.banded(num_rows=100, bandwidth=3, seed=8)
+        assert np.abs(m.r_ids - m.c_ids).max() <= 3
+
+
+class TestMycielskian:
+    def test_node_count_recurrence(self):
+        # |V(M(G))| = 2|V(G)| + 1, starting from K2.
+        for iters, nodes in [(0, 2), (1, 5), (2, 11), (3, 23)]:
+            m = gen.mycielskian_graph(iterations=iters)
+            assert m.num_rows == nodes
+
+    def test_edge_count_recurrence(self):
+        # |E(M(G))| = 3|E(G)| + |V(G)|.
+        e, v = 1, 2
+        for iters in range(1, 5):
+            e, v = 3 * e + v, 2 * v + 1
+            m = gen.mycielskian_graph(iterations=iters)
+            assert m.nnz == 2 * e  # symmetric storage
+
+    def test_triangle_free(self):
+        # The Mycielskian of a triangle-free graph is triangle-free.
+        m = gen.mycielskian_graph(iterations=3)
+        dense = m.to_dense()
+        cubed = dense @ dense @ dense
+        assert np.trace(cubed) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gen.mycielskian_graph(iterations=-1)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: gen.road_graph(side=12, seed=42),
+            lambda: gen.rmat_graph(scale=6, seed=42),
+            lambda: gen.social_network(num_nodes=256, seed=42),
+            lambda: gen.uniform_random(64, 64, 200, seed=42),
+        ],
+    )
+    def test_same_seed_same_matrix(self, factory):
+        assert factory() == factory()
+
+    def test_different_seed_different_matrix(self):
+        a = gen.rmat_graph(scale=6, seed=1)
+        b = gen.rmat_graph(scale=6, seed=2)
+        assert a != b

@@ -1,0 +1,168 @@
+"""Unit tests for reordering utilities and MatrixMarket I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.kernels import spmm_reference
+from repro.sparse.coo import COOMatrix
+from repro.sparse.generators import banded, rmat_graph, social_network
+from repro.sparse.io import (
+    MatrixMarketError,
+    read_matrix_market,
+    roundtrip_string,
+    write_matrix_market,
+)
+from repro.sparse.reorder import (
+    apply_ordering,
+    bandwidth,
+    bfs_order,
+    degree_sort,
+    random_permutation,
+)
+
+
+class TestApplyOrdering:
+    def test_identity_is_noop(self, small_graph):
+        order = np.arange(small_graph.num_rows)
+        assert apply_ordering(small_graph, order) == small_graph
+
+    def test_preserves_nnz_and_values(self, small_graph):
+        order = random_permutation(small_graph.num_rows, seed=1)
+        out = apply_ordering(small_graph, order)
+        assert out.nnz == small_graph.nnz
+        assert np.allclose(np.sort(out.vals), np.sort(small_graph.vals))
+
+    def test_spmm_equivalence_under_permutation(self, small_graph, rng):
+        """Permuting A and the dense operand consistently permutes the
+        result: P_r A P_c^T (P_c B) = P_r (A B)."""
+        k = 8
+        b = rng.random((small_graph.num_cols, k), dtype=np.float32)
+        order = random_permutation(small_graph.num_rows, seed=2)
+        permuted = apply_ordering(small_graph, order)
+        b_perm = np.empty_like(b)
+        b_perm[order] = b
+        got = spmm_reference(permuted, b_perm)
+        want = np.empty_like(got)
+        want[order] = spmm_reference(small_graph, b)
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-4)
+
+    def test_rejects_non_permutation(self, small_graph):
+        bad = np.zeros(small_graph.num_rows, dtype=np.int64)
+        with pytest.raises(ValueError, match="permutation"):
+            apply_ordering(small_graph, bad)
+
+    def test_rectangular_requires_col_order(self, random_rect):
+        order = random_permutation(random_rect.num_rows, seed=3)
+        with pytest.raises(ValueError, match="square"):
+            apply_ordering(random_rect, order)
+        col_order = random_permutation(random_rect.num_cols, seed=4)
+        out = apply_ordering(random_rect, order, col_order)
+        assert out.shape == random_rect.shape
+
+
+class TestOrderings:
+    def test_degree_sort_places_hubs_first(self):
+        g = social_network(num_nodes=512, avg_degree=10, seed=9)
+        reordered = apply_ordering(g, degree_sort(g))
+        counts = reordered.row_nnz_counts() + reordered.col_nnz_counts()
+        # The first decile must be denser than the last decile.
+        tenth = len(counts) // 10
+        assert counts[:tenth].mean() > counts[-tenth:].mean()
+
+    def test_bfs_reduces_bandwidth_of_shuffled_band(self):
+        base = banded(400, 3, seed=5)
+        shuffled = apply_ordering(
+            base, random_permutation(base.num_rows, seed=6)
+        )
+        recovered = apply_ordering(shuffled, bfs_order(shuffled))
+        assert bandwidth(recovered) < bandwidth(shuffled) / 4
+
+    def test_bfs_handles_disconnected_components(self):
+        m = COOMatrix(
+            6, 6,
+            np.array([0, 1, 3, 4]), np.array([1, 0, 4, 3]),
+            np.ones(4, dtype=np.float32),
+        )
+        order = bfs_order(m)
+        assert sorted(order) == list(range(6))
+
+    def test_bfs_rejects_rectangular(self, random_rect):
+        with pytest.raises(ValueError, match="square"):
+            bfs_order(random_rect)
+
+    def test_random_permutation_deterministic(self):
+        assert np.array_equal(
+            random_permutation(50, seed=1), random_permutation(50, seed=1)
+        )
+
+    def test_bandwidth_empty(self):
+        empty = COOMatrix(3, 3, np.array([]), np.array([]), np.array([]))
+        assert bandwidth(empty) == 0
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, small_graph):
+        text = roundtrip_string(small_graph)
+        again = read_matrix_market(io.StringIO(text))
+        assert again == small_graph
+
+    def test_roundtrip_through_file(self, tmp_path, tiny_matrix):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(tiny_matrix, path)
+        assert read_matrix_market(path) == tiny_matrix
+
+    def test_pattern_matrix(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 3 2\n1 1\n2 3\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        assert m.nnz == 2
+        assert set(np.unique(m.vals)) == {1.0}
+
+    def test_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "% lower triangle only\n"
+            "3 3 3\n"
+            "1 1 5.0\n2 1 1.0\n3 2 2.0\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        dense = m.to_dense()
+        assert dense[0, 1] == dense[1, 0] == 1.0
+        assert dense[1, 2] == dense[2, 1] == 2.0
+        assert dense[0, 0] == 5.0  # diagonal not duplicated
+        assert m.nnz == 5
+
+    def test_header_required(self):
+        with pytest.raises(MatrixMarketError, match="header"):
+            read_matrix_market(io.StringIO("1 1 0\n"))
+
+    def test_unsupported_format(self):
+        text = "%%MatrixMarket matrix array real general\n"
+        with pytest.raises(MatrixMarketError, match="coordinate"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_unsupported_field(self):
+        text = "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"
+        with pytest.raises(MatrixMarketError, match="field"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_malformed_entry(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n1 1\n"
+        )
+        with pytest.raises(MatrixMarketError, match="malformed"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_one_indexing_on_disk(self, tiny_matrix):
+        text = roundtrip_string(tiny_matrix)
+        body = [
+            ln for ln in text.splitlines()
+            if not ln.startswith("%")
+        ][1:]
+        first_cols = {int(ln.split()[0]) for ln in body}
+        assert min(first_cols) >= 1

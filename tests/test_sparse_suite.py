@@ -1,0 +1,113 @@
+"""Unit tests for the Table 2 benchmark suite and structural analysis."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.analysis import estimate_ru, reuse_stats, working_set_bytes
+from repro.sparse.suite import (
+    RU,
+    SUITE,
+    benchmarks_by_ru,
+    get_benchmark,
+    suite_names,
+)
+
+
+class TestSuite:
+    def test_ten_benchmarks(self):
+        assert len(SUITE) == 10
+        assert len(set(suite_names())) == 10
+
+    def test_table2_ru_classes(self):
+        expected = {
+            "ASI": RU.LOW, "LIV": RU.MEDIUM, "ORK": RU.HIGH,
+            "PAP": RU.MEDIUM, "DEL": RU.LOW, "KRO": RU.HIGH,
+            "MYC": RU.HIGH, "PAC": RU.LOW, "ROA": RU.LOW,
+            "SER": RU.MEDIUM,
+        }
+        for name, ru in expected.items():
+            assert get_benchmark(name).ru is ru
+
+    def test_lookup_case_insensitive(self):
+        assert get_benchmark("kro").name == "KRO"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("NOPE")
+
+    def test_by_ru_partition(self):
+        total = sum(len(benchmarks_by_ru(ru)) for ru in RU)
+        assert total == len(SUITE)
+
+    @pytest.mark.parametrize("name", suite_names())
+    def test_tiny_scale_builds_valid_matrices(self, name):
+        m = get_benchmark(name).build("tiny")
+        m.validate()
+        assert m.nnz > 0
+        assert m.num_rows == m.num_cols  # all Table 2 graphs are square
+
+    def test_scales_are_ordered(self):
+        tiny = get_benchmark("KRO").build("tiny")
+        small = get_benchmark("KRO").build("small")
+        assert small.nnz > tiny.nnz
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            get_benchmark("KRO").build("enormous")
+
+    def test_myc_has_few_rows_high_density(self):
+        myc = get_benchmark("MYC").build("tiny")
+        others = get_benchmark("DEL").build("tiny")
+        assert myc.density > others.density
+
+
+class TestAnalysis:
+    def test_reuse_stats_basic(self, small_graph):
+        stats = reuse_stats(small_graph)
+        assert stats.nnz == small_graph.nnz
+        assert stats.avg_row_nnz == pytest.approx(
+            small_graph.nnz / small_graph.num_rows
+        )
+        assert 0 <= stats.row_gini <= 1
+        assert 0 <= stats.col_gini <= 1
+        assert 0 <= stats.bandedness <= 1
+
+    def test_banded_matrix_detected(self, banded_matrix):
+        stats = reuse_stats(banded_matrix)
+        assert stats.bandedness > 0.5
+
+    def test_power_law_higher_gini_than_banded(
+        self, small_graph, banded_matrix
+    ):
+        assert (
+            reuse_stats(small_graph).col_gini
+            > reuse_stats(banded_matrix).col_gini
+        )
+
+    def test_estimate_ru_low_for_banded(self, banded_matrix):
+        assert estimate_ru(banded_matrix) is RU.LOW
+
+    def test_estimate_ru_high_for_dense_hubs(self):
+        myc = get_benchmark("MYC").build("tiny")
+        assert estimate_ru(myc) in (RU.MEDIUM, RU.HIGH)
+
+    def test_estimate_ru_matches_suite_direction(self):
+        """The heuristic should rank high-RU suite members above
+        low-RU ones on average (not necessarily each exactly)."""
+        order = {RU.LOW: 0, RU.MEDIUM: 1, RU.HIGH: 2}
+        lows = [
+            order[estimate_ru(b.build("tiny"))]
+            for b in benchmarks_by_ru(RU.LOW)
+        ]
+        highs = [
+            order[estimate_ru(b.build("tiny"))]
+            for b in benchmarks_by_ru(RU.HIGH)
+        ]
+        assert np.mean(highs) > np.mean(lows)
+
+    def test_working_set_bytes(self, tiny_matrix):
+        ws = working_set_bytes(tiny_matrix, dense_row_size=16)
+        assert ws["sparse_stream"] == tiny_matrix.nnz * 12
+        assert ws["rmatrix"] == 4 * 64
+        assert ws["cmatrix"] == 4 * 64
+        assert ws["touched_rmatrix"] <= ws["rmatrix"]

@@ -1,0 +1,141 @@
+"""Unit tests for the Appendix A tiled layout."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.tiled import TileInfo, _pad_to_line, tile_matrix
+
+
+class TestAppendixAExample:
+    """The exact 4x4 / RP=CP=2 example of Figure 15."""
+
+    def test_tile_count_and_order(self, tiny_matrix):
+        tiled = tile_matrix(tiny_matrix, 2, 2)
+        assert tiled.num_tiles == 4
+        panels = [(t.row_panel_id, t.col_panel_id) for t in tiled.tiles]
+        assert panels == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_tile_nnz_counts(self, tiny_matrix):
+        tiled = tile_matrix(tiny_matrix, 2, 2)
+        assert [t.nnz for t in tiled.tiles] == [1, 2, 2, 2]
+
+    def test_offsets_contiguous(self, tiny_matrix):
+        tiled = tile_matrix(tiny_matrix, 2, 2)
+        offsets = [t.sparse_in_start_offset for t in tiled.tiles]
+        assert offsets == [0, 1, 3, 5]
+
+    def test_entry_reordering_matches_figure(self, tiny_matrix):
+        # Figure 15(b): vals reordered so per-tile entries consolidate;
+        # the first tile holds only (0,1)->1.0 (value "c" in the paper's
+        # letters corresponds to our from_dense value at [0,1]).
+        tiled = tile_matrix(tiny_matrix, 2, 2)
+        r, c, v = tiled.tile_entries(tiled.tiles[0])
+        assert list(r) == [0] and list(c) == [1]
+
+    def test_roundtrip(self, tiny_matrix):
+        tiled = tile_matrix(tiny_matrix, 2, 2)
+        assert tiled.to_coo() == tiny_matrix
+
+
+class TestLayoutInvariants:
+    @pytest.mark.parametrize("rp,cp", [(2, 2), (16, 16), (64, None), (1, 1)])
+    def test_validate_passes(self, small_graph, rp, cp):
+        tiled = tile_matrix(small_graph, rp, cp)
+        tiled.validate()
+
+    def test_preserves_matrix(self, small_graph):
+        tiled = tile_matrix(small_graph, 32, 32)
+        assert tiled.to_coo() == small_graph
+
+    def test_tiles_cover_all_entries(self, small_graph):
+        tiled = tile_matrix(small_graph, 32, 32)
+        assert sum(t.nnz for t in tiled.tiles) == small_graph.nnz
+
+    def test_no_empty_tiles(self, small_graph):
+        tiled = tile_matrix(small_graph, 8, 8)
+        assert all(t.nnz > 0 for t in tiled.tiles)
+
+    def test_row_major_within_tile(self, small_graph):
+        tiled = tile_matrix(small_graph, 64, 64)
+        for tile in tiled.tiles[:10]:
+            r, c, _ = tiled.tile_entries(tile)
+            keys = r * small_graph.num_cols + c
+            assert np.all(np.diff(keys) > 0)
+
+    def test_entries_within_panels(self, small_graph):
+        tiled = tile_matrix(small_graph, 16, 48)
+        for tile in tiled.tiles:
+            r, c, _ = tiled.tile_entries(tile)
+            assert np.all(r // 16 == tile.row_panel_id)
+            assert np.all(c // 48 == tile.col_panel_id)
+
+
+class TestOutputAlignment:
+    """Section 4.3: SDDMM output tiles start at cache-line boundaries."""
+
+    def test_out_offsets_line_aligned(self, small_graph):
+        tiled = tile_matrix(small_graph, 16, 16)
+        for tile in tiled.tiles:
+            assert tile.sparse_out_start_offset % 16 == 0
+
+    def test_out_length_covers_padded_tiles(self, small_graph):
+        tiled = tile_matrix(small_graph, 16, 16)
+        expected = sum(_pad_to_line(t.nnz) for t in tiled.tiles)
+        assert tiled.out_vals_length == expected
+
+    def test_pad_to_line(self):
+        assert _pad_to_line(1) == 16
+        assert _pad_to_line(16) == 16
+        assert _pad_to_line(17) == 32
+
+
+class TestPanelQueries:
+    def test_tiles_in_row_panel(self, small_graph):
+        tiled = tile_matrix(small_graph, 32, 32)
+        for rp in range(min(tiled.num_row_panels, 3)):
+            tiles = tiled.tiles_in_row_panel(rp)
+            assert all(t.row_panel_id == rp for t in tiles)
+
+    def test_tiles_in_col_panel(self, small_graph):
+        tiled = tile_matrix(small_graph, 32, 32)
+        tiles = tiled.tiles_in_col_panel(0)
+        assert all(t.col_panel_id == 0 for t in tiles)
+
+    def test_panel_counts(self, small_graph):
+        tiled = tile_matrix(small_graph, 32, 48)
+        assert tiled.num_row_panels == -(-small_graph.num_rows // 32)
+        assert tiled.num_col_panels == -(-small_graph.num_cols // 48)
+
+    def test_none_col_panel_means_all_columns(self, small_graph):
+        tiled = tile_matrix(small_graph, 32, None)
+        assert tiled.num_col_panels == 1
+        assert all(t.col_panel_id == 0 for t in tiled.tiles)
+
+
+class TestEdgeCases:
+    def test_bad_row_panel(self, tiny_matrix):
+        with pytest.raises(ValueError):
+            tile_matrix(tiny_matrix, 0, 2)
+
+    def test_panel_larger_than_matrix(self, tiny_matrix):
+        tiled = tile_matrix(tiny_matrix, 1000, 1000)
+        assert tiled.num_tiles == 1
+        assert tiled.tiles[0].nnz == tiny_matrix.nnz
+
+    def test_empty_matrix(self):
+        empty = COOMatrix(4, 4, np.array([]), np.array([]), np.array([]))
+        tiled = tile_matrix(empty, 2, 2)
+        assert tiled.num_tiles == 0
+        assert tiled.out_vals_length == 0
+        tiled.validate()
+
+    def test_validate_detects_corruption(self, tiny_matrix):
+        tiled = tile_matrix(tiny_matrix, 2, 2)
+        bad = TileInfo(
+            tile_id=0, row_panel_id=0, col_panel_id=0,
+            sparse_in_start_offset=1, sparse_out_start_offset=0, nnz=1,
+        )
+        tiled.tiles[0] = bad
+        with pytest.raises(ValueError):
+            tiled.validate()

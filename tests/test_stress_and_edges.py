@@ -1,0 +1,163 @@
+"""Stress and edge-case battery across the system boundary.
+
+Failure injection and degenerate inputs: empty-ish matrices, single-PE
+systems, extreme tile shapes, dense rows hitting exactly one line,
+matrices with empty rows/columns, and adversarial column patterns.
+"""
+
+import numpy as np
+import pytest
+
+from repro import KernelSettings, SpadeSystem
+from repro.config import scaled_config
+from repro.kernels import spmm_reference
+from repro.sparse.coo import COOMatrix
+
+
+@pytest.fixture()
+def one_pe_system():
+    return SpadeSystem(scaled_config(1, cache_shrink=8))
+
+
+def _verify(system, a, k=16, settings=None):
+    rng = np.random.default_rng(a.nnz + k)
+    b = rng.random((a.num_cols, k), dtype=np.float32)
+    rep = system.spmm(a, b, settings)
+    np.testing.assert_allclose(
+        rep.output, spmm_reference(a, b), rtol=1e-4, atol=1e-4
+    )
+    return rep
+
+
+class TestDegenerateMatrices:
+    def test_single_entry(self, one_pe_system):
+        a = COOMatrix(
+            1, 1, np.array([0]), np.array([0]),
+            np.array([2.5], dtype=np.float32),
+        )
+        rep = _verify(one_pe_system, a)
+        assert rep.counters.tops == 1
+
+    def test_single_row_many_cols(self, one_pe_system):
+        n = 500
+        a = COOMatrix(
+            1, n, np.zeros(n, dtype=np.int64),
+            np.arange(n, dtype=np.int64),
+            np.ones(n, dtype=np.float32),
+        )
+        _verify(one_pe_system, a)
+
+    def test_single_col_many_rows(self, one_pe_system):
+        n = 500
+        a = COOMatrix(
+            n, 1, np.arange(n, dtype=np.int64),
+            np.zeros(n, dtype=np.int64),
+            np.ones(n, dtype=np.float32),
+        )
+        rep = _verify(one_pe_system, a)
+        # One cMatrix row: near-total VRF/cache reuse.
+        assert rep.stats.by_region.get("cmatrix", 0) <= 4
+
+    def test_diagonal_matrix(self, one_pe_system):
+        n = 200
+        a = COOMatrix(
+            n, n, np.arange(n), np.arange(n),
+            np.ones(n, dtype=np.float32),
+        )
+        _verify(one_pe_system, a)
+
+    def test_matrix_with_empty_rows_and_cols(self, one_pe_system):
+        a = COOMatrix(
+            100, 100, np.array([0, 99]), np.array([99, 0]),
+            np.array([1.0, 2.0], dtype=np.float32),
+        )
+        _verify(one_pe_system, a)
+
+    def test_anti_diagonal(self, one_pe_system):
+        n = 128
+        a = COOMatrix(
+            n, n, np.arange(n), n - 1 - np.arange(n),
+            np.ones(n, dtype=np.float32),
+        )
+        _verify(one_pe_system, a)
+
+
+class TestExtremeTileShapes:
+    def test_one_row_panels(self, small_graph):
+        system = SpadeSystem(scaled_config(2, cache_shrink=8))
+        _verify(
+            system, small_graph,
+            settings=KernelSettings(row_panel_size=1),
+        )
+
+    def test_one_column_panels(self, small_graph):
+        system = SpadeSystem(scaled_config(2, cache_shrink=8))
+        _verify(
+            system, small_graph,
+            settings=KernelSettings(row_panel_size=8, col_panel_size=1),
+        )
+
+    def test_single_tile(self, small_graph):
+        system = SpadeSystem(scaled_config(2, cache_shrink=8))
+        rep = _verify(
+            system, small_graph,
+            settings=KernelSettings(row_panel_size=10**6),
+        )
+        # One row panel -> one PE does everything.
+        assert rep.load_imbalance == pytest.approx(
+            system.config.num_pes, rel=0.01
+        )
+
+    def test_barriers_with_single_column_panel(self, small_graph):
+        """Barriers with one panel degrade to the no-barrier schedule."""
+        system = SpadeSystem(scaled_config(2, cache_shrink=8))
+        rep = _verify(
+            system, small_graph,
+            settings=KernelSettings(use_barriers=True),
+        )
+        assert len(rep.result.epoch_timings) == 1
+
+
+class TestAdversarialPatterns:
+    def test_column_conflict_storm(self, one_pe_system):
+        """All nonzeros hit columns that map to the same cache set."""
+        num_sets = one_pe_system.config.pe.l1d.num_sets
+        n = 256
+        cols = (np.arange(n) * num_sets) % 4096
+        a = COOMatrix(
+            n, 4096, np.arange(n, dtype=np.int64),
+            cols.astype(np.int64), np.ones(n, dtype=np.float32),
+        )
+        _verify(one_pe_system, a)
+
+    def test_hub_column(self, one_pe_system):
+        """Power-law extreme: every row touches column 0 plus one
+        random column; the hub line should be a near-perfect hit."""
+        n = 400
+        rng = np.random.default_rng(3)
+        r = np.repeat(np.arange(n, dtype=np.int64), 2)
+        c = np.empty(2 * n, dtype=np.int64)
+        c[0::2] = 0
+        c[1::2] = rng.integers(1, 1000, n)
+        a = COOMatrix.from_edges(n, 1000, np.stack([r, c], 1))
+        rep = _verify(one_pe_system, a)
+        assert rep.stats.l1.hit_rate > 0.3
+
+    def test_chunk_smaller_than_tiles(self, small_graph):
+        """A tiny interleave chunk must not change results."""
+        system = SpadeSystem(
+            scaled_config(2, cache_shrink=8), chunk_nnz=3
+        )
+        _verify(system, small_graph)
+
+    def test_k_one(self, one_pe_system, small_graph):
+        _verify(one_pe_system, small_graph, k=1)
+
+    def test_large_k(self, one_pe_system):
+        a = COOMatrix(
+            16, 16,
+            np.arange(16), (np.arange(16) * 3) % 16,
+            np.ones(16, dtype=np.float32),
+        )
+        rep = _verify(one_pe_system, a, k=256)
+        assert rep.counters.vops == 16 * 16  # 256 floats = 16 lines

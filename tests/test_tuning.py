@@ -1,0 +1,119 @@
+"""Unit tests for the Table 3 search space and the SPADE Opt autotuner."""
+
+import pytest
+
+from repro.core.accelerator import KernelSettings
+from repro.tuning.autotune import autotune, clear_memo
+from repro.tuning.space import (
+    opt_search_space,
+    paper_col_panels,
+    paper_row_panels,
+    quick_search_space,
+    scaled_col_panels,
+)
+
+
+class TestSearchSpace:
+    def test_paper_row_panels_literal(self):
+        assert paper_row_panels() == [64, 256, 1024]
+
+    def test_paper_row_panels_divided(self):
+        assert paper_row_panels(8) == [8, 32, 128]
+        assert paper_row_panels(1000) == [2, 2, 2]
+
+    def test_paper_col_panels_by_k(self):
+        assert paper_col_panels(32) == [8192, 524288, None]
+        assert paper_col_panels(128) == [2048, 131072, None]
+
+    def test_scaled_col_panels_ordered(self):
+        small, medium, all_cols = scaled_col_panels(65536)
+        assert all_cols is None
+        assert small < medium < 65536
+
+    def test_scaled_col_panels_tiny_matrix(self):
+        small, medium, _ = scaled_col_panels(100)
+        assert small >= 1 and medium > small
+
+    def test_space_includes_base(self, small_graph):
+        space = opt_search_space(small_graph, 32)
+        assert KernelSettings.base() in space
+
+    def test_barriers_only_on_medium_panel(self, small_graph):
+        space = opt_search_space(small_graph, 32)
+        mediums = {
+            s.col_panel_size for s in space if s.use_barriers
+        }
+        assert len(mediums) == 1
+        assert None not in mediums
+
+    def test_bypass_doubles_points(self, small_graph):
+        with_b = opt_search_space(small_graph, 32, include_bypass=True)
+        without = opt_search_space(small_graph, 32, include_bypass=False)
+        assert len(with_b) == 2 * len(without)
+
+    def test_small_matrix_gets_extra_row_panel(self, small_graph):
+        # small_graph has 128 rows < threshold -> RP=16 included.
+        space = opt_search_space(small_graph, 32)
+        assert any(s.row_panel_size == 16 for s in space)
+
+    def test_paper_mode(self, small_graph):
+        space = opt_search_space(small_graph, 32, mode="paper")
+        cps = {s.col_panel_size for s in space}
+        assert 8192 in cps
+
+    def test_bad_mode(self, small_graph):
+        with pytest.raises(ValueError, match="unknown mode"):
+            opt_search_space(small_graph, 32, mode="bogus")
+
+    def test_quick_space_is_small(self, small_graph):
+        quick = quick_search_space(small_graph, 32)
+        full = opt_search_space(small_graph, 32)
+        assert len(quick) < len(full)
+
+
+class TestAutotuner:
+    def test_finds_best_of_space(self, small_system, small_graph):
+        clear_memo()
+        space = [
+            KernelSettings(),
+            KernelSettings(row_panel_size=16, col_panel_size=32),
+        ]
+        result = autotune(
+            small_system, small_graph, "spmm", 32, space=space
+        )
+        assert result.best_settings in space
+        assert result.best_time_ns == min(t for _, t in result.trials)
+        assert len(result.trials) == len(space)
+
+    def test_ranked_is_sorted(self, small_system, small_graph):
+        clear_memo()
+        result = autotune(
+            small_system, small_graph, "spmm", 32, quick=True
+        )
+        times = [t for _, t in result.ranked()]
+        assert times == sorted(times)
+
+    def test_speedup_over_base(self, small_system, small_graph):
+        clear_memo()
+        space = [KernelSettings(), KernelSettings(row_panel_size=16)]
+        result = autotune(
+            small_system, small_graph, "spmm", 32, space=space
+        )
+        assert result.speedup_over_base >= 1.0
+
+    def test_memoisation(self, small_system, small_graph):
+        clear_memo()
+        r1 = autotune(small_system, small_graph, "spmm", 32, quick=True)
+        r2 = autotune(small_system, small_graph, "spmm", 32, quick=True)
+        assert r1 is r2
+
+    def test_sddmm_supported(self, small_system, small_graph):
+        clear_memo()
+        result = autotune(
+            small_system, small_graph, "sddmm", 32, quick=True
+        )
+        assert result.best_time_ns > 0
+
+    def test_rejects_unknown_kernel(self, small_system, small_graph):
+        with pytest.raises(ValueError, match="spmm"):
+            autotune(small_system, small_graph, "spgemm", 32)
