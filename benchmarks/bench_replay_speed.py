@@ -1,0 +1,263 @@
+"""Replay-speed benchmark: scalar oracle vs batched trace replay.
+
+Captures the exact post-VRF memory trace of seeded SpMM/SDDMM runs
+(the trace is mode-independent — the PE pipeline is deterministic),
+then replays it through two fresh :class:`MemorySystem` instances:
+
+* **scalar** — one :meth:`dense_access`/:meth:`stream_access` call per
+  access plus the per-access service-level counter tally, exactly as
+  ``ProcessingElement`` does in ``replay="scalar"`` mode;
+* **batched** — one :meth:`replay_trace` call per PE chunk plus the
+  ``np.bincount`` tally, exactly as ``ProcessingElement.flush_trace``
+  does in ``replay="batched"`` mode.
+
+Every run asserts bit-identical counters, per-level LRU/dirty state,
+and per-level tallies between the two paths before timing is reported,
+so the benchmark doubles as an end-to-end parity check.  Results land
+in ``BENCH_replay.json`` (see README) to track the perf trajectory.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_replay_speed.py
+    PYTHONPATH=src python benchmarks/bench_replay_speed.py --smoke
+
+This is a standalone script, not a pytest-benchmark module (the
+``bench_*`` siblings are run via ``pytest benchmarks``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.config import scaled_config
+from repro.core.accelerator import SpadeSystem
+from repro.memory.hierarchy import (
+    OP_DENSE_BYPASS,
+    OP_PATH_MASK,
+    OP_REGION_SHIFT,
+    OP_STREAM,
+    OP_WRITE,
+    TRACE_REGIONS,
+    MemorySystem,
+    ServiceLevel,
+)
+from repro.sparse.generators import banded, rmat_graph, uniform_random
+
+_NUM_LEVELS = len(ServiceLevel)
+_R_SPARSE = TRACE_REGIONS.index("sparse")
+
+Chunk = Tuple[int, np.ndarray, np.ndarray]
+Tally = Tuple[List[int], List[int], List[int]]
+
+
+def capture_trace(cfg, a, k: int, kernel: str) -> List[Chunk]:
+    """Run the full system once and capture every per-chunk trace the
+    engine hands to ``MemorySystem.replay_trace``."""
+    system = SpadeSystem(cfg)
+    rng = np.random.default_rng(7)
+    chunks: List[Chunk] = []
+    orig = MemorySystem.replay_trace
+
+    def cap(self, pe_id, lines, ops, region_names=TRACE_REGIONS):
+        chunks.append((pe_id, np.array(lines), np.array(ops)))
+        return orig(self, pe_id, lines, ops, region_names)
+
+    MemorySystem.replay_trace = cap
+    try:
+        if kernel == "spmm":
+            b = rng.random((a.num_cols, k), dtype=np.float32)
+            system.spmm(a, b)
+        else:
+            b = rng.random((a.num_rows, k), dtype=np.float32)
+            c = rng.random((a.num_cols, k), dtype=np.float32)
+            system.sddmm(a, b, c)
+    finally:
+        MemorySystem.replay_trace = orig
+    return chunks
+
+
+def run_scalar(ms: MemorySystem, chunks: List[Chunk]) -> Tally:
+    """Scalar-mode replay: per-access call + per-access level tally."""
+    regions = TRACE_REGIONS
+    stores = [0] * _NUM_LEVELS
+    sparse = [0] * _NUM_LEVELS
+    dense_r = [0] * _NUM_LEVELS
+    for pe_id, lines, ops in chunks:
+        dense = ms.dense_access
+        stream = ms.stream_access
+        for line, op in zip(lines.tolist(), ops.tolist()):
+            w = op & OP_WRITE
+            path = op & OP_PATH_MASK
+            rid = op >> OP_REGION_SHIFT
+            if path == OP_STREAM:
+                lvl = stream(pe_id, line, bool(w), region=regions[rid])
+            else:
+                lvl = dense(
+                    pe_id, line, bool(w),
+                    bypass=(path == OP_DENSE_BYPASS), region=regions[rid],
+                )
+            if w:
+                stores[lvl] += 1
+            elif rid == _R_SPARSE:
+                sparse[lvl] += 1
+            else:
+                dense_r[lvl] += 1
+    return stores, sparse, dense_r
+
+
+def run_batched(ms: MemorySystem, chunks: List[Chunk]) -> Tally:
+    """Batched-mode replay: one replay_trace call per chunk + bincount
+    tally (mirrors ``ProcessingElement.flush_trace``)."""
+    stores = [0] * _NUM_LEVELS
+    sparse = [0] * _NUM_LEVELS
+    dense_r = [0] * _NUM_LEVELS
+    for pe_id, lines, ops in chunks:
+        levels = ms.replay_trace(pe_id, lines, ops)
+        writes = (ops & OP_WRITE) != 0
+        sp = (ops >> OP_REGION_SHIFT) == _R_SPARSE
+        dn = ~writes & ~sp
+        for mask, tally in ((writes, stores), (sp, sparse), (dn, dense_r)):
+            if mask.any():
+                counts = np.bincount(
+                    levels[mask], minlength=_NUM_LEVELS
+                ).tolist()
+                for i in range(_NUM_LEVELS):
+                    tally[i] += counts[i]
+    return stores, sparse, dense_r
+
+
+def lru_state(ms: MemorySystem):
+    """Order-sensitive snapshot of every LRU structure (insertion order
+    in the dicts IS the LRU order, so plain item lists pin it)."""
+    return (
+        [[list(s.items()) for s in c._sets] for c in ms.l1s],
+        [[list(s.items()) for s in c._sets] for c in ms.l2s],
+        [list(s.items()) for s in ms.llc._sets],
+        [list(b._buffer.items()) for b in ms.bbfs],
+        [[list(s.items()) for s in b.victim._sets] for b in ms.bbfs],
+        [list(t._tlb.items()) for t in ms.stlbs],
+    )
+
+
+def bench_one(cfg, name: str, chunks: List[Chunk], reps: int) -> dict:
+    accesses = sum(len(lines) for _, lines, _ in chunks)
+    scalar_times: List[float] = []
+    batched_times: List[float] = []
+    ms_s = ms_b = None
+    tally_s = tally_b = None
+    for _ in range(reps):
+        ms_s = MemorySystem(cfg)
+        t0 = time.perf_counter()
+        tally_s = run_scalar(ms_s, chunks)
+        scalar_times.append(time.perf_counter() - t0)
+        ms_b = MemorySystem(cfg)
+        t0 = time.perf_counter()
+        tally_b = run_batched(ms_b, chunks)
+        batched_times.append(time.perf_counter() - t0)
+
+    stats_s = dataclasses.asdict(ms_s.collect_stats())
+    stats_b = dataclasses.asdict(ms_b.collect_stats())
+    assert tally_s == tally_b, f"{name}: per-level tallies diverged"
+    assert stats_s == stats_b, f"{name}: AccessStats diverged"
+    assert lru_state(ms_s) == lru_state(ms_b), f"{name}: LRU state diverged"
+
+    st = ms_b.collect_stats()
+    scalar_s = min(scalar_times)
+    batched_s = min(batched_times)
+    return {
+        "name": name,
+        "accesses": accesses,
+        "chunks": len(chunks),
+        "scalar_s": round(scalar_s, 4),
+        "batched_s": round(batched_s, 4),
+        "speedup": round(scalar_s / batched_s, 2),
+        "scalar_us_per_access": round(scalar_s / accesses * 1e6, 3),
+        "batched_us_per_access": round(batched_s / accesses * 1e6, 3),
+        "l1_hit_rate": round(st.l1.hit_rate, 4),
+        "l2_hit_rate": round(st.l2.hit_rate, 4),
+        "parity": True,
+    }
+
+
+def workloads(smoke: bool) -> List[Tuple[str, Callable, int, str]]:
+    if smoke:
+        return [
+            ("smoke-unif-sddmm",
+             lambda: uniform_random(512, 256, nnz=20_000, seed=11),
+             16, "sddmm"),
+            ("smoke-rmat-spmm",
+             lambda: rmat_graph(9, edge_factor=8, seed=5), 16, "spmm"),
+        ]
+    return [
+        # Headline: >= 1M-access SDDMM whose dense working set is
+        # L2-resident — the regime SPADE targets and where batching
+        # pays most (see DESIGN.md on replay paths).
+        ("unif-sddmm-1m",
+         lambda: uniform_random(8192, 1024, nnz=900_000, seed=11),
+         16, "sddmm"),
+        ("rmat13-spmm-k64",
+         lambda: rmat_graph(13, edge_factor=16, seed=5), 64, "spmm"),
+        ("banded64k-sddmm-k16",
+         lambda: banded(65_536, bandwidth=24, seed=3), 16, "sddmm"),
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny traces, 1 rep: CI-sized parity + plumbing check",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=3,
+        help="timing repetitions per workload (min is reported)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="output JSON path (default: repo-root BENCH_replay.json, "
+        "or BENCH_replay_smoke.json in --smoke mode so smoke runs "
+        "never clobber the tracked full-mode results)",
+    )
+    parser.add_argument(
+        "--pes", type=int, default=8, help="scaled_config PE count"
+    )
+    args = parser.parse_args(argv)
+    if args.out is None:
+        name = "BENCH_replay_smoke.json" if args.smoke else "BENCH_replay.json"
+        args.out = Path(__file__).resolve().parent.parent / name
+    reps = 1 if args.smoke else max(1, args.reps)
+
+    cfg = dataclasses.replace(scaled_config(args.pes), replay="batched")
+    results = []
+    for name, gen, k, kernel in workloads(args.smoke):
+        chunks = capture_trace(cfg, gen(), k, kernel)
+        row = bench_one(cfg, name, chunks, reps)
+        results.append(row)
+        print(
+            f"{row['name']:22s} accesses={row['accesses']:>9,d}  "
+            f"scalar {row['scalar_s']:.3f}s  batched {row['batched_s']:.3f}s  "
+            f"speedup {row['speedup']:.2f}x  parity=OK"
+        )
+
+    payload = {
+        "benchmark": "replay_speed",
+        "mode": "smoke" if args.smoke else "full",
+        "config": {"pes": args.pes, "reps": reps},
+        "workloads": results,
+        "headline_speedup": results[0]["speedup"],
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

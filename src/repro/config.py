@@ -134,6 +134,12 @@ class HostCPUConfig:
     die_area_mm2: float = 1000.0
 
 
+REPLAY_MODES = ("scalar", "batched")
+"""Trace-replay implementations: ``scalar`` is the per-access reference
+oracle; ``batched`` is the vectorized fast path, bit-identical to the
+oracle on all counters and cache state (see tests/test_memory_batched_parity.py)."""
+
+
 @dataclass(frozen=True)
 class SpadeConfig:
     """A full SPADE system: host + PEs + shared memory hierarchy."""
@@ -143,10 +149,15 @@ class SpadeConfig:
     pe: PEConfig = field(default_factory=PEConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     host: HostCPUConfig = field(default_factory=HostCPUConfig)
+    replay: str = "batched"
 
     def __post_init__(self) -> None:
         if self.num_pes < 1:
             raise ValueError("num_pes must be >= 1")
+        if self.replay not in REPLAY_MODES:
+            raise ValueError(
+                f"replay must be one of {REPLAY_MODES}, got {self.replay!r}"
+            )
 
     @property
     def num_l2s(self) -> int:

@@ -104,9 +104,14 @@ class Engine:
         self.policy = policy
         self.chunk_nnz = max(1, chunk_nnz)
         self.memory = MemorySystem(config)
+        # Replay mode: "batched" buffers each PE chunk's trace and
+        # replays it in one vectorized call per chunk; "scalar" is the
+        # per-access reference oracle (bit-identical results).
+        self.batched_replay = config.replay == "batched"
         self.pes = [
             ProcessingElement(
-                i, config.pe, self.memory, init, address_map, policy
+                i, config.pe, self.memory, init, address_map, policy,
+                batched=self.batched_replay,
             )
             for i in range(config.num_pes)
         ]
@@ -217,6 +222,7 @@ class Engine:
                 _ChunkCursor(tiles, self.chunk_nnz) for tiles in epoch
             ]
             active = True
+            batched = self.batched_replay
             while active:
                 active = False
                 for pe, cursor in zip(self.pes, cursors):
@@ -226,6 +232,11 @@ class Engine:
                     active = True
                     tile, lo, hi = nxt
                     do_chunk(pe, tile, lo, hi)
+                    if batched:
+                        # One batched memory-system call per PE chunk:
+                        # replay the chunk's buffered trace before the
+                        # next PE's chunk contends for the shared levels.
+                        pe.flush_trace()
             per_pe = [pe.counters for pe in self.pes]
             self._epoch_counters.append(per_pe)
             dram_lines = self.memory.dram.accesses - dram_before

@@ -28,10 +28,26 @@ from repro.core.bypass import BypassPolicy
 from repro.core.instructions import InitializationInstruction, Primitive
 from repro.core.vrf import VectorRegisterFile
 from repro.memory.address import AddressMap, padded_row_bytes
-from repro.memory.hierarchy import MemorySystem, ServiceLevel
+from repro.memory.hierarchy import (
+    OP_DENSE,
+    OP_DENSE_BYPASS,
+    OP_REGION_SHIFT,
+    OP_STREAM,
+    OP_WRITE,
+    TRACE_REGIONS,
+    MemorySystem,
+    ServiceLevel,
+    encode_op,
+)
 
 _NUM_LEVELS = len(ServiceLevel)
 _OUT_VALS_PER_LINE = CACHE_LINE_BYTES // 4
+
+# Region ids into TRACE_REGIONS used by the PE trace ops.
+_R_SPARSE = TRACE_REGIONS.index("sparse")
+_R_RMATRIX = TRACE_REGIONS.index("rmatrix")
+_R_CMATRIX = TRACE_REGIONS.index("cmatrix")
+_R_SPARSE_OUT = TRACE_REGIONS.index("sparse_out")
 
 
 @dataclass
@@ -94,6 +110,7 @@ class ProcessingElement:
         init: InitializationInstruction,
         address_map: AddressMap,
         policy: BypassPolicy,
+        batched: bool = False,
     ) -> None:
         self.pe_id = pe_id
         self.config = config
@@ -110,6 +127,34 @@ class ProcessingElement:
         k = init.dense_row_size
         self.lines_per_row = padded_row_bytes(k) // CACHE_LINE_BYTES
         self._rmatrix_rows_touched: set = set()
+        # Batched fast path: chunk executors append (line, op) pairs to
+        # the trace buffer instead of issuing scalar accesses; the
+        # engine replays the buffer once per chunk via flush_trace().
+        self.batched = batched
+        self._trace_lines: List[int] = []
+        self._trace_ops: List[int] = []
+        self._op_sparse = encode_op(
+            OP_STREAM if policy.sparse_stream_bypass else OP_DENSE,
+            False, _R_SPARSE,
+        )
+        self._op_rmatrix_read = encode_op(
+            OP_DENSE_BYPASS if policy.rmatrix_bypass else OP_DENSE,
+            False, _R_RMATRIX,
+        )
+        self._op_cmatrix_read = encode_op(
+            OP_DENSE_BYPASS if policy.cmatrix_bypass else OP_DENSE,
+            False, _R_CMATRIX,
+        )
+        if init.primitive is Primitive.SPMM:
+            self._op_store = encode_op(
+                OP_DENSE_BYPASS if policy.rmatrix_bypass else OP_DENSE,
+                True, _R_RMATRIX,
+            )
+        else:
+            self._op_store = encode_op(
+                OP_STREAM if policy.sddmm_output_bypass else OP_DENSE,
+                True, _R_SPARSE_OUT,
+            )
 
     # -- sparse front-end ---------------------------------------------------
 
@@ -143,6 +188,55 @@ class ProcessingElement:
                         self.pe_id, line, region="sparse"
                     )
                     counters.sparse_by_level[lvl] += 1
+
+    def _buffer_sparse_stream(self, start_offset: int, nnz: int) -> None:
+        """Batched-mode Sparse Data Loader: append the tile's stream
+        line ranges to the trace buffer instead of issuing them."""
+        counters = self.counters
+        idx_b = self.init.sizeof_indices
+        val_b = self.init.sizeof_vals
+        op = self._op_sparse
+        lines = self._trace_lines
+        ops = self._trace_ops
+        for region, elem_bytes in (
+            ("sparse_r_ids", idx_b),
+            ("sparse_c_ids", idx_b),
+            ("sparse_vals", val_b),
+        ):
+            first, count = self.address_map.stream_lines(
+                region, start_offset * elem_bytes, nnz * elem_bytes
+            )
+            counters.sparse_line_reads += count
+            lines.extend(range(first, first + count))
+            ops.extend([op] * count)
+
+    def flush_trace(self) -> None:
+        """Replay the buffered chunk trace through the memory system in
+        one batched call and fold the service levels into the counters.
+        No-op when the buffer is empty (and always in scalar mode)."""
+        if not self._trace_lines:
+            return
+        lines = np.array(self._trace_lines, dtype=np.int64)
+        ops = np.array(self._trace_ops, dtype=np.int64)
+        self._trace_lines.clear()
+        self._trace_ops.clear()
+        levels = self.memory.replay_trace(self.pe_id, lines, ops)
+        writes = (ops & OP_WRITE) != 0
+        sparse = (ops >> OP_REGION_SHIFT) == _R_SPARSE
+        dense = ~writes
+        dense &= ~sparse
+        c = self.counters
+        for mask, tally in (
+            (writes, c.stores_by_level),
+            (sparse, c.sparse_by_level),
+            (dense, c.dense_reads_by_level),
+        ):
+            if mask.any():
+                counts = np.bincount(
+                    levels[mask], minlength=_NUM_LEVELS
+                ).tolist()
+                for i in range(_NUM_LEVELS):
+                    tally[i] += counts[i]
 
     # -- dense path helpers -----------------------------------------------
 
@@ -183,6 +277,10 @@ class ProcessingElement:
         each touching one rMatrix line (read-modify-write in the VRF)
         and one cMatrix line (read-only).
         """
+        if self.batched:
+            return self._execute_spmm_chunk_batched(
+                r_ids, c_ids, start_offset
+            )
         self.load_sparse_stream(start_offset, len(r_ids))
         amap = self.address_map
         mem = self.memory
@@ -226,6 +324,55 @@ class ProcessingElement:
                 for s in stores:
                     self._issue_store(s)
 
+    def _execute_spmm_chunk_batched(
+        self,
+        r_ids: np.ndarray,
+        c_ids: np.ndarray,
+        start_offset: int,
+    ) -> None:
+        """Batched-replay twin of :meth:`execute_spmm_chunk`: identical
+        VRF pipeline, but memory requests are appended to the chunk
+        trace buffer (in issue order) instead of accessed scalar-ly."""
+        self._buffer_sparse_stream(start_offset, len(r_ids))
+        amap = self.address_map
+        vrf = self.vrf
+        counters = self.counters
+        lpr = self.lines_per_row
+        lapp = self._trace_lines.append
+        oapp = self._trace_ops.append
+        op_r = self._op_rmatrix_read
+        op_c = self._op_cmatrix_read
+        op_st = self._op_store
+
+        r_lines = amap.dense_row_base_lines(
+            "rmatrix", r_ids, self.init.dense_row_size
+        )
+        c_lines = amap.dense_row_base_lines(
+            "cmatrix", c_ids, self.init.dense_row_size
+        )
+        counters.tops += len(r_ids)
+        counters.vops += len(r_ids) * lpr
+        self._rmatrix_rows_touched.update(np.unique(r_ids).tolist())
+
+        for rbase, cbase in zip(r_lines.tolist(), c_lines.tolist()):
+            for i in range(lpr):
+                rline = rbase + i
+                hit, stores = vrf.access(rline, mark_dirty=True)
+                if not hit:
+                    lapp(rline)
+                    oapp(op_r)
+                for s in stores:
+                    lapp(s)
+                    oapp(op_st)
+                cline = cbase + i
+                hit, stores = vrf.access(cline, mark_dirty=False)
+                if not hit:
+                    lapp(cline)
+                    oapp(op_c)
+                for s in stores:
+                    lapp(s)
+                    oapp(op_st)
+
     def execute_sddmm_chunk(
         self,
         r_ids: np.ndarray,
@@ -239,6 +386,10 @@ class ProcessingElement:
         writes one scalar into the output vals array, coalesced into its
         destination VR (``out_offsets`` are positions in the padded
         output array, line-aligned per tile, Section 4.3)."""
+        if self.batched:
+            return self._execute_sddmm_chunk_batched(
+                r_ids, c_ids, start_offset, out_offsets
+            )
         self.load_sparse_stream(start_offset, len(r_ids))
         amap = self.address_map
         mem = self.memory
@@ -293,10 +444,70 @@ class ProcessingElement:
             for s in stores:
                 self._issue_store(s)
 
+    def _execute_sddmm_chunk_batched(
+        self,
+        r_ids: np.ndarray,
+        c_ids: np.ndarray,
+        start_offset: int,
+        out_offsets: np.ndarray,
+    ) -> None:
+        """Batched-replay twin of :meth:`execute_sddmm_chunk`."""
+        self._buffer_sparse_stream(start_offset, len(r_ids))
+        amap = self.address_map
+        vrf = self.vrf
+        counters = self.counters
+        lpr = self.lines_per_row
+        lapp = self._trace_lines.append
+        oapp = self._trace_ops.append
+        op_r = self._op_rmatrix_read
+        op_c = self._op_cmatrix_read
+        op_st = self._op_store
+
+        r_lines = amap.dense_row_base_lines(
+            "rmatrix", r_ids, self.init.dense_row_size
+        )
+        c_lines = amap.dense_row_base_lines(
+            "cmatrix", c_ids, self.init.dense_row_size
+        )
+        out_region = amap.regions["sparse_out_vals"]
+        out_base_line = out_region.base // CACHE_LINE_BYTES
+        out_lines = out_base_line + out_offsets // _OUT_VALS_PER_LINE
+
+        counters.tops += len(r_ids)
+        counters.vops += len(r_ids) * lpr
+
+        for rbase, cbase, oline in zip(
+            r_lines.tolist(), c_lines.tolist(), out_lines.tolist()
+        ):
+            for i in range(lpr):
+                rline = rbase + i
+                hit, stores = vrf.access(rline, mark_dirty=False)
+                if not hit:
+                    lapp(rline)
+                    oapp(op_r)
+                for s in stores:
+                    lapp(s)
+                    oapp(op_st)
+                cline = cbase + i
+                hit, stores = vrf.access(cline, mark_dirty=False)
+                if not hit:
+                    lapp(cline)
+                    oapp(op_c)
+                for s in stores:
+                    lapp(s)
+                    oapp(op_st)
+            counters.output_line_writes += 1
+            _, stores = vrf.access(int(oline), mark_dirty=True)
+            for s in stores:
+                lapp(s)
+                oapp(op_st)
+
     # -- end of SPADE-mode section -------------------------------------------
 
     def drain(self) -> None:
         """Flush remaining dirty VRs (WB&Invalidate prelude)."""
+        # Any buffered chunk trace must land before the drain stores.
+        self.flush_trace()
         for line in self.vrf.invalidate_all():
             self._issue_store(line)
 

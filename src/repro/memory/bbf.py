@@ -11,10 +11,13 @@ through L1/L2/LLC.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from repro.config import CacheConfig
-from repro.memory.cache import Cache
+from repro.memory.cache import Cache, rle_starts
 
 
 class BypassBuffer:
@@ -35,6 +38,7 @@ class BypassBuffer:
         self.stream_hits = 0
         self.stream_misses = 0
         self.writebacks = 0
+        self.flush_writebacks = 0
 
     # -- streaming path (sparse input / SDDMM output) ------------------
 
@@ -61,6 +65,87 @@ class BypassBuffer:
         self._buffer[line] = is_write
         return False
 
+    def stream_access_many(self, lines: np.ndarray, writes) -> np.ndarray:
+        """Batched :meth:`stream_access`; returns the per-access hit
+        mask.  Bit-identical counters and buffer state to the scalar
+        loop (consecutive same-line accesses are run-length deduped —
+        they are guaranteed MRU hits whose dirty bits OR into the run)."""
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        n = lines.shape[0]
+        hits_full = np.ones(n, dtype=bool)
+        if n == 0:
+            return hits_full
+        starts = rle_starts(lines)
+        m = starts.shape[0]
+        u_lines = lines if m == n else lines[starts]
+        if np.ndim(writes) == 0:
+            u_writes = [bool(writes)] * m
+        else:
+            w = np.asarray(writes, dtype=bool)
+            u_writes = (
+                w.tolist() if m == n
+                else np.logical_or.reduceat(w, starts).tolist()
+            )
+
+        buf = self._buffer
+        entries = self.entries
+        lines_l = u_lines.tolist()
+
+        # Fast path for the dominant streaming pattern: strictly
+        # increasing (hence distinct) lines, none resident.  Every
+        # access misses and the buffer behaves as a FIFO, so the final
+        # state is the tail of [old entries, new lines] and the evicted
+        # head's dirty flags are summed wholesale.
+        if (
+            m > 1
+            and bool((u_lines[1:] > u_lines[:-1]).all())
+            and buf.keys().isdisjoint(lines_l)
+        ):
+            self.stream_misses += m
+            self.stream_hits += n - m
+            hits_full[starts] = False
+            overflow = len(buf) + m - entries
+            if overflow > 0:
+                n_old = min(overflow, len(buf))
+                if n_old == len(buf):
+                    self.writebacks += sum(buf.values())
+                    buf.clear()
+                else:
+                    for line in list(islice(buf, n_old)):
+                        if buf.pop(line):
+                            self.writebacks += 1
+                n_new = overflow - n_old
+                if n_new:
+                    self.writebacks += sum(u_writes[:n_new])
+                    buf.update(zip(lines_l[n_new:], u_writes[n_new:]))
+                else:
+                    buf.update(zip(lines_l, u_writes))
+            else:
+                buf.update(zip(lines_l, u_writes))
+            return hits_full
+
+        pop = buf.pop
+        hit_l = [True] * m
+        hits = 0
+        writebacks = 0
+        for j in range(m):
+            line = lines_l[j]
+            dirty = pop(line, None)
+            if dirty is not None:
+                buf[line] = dirty or u_writes[j]
+                hits += 1
+                continue
+            hit_l[j] = False
+            if len(buf) >= entries:
+                if pop(next(iter(buf))):
+                    writebacks += 1
+            buf[line] = u_writes[j]
+        self.stream_hits += hits + (n - m)
+        self.stream_misses += m - hits
+        self.writebacks += writebacks
+        hits_full[starts] = np.array(hit_l, dtype=bool)
+        return hits_full
+
     # -- victim-cache path (bypassed dense data) ------------------------
 
     def victim_access(self, line: int, is_write: bool = False) -> Tuple[bool, Optional[int]]:
@@ -72,14 +157,23 @@ class BypassBuffer:
         """
         return self.victim.access(line, is_write)
 
+    def victim_access_many(
+        self, lines: np.ndarray, writes
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`victim_access` (see :meth:`Cache.access_many`)."""
+        return self.victim.access_many(lines, writes)
+
     # -- maintenance -----------------------------------------------------
 
     def flush(self) -> int:
         """Write back and invalidate buffer + victim cache; returns dirty
-        lines written back (mode-transition cost, Section 7.D)."""
+        lines written back (mode-transition cost, Section 7.D).  As with
+        :meth:`Cache.flush`, the flushed lines count into ``writebacks``
+        and ``flush_writebacks`` of the respective structure."""
         dirty = sum(1 for d in self._buffer.values() if d)
         self._buffer.clear()
         self.writebacks += dirty
+        self.flush_writebacks += dirty
         return dirty + self.victim.flush()
 
     @property
@@ -88,4 +182,5 @@ class BypassBuffer:
 
     def reset_stats(self) -> None:
         self.stream_hits = self.stream_misses = self.writebacks = 0
+        self.flush_writebacks = 0
         self.victim.reset_stats()

@@ -10,7 +10,27 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.config import CacheConfig
+
+NO_LINE = -1
+"""Sentinel in batched eviction arrays: no dirty line evicted."""
+
+
+def rle_starts(lines: np.ndarray) -> np.ndarray:
+    """Indices where a run of consecutive equal values begins.
+
+    Consecutive repeat accesses to one line are guaranteed hits that
+    leave the line at MRU, so only the first access of each run can
+    change cache state; the repeats contribute hit counts (and their
+    dirty bits OR into the run) without being replayed.
+    """
+    n = lines.shape[0]
+    starts = np.empty(n, dtype=bool)
+    starts[0] = True
+    np.not_equal(lines[1:], lines[:-1], out=starts[1:])
+    return np.flatnonzero(starts)
 
 
 class Cache:
@@ -18,7 +38,7 @@ class Cache:
 
     __slots__ = (
         "name", "num_sets", "ways", "_sets", "hits", "misses",
-        "writebacks", "fills",
+        "writebacks", "fills", "flush_writebacks",
     )
 
     def __init__(self, config: CacheConfig, name: str = "cache") -> None:
@@ -34,6 +54,7 @@ class Cache:
         self.misses = 0
         self.writebacks = 0
         self.fills = 0
+        self.flush_writebacks = 0
 
     # -- core operations -----------------------------------------------
 
@@ -65,6 +86,95 @@ class Cache:
         s[line] = is_write
         return False, evicted
 
+    def access_many(
+        self,
+        lines: np.ndarray,
+        writes,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`access` over a trace of line indices.
+
+        ``lines`` is an int64 array; ``writes`` is a matching bool array
+        or a scalar bool applied to every access.  Returns ``(hits,
+        evicted)`` aligned with ``lines``: ``hits[i]`` is the hit/miss
+        outcome of access ``i`` and ``evicted[i]`` is the dirty line it
+        evicted (``NO_LINE`` if none).  Counters and cache state after
+        the call are bit-identical to issuing the same trace through
+        :meth:`access` one element at a time.
+
+        The implementation run-length-dedups consecutive same-line
+        accesses (guaranteed MRU hits), then partitions the deduped
+        trace by set index with one stable argsort so each set's
+        subsequence is replayed through its LRU dict in original order.
+        """
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        n = lines.shape[0]
+        hits_full = np.ones(n, dtype=bool)
+        evicted_full = np.full(n, NO_LINE, dtype=np.int64)
+        if n == 0:
+            return hits_full, evicted_full
+
+        starts = rle_starts(lines)
+        m = starts.shape[0]
+        u_lines = lines if m == n else lines[starts]
+        if np.ndim(writes) == 0:
+            u_writes = [bool(writes)] * m
+        else:
+            w = np.asarray(writes, dtype=bool)
+            if m == n:
+                u_writes = w.tolist()
+            else:
+                # Dirty bits OR across each run (hit merge semantics).
+                u_writes = np.logical_or.reduceat(w, starts).tolist()
+
+        # Vectorized set partitioning: one stable sort groups the
+        # deduped trace by set while preserving per-set access order.
+        set_idx = u_lines % self.num_sets
+        order = np.argsort(set_idx, kind="stable")
+        order_l = order.tolist()
+        sets_sorted = set_idx[order].tolist()
+        lines_l = u_lines.tolist()
+
+        miss_pos: List[int] = []
+        miss_append = miss_pos.append
+        ev_l: List[Tuple[int, int]] = []
+        ev_append = ev_l.append
+        sets = self._sets
+        ways = self.ways
+        cur_set = -1
+        s: Dict[int, bool] = {}
+        pop = s.pop
+        for pos, j in zip(sets_sorted, order_l):
+            if pos != cur_set:
+                cur_set = pos
+                s = sets[pos]
+                pop = s.pop
+            line = lines_l[j]
+            # Dirty flags are bools, so None is a safe absence sentinel;
+            # pop+reinsert performs the LRU move in two dict operations.
+            dirty = pop(line, None)
+            if dirty is not None:
+                s[line] = dirty or u_writes[j]
+                continue
+            miss_append(j)
+            if len(s) >= ways:
+                victim = next(iter(s))
+                if pop(victim):
+                    ev_append((j, victim))
+            s[line] = u_writes[j]
+
+        misses = len(miss_pos)
+        self.hits += (m - misses) + (n - m)
+        self.misses += misses
+        self.fills += misses
+        self.writebacks += len(ev_l)
+
+        if miss_pos:
+            hits_full[starts[np.array(miss_pos, dtype=np.int64)]] = False
+        if ev_l:
+            ej, ev = zip(*ev_l)
+            evicted_full[starts[np.array(ej, dtype=np.int64)]] = ev
+        return hits_full, evicted_full
+
     def probe(self, line: int) -> bool:
         """Check residency without updating LRU state or counters."""
         return line in self._sets[line % self.num_sets]
@@ -77,12 +187,19 @@ class Cache:
 
     def flush(self) -> int:
         """Write back and invalidate everything; returns the number of
-        dirty lines written back (mode-transition cost, Section 7.D)."""
+        dirty lines written back (mode-transition cost, Section 7.D).
+
+        Flush-path writebacks are counted both in ``writebacks`` (total
+        lines sent to the next level) and in ``flush_writebacks``, so
+        epoch-boundary accounting can separate demand evictions from
+        WB&Invalidate traffic.
+        """
         dirty_count = 0
         for s in self._sets:
             dirty_count += sum(1 for d in s.values() if d)
             s.clear()
         self.writebacks += dirty_count
+        self.flush_writebacks += dirty_count
         return dirty_count
 
     # -- inspection ------------------------------------------------------
@@ -104,6 +221,7 @@ class Cache:
 
     def reset_stats(self) -> None:
         self.hits = self.misses = self.writebacks = self.fills = 0
+        self.flush_writebacks = 0
 
     def __repr__(self) -> str:
         return (

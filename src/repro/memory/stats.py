@@ -48,6 +48,7 @@ class AccessStats:
     dram_reads: int = 0
     dram_writes: int = 0
     stlb_misses: int = 0
+    flushed_dirty_lines: int = 0
     by_region: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -77,6 +78,8 @@ class AccessStats:
             dram_reads=self.dram_reads + other.dram_reads,
             dram_writes=self.dram_writes + other.dram_writes,
             stlb_misses=self.stlb_misses + other.stlb_misses,
+            flushed_dirty_lines=self.flushed_dirty_lines
+            + other.flushed_dirty_lines,
         )
         out.by_region = dict(self.by_region)
         for k, v in other.by_region.items():

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict
 
+import numpy as np
+
 from repro.memory.address import PAGE_BYTES
 
 DEFAULT_STLB_ENTRIES = 1536
@@ -47,6 +49,62 @@ class STLB:
             del self._tlb[next(iter(self._tlb))]
         self._tlb[page] = None
         return False
+
+    def translate_many(self, lines: np.ndarray, line_bytes: int = 64) -> None:
+        """Batched :meth:`translate_line` over a trace of line indices.
+
+        Page numbers are computed vectorized and consecutive same-page
+        translations (very common for line-sequential streams) are
+        run-length deduped — a repeat is a guaranteed MRU hit — before
+        the LRU dict is updated in trace order.  Counters and TLB state
+        match the scalar loop exactly.
+        """
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        n = lines.shape[0]
+        if n == 0:
+            return
+        pages = (lines * line_bytes) // PAGE_BYTES
+        starts = np.empty(n, dtype=bool)
+        starts[0] = True
+        np.not_equal(pages[1:], pages[:-1], out=starts[1:])
+        u_arr = pages[starts]
+        m = u_arr.shape[0]
+        tlb = self._tlb
+        entries = self.entries
+
+        # No-eviction fast path.  The TLB only grows while replaying a
+        # batch (hits reorder, misses insert), so if the resident pages
+        # plus the batch's new distinct pages fit in the TLB, no eviction
+        # can occur.  Then every page misses exactly once iff it was not
+        # resident, and the final LRU order is: untouched pages in their
+        # old order, then touched pages by last occurrence — so the
+        # update costs O(distinct pages) instead of O(accesses).
+        uniq, first_rev = np.unique(u_arr[::-1], return_index=True)
+        touched = uniq[np.argsort(first_rev)[::-1]].tolist()
+        new = sum(1 for p in touched if p not in tlb)
+        pop = tlb.pop
+        if len(tlb) + new <= entries:
+            for p in touched:
+                pop(p, 0)
+                tlb[p] = None
+            self.hits += n - new
+            self.misses += new
+            return
+
+        u_pages = u_arr.tolist()
+        misses = 0
+        for page in u_pages:
+            # Values are always None, so 0 is a safe absence sentinel;
+            # pop+reinsert performs the LRU move in two dict operations.
+            if pop(page, 0) is None:
+                tlb[page] = None
+                continue
+            misses += 1
+            if len(tlb) >= entries:
+                del tlb[next(iter(tlb))]
+            tlb[page] = None
+        self.hits += (m - misses) + (n - m)
+        self.misses += misses
 
     @property
     def accesses(self) -> int:

@@ -1,0 +1,144 @@
+"""Golden end-to-end regression fixtures for the execution engine.
+
+Small seeded SpMM and SDDMM runs on three generator domains are frozen
+as JSON under ``tests/golden/``: ``time_ns``, ``dram_bytes``, per-level
+hit/miss counts, and ``dirty_lines_flushed``.  Any silent drift in
+either replay path — scalar oracle or batched fast path — fails loudly
+here, and because ONE golden file serves BOTH replay modes, these tests
+also pin the bit-identical equivalence guarantee end to end.
+
+Regenerate after an intentional model change (from the repo root)::
+
+    PYTHONPATH=src python tests/test_golden_engine.py --regen
+
+then review the JSON diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import scaled_config
+from repro.core.accelerator import SpadeSystem
+from repro.sparse.generators import banded, rmat_graph, uniform_random
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+# Three generator domains: power-law graph, regular banded FEM-like,
+# rectangular uniform random.  Small enough for full simulation.
+DOMAINS = {
+    "rmat": lambda: rmat_graph(scale=8, edge_factor=8, seed=99),
+    "banded": lambda: banded(num_rows=512, bandwidth=8, seed=3),
+    "uniform": lambda: uniform_random(num_rows=256, num_cols=192, nnz=3000, seed=21),
+}
+KERNELS = ("spmm", "sddmm")
+REPLAY_MODES = ("scalar", "batched")
+K = 16
+
+
+def run_case(domain: str, kernel: str, replay: str):
+    cfg = dataclasses.replace(
+        scaled_config(4, cache_shrink=8), replay=replay
+    )
+    system = SpadeSystem(cfg)
+    a = DOMAINS[domain]()
+    rng = np.random.default_rng(2024)
+    if kernel == "spmm":
+        b = rng.random((a.num_cols, K), dtype=np.float32)
+        return system.spmm(a, b)
+    b = rng.random((a.num_rows, K), dtype=np.float32)
+    c = rng.random((a.num_cols, K), dtype=np.float32)
+    return system.sddmm(a, b, c)
+
+
+def metrics(report) -> dict:
+    """The frozen metric surface of one run."""
+    result = report.result
+    stats = result.stats
+    levels = {}
+    for name in ("l1", "l2", "llc", "victim", "bbf_stream"):
+        level = getattr(stats, name)
+        levels[name] = {
+            "hits": level.hits,
+            "misses": level.misses,
+            "writebacks": level.writebacks,
+            "hit_rate": round(level.hit_rate, 10),
+        }
+    return {
+        "time_ns": round(result.time_ns, 6),
+        "dram_bytes": result.dram_bytes,
+        "dram_reads": stats.dram_reads,
+        "dram_writes": stats.dram_writes,
+        "stlb_misses": stats.stlb_misses,
+        "dirty_lines_flushed": result.dirty_lines_flushed,
+        "levels": levels,
+    }
+
+
+def golden_path(domain: str, kernel: str) -> Path:
+    return GOLDEN_DIR / f"{kernel}_{domain}.json"
+
+
+def assert_matches_golden(got: dict, want: dict, where: str) -> None:
+    assert got.keys() == want.keys(), where
+    for key, expected in want.items():
+        actual = got[key]
+        if isinstance(expected, dict):
+            assert_matches_golden(actual, expected, f"{where}.{key}")
+        elif isinstance(expected, float):
+            assert actual == pytest.approx(expected, rel=1e-9), (
+                f"{where}.{key}: {actual} != {expected}"
+            )
+        else:
+            assert actual == expected, (
+                f"{where}.{key}: {actual} != {expected}"
+            )
+
+
+@pytest.mark.parametrize("replay", REPLAY_MODES)
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("domain", sorted(DOMAINS))
+def test_engine_matches_golden(domain, kernel, replay):
+    path = golden_path(domain, kernel)
+    assert path.exists(), (
+        f"missing golden fixture {path}; regenerate with "
+        f"`PYTHONPATH=src python tests/test_golden_engine.py --regen`"
+    )
+    want = json.loads(path.read_text())
+    got = metrics(run_case(domain, kernel, replay))
+    assert_matches_golden(got, want, f"{kernel}/{domain}[{replay}]")
+
+
+def test_replay_modes_agree_on_numerics():
+    """Beyond the counters: the numeric kernel output is identical."""
+    scalar = run_case("uniform", "spmm", "scalar")
+    batched = run_case("uniform", "spmm", "batched")
+    np.testing.assert_array_equal(
+        scalar.result.output_dense, batched.result.output_dense
+    )
+
+
+def regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for domain in sorted(DOMAINS):
+        for kernel in KERNELS:
+            # Golden values come from the scalar oracle; the parametrized
+            # test then holds both modes to them.
+            got = metrics(run_case(domain, kernel, "scalar"))
+            path = golden_path(domain, kernel)
+            path.write_text(json.dumps(got, indent=2) + "\n")
+            print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)
