@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
-import json
 import sys
 import time
 from pathlib import Path
@@ -37,6 +36,7 @@ from typing import Callable, List, Tuple
 
 import numpy as np
 
+from repro.bench.harness import write_bench_json
 from repro.config import scaled_config
 from repro.core.accelerator import SpadeSystem
 from repro.memory.hierarchy import (
@@ -254,7 +254,16 @@ def main(argv=None) -> int:
         "workloads": results,
         "headline_speedup": results[0]["speedup"],
     }
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    write_bench_json(
+        args.out, payload,
+        config=cfg,
+        workload={
+            "benchmark": "replay_speed",
+            "mode": payload["mode"],
+            "workloads": [name for name, _, _, _ in workloads(args.smoke)],
+        },
+        extra={"argv": argv if argv is not None else sys.argv[1:]},
+    )
     print(f"wrote {args.out}")
     return 0
 

@@ -21,6 +21,7 @@ Quick start::
 
 from repro.config import (
     SpadeConfig,
+    TelemetryConfig,
     mini_config,
     paper_config,
     scaled_config,
@@ -34,6 +35,7 @@ from repro.core.accelerator import (
 from repro.core.extensions import sddvv, spmv
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
+from repro.telemetry import Telemetry
 
 __version__ = "1.0.0"
 
@@ -42,6 +44,8 @@ __all__ = [
     "KernelSettings",
     "ExecutionReport",
     "SpadeConfig",
+    "TelemetryConfig",
+    "Telemetry",
     "paper_config",
     "scaled_config",
     "mini_config",

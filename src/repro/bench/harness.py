@@ -17,10 +17,12 @@ bench files can run quick (CI) or thorough (full reproduction):
 
 from __future__ import annotations
 
+import json
 import math
 import os
 from dataclasses import dataclass
 from functools import lru_cache
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -128,6 +130,33 @@ def geomean(values: Iterable[float]) -> float:
     if not vals:
         return 0.0
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+# -- result persistence -------------------------------------------------------
+
+def write_bench_json(
+    path,
+    payload: dict,
+    *,
+    config=None,
+    workload: Optional[dict] = None,
+    extra: Optional[dict] = None,
+) -> dict:
+    """Stamp ``payload`` with a provenance manifest and write it as JSON.
+
+    Every benchmark result that lands on disk goes through here so the
+    ``BENCH_*.json`` trajectory stays comparable across PRs: the
+    manifest records schema version, config fingerprint, git SHA, and
+    host.  The measured numbers in ``payload`` pass through unchanged.
+    Returns the stamped payload.
+    """
+    from repro.telemetry.provenance import stamp
+
+    stamped = stamp(
+        payload, config=config, workload=workload, extra=extra
+    )
+    Path(path).write_text(json.dumps(stamped, indent=2) + "\n")
+    return stamped
 
 
 # -- reporting ----------------------------------------------------------------

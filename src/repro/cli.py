@@ -15,14 +15,17 @@ paths to MatrixMarket ``.mtx`` files.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional
 
 import numpy as np
 
+import dataclasses
+
 from repro.bench.harness import get_environment
-from repro.config import config_summary, scaled_config
+from repro.config import TelemetryConfig, config_summary, scaled_config
 from repro.core.accelerator import SpadeSystem
 from repro.sparse.analysis import estimate_ru, reuse_stats
 from repro.sparse.coo import COOMatrix
@@ -44,11 +47,52 @@ def _load_matrix(spec: str, scale: str) -> COOMatrix:
     return get_benchmark(spec).build(scale)
 
 
+def _telemetry_config(args: argparse.Namespace) -> TelemetryConfig:
+    """Map the CLI observability flags onto a TelemetryConfig."""
+    want_trace = bool(args.trace) or args.profile or args.trace_chunks
+    want_metrics = bool(args.metrics_out)
+    return TelemetryConfig(
+        metrics=want_metrics,
+        trace=want_trace,
+        trace_chunks=args.trace_chunks,
+    )
+
+
+def _write_telemetry(args: argparse.Namespace, system, workload) -> None:
+    """Write the trace / metrics / manifest files requested by flags."""
+    from repro.telemetry import run_manifest, write_metrics
+
+    manifest = run_manifest(
+        config=system.config,
+        workload=workload,
+        seed=getattr(args, "seed", None),
+        argv=sys.argv[1:],
+    )
+    if args.trace:
+        path = system.telemetry.tracer.write(
+            args.trace, metadata={"manifest": manifest}
+        )
+        print(f"trace written       : {path} (open in Perfetto)")
+    if args.metrics_out:
+        path = write_metrics(system.telemetry.metrics, args.metrics_out)
+        print(f"metrics written     : {path}")
+    if args.manifest_out:
+        Path(args.manifest_out).write_text(
+            json.dumps(manifest, indent=2) + "\n"
+        )
+        print(f"manifest written    : {args.manifest_out}")
+    if args.profile:
+        print("\nhottest phases (host wall clock)")
+        print(system.telemetry.tracer.format_profile(args.profile_top))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     a = _load_matrix(args.matrix, args.scale)
-    system = SpadeSystem(
-        scaled_config(args.pes, cache_shrink=args.cache_shrink)
+    cfg = dataclasses.replace(
+        scaled_config(args.pes, cache_shrink=args.cache_shrink),
+        telemetry=_telemetry_config(args),
     )
+    system = SpadeSystem(cfg)
     rng = np.random.default_rng(args.seed)
     b = rng.random((a.num_cols, args.k), dtype=np.float32)
     if args.kernel == "spmm":
@@ -66,6 +110,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"requests per cycle  : {report.requests_per_cycle:.2f}")
     print(f"load imbalance      : {report.load_imbalance:.2f}")
     print(report.stats.summary())
+    _write_telemetry(
+        args, system,
+        workload={
+            "matrix": args.matrix, "scale": args.scale,
+            "kernel": args.kernel, "k": args.k, "pes": args.pes,
+        },
+    )
     return 0
 
 
@@ -97,14 +148,28 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.telemetry import EventTracer, run_manifest
+
+    tracer = EventTracer(enabled=bool(args.trace))
     print(f"{'name':<6} {'full name':<26} {'domain':<24} {'RU':<7} "
           f"{'rows':>8} {'nnz':>9}  (at --scale {args.scale})")
     for bench in SUITE:
-        m = bench.build(args.scale)
+        with tracer.span(
+            f"build {bench.name}", cat="suite",
+            args={"scale": args.scale},
+        ):
+            m = bench.build(args.scale)
         print(
             f"{bench.name:<6} {bench.full_name:<26} {bench.domain:<24} "
             f"{bench.ru.value:<7} {m.num_rows:>8} {m.nnz:>9}"
         )
+    if args.trace:
+        manifest = run_manifest(
+            workload={"command": "suite", "scale": args.scale},
+            argv=sys.argv[1:],
+        )
+        path = tracer.write(args.trace, metadata={"manifest": manifest})
+        print(f"trace written: {path} (open in Perfetto)")
     return 0
 
 
@@ -154,6 +219,22 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--k", type=int, default=32,
                        help="dense matrix row size")
     common(run_p)
+    tel = run_p.add_argument_group("telemetry")
+    tel.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                     help="write a Chrome trace-event JSON (Perfetto)")
+    tel.add_argument("--trace-chunks", action="store_true",
+                     help="also trace every PE chunk replay (big traces)")
+    tel.add_argument("--metrics-out", type=Path, default=None,
+                     metavar="PATH",
+                     help="write the metrics registry (.json/.csv/.prom "
+                     "chosen by suffix)")
+    tel.add_argument("--manifest-out", type=Path, default=None,
+                     metavar="PATH",
+                     help="write the run provenance manifest JSON")
+    tel.add_argument("--profile", action="store_true",
+                     help="print the hottest phases after the run")
+    tel.add_argument("--profile-top", type=int, default=10,
+                     help="rows in the --profile table (default 10)")
     run_p.set_defaults(func=_cmd_run)
 
     tune_p = sub.add_parser("autotune", help="SPADE Opt search")
@@ -170,6 +251,9 @@ def build_parser() -> argparse.ArgumentParser:
     suite_p = sub.add_parser("suite", help="list the Table 2 suite")
     suite_p.add_argument("--scale", default="small",
                          choices=["tiny", "small", "default", "large"])
+    suite_p.add_argument("--trace", type=Path, default=None,
+                         metavar="PATH",
+                         help="trace suite construction (Perfetto JSON)")
     suite_p.set_defaults(func=_cmd_suite)
 
     exp_p = sub.add_parser("experiment",

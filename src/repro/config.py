@@ -134,6 +134,31 @@ class HostCPUConfig:
     die_area_mm2: float = 1000.0
 
 
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Observability switches (see :mod:`repro.telemetry`).
+
+    Everything defaults off: the default config must run the golden
+    fixtures bit-identically and at full speed.  ``metrics`` turns on
+    the structured metrics registry that core/memory publish into;
+    ``trace`` records Perfetto-loadable wall-clock spans of the run;
+    ``trace_chunks`` additionally emits one span per PE chunk replay
+    (fine-grained, larger traces).
+    """
+
+    metrics: bool = False
+    trace: bool = False
+    trace_chunks: bool = False
+
+    def __post_init__(self) -> None:
+        if self.trace_chunks and not self.trace:
+            raise ValueError("trace_chunks requires trace=True")
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics or self.trace
+
+
 REPLAY_MODES = ("scalar", "batched")
 """Trace-replay implementations: ``scalar`` is the per-access reference
 oracle; ``batched`` is the vectorized fast path, bit-identical to the
@@ -150,6 +175,7 @@ class SpadeConfig:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     host: HostCPUConfig = field(default_factory=HostCPUConfig)
     replay: str = "batched"
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def __post_init__(self) -> None:
         if self.num_pes < 1:

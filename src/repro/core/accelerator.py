@@ -33,6 +33,7 @@ from repro.memory.address import AddressMap
 from repro.memory.stats import AccessStats
 from repro.sparse.coo import COOMatrix
 from repro.sparse.tiled import TiledMatrix, tile_matrix
+from repro.telemetry import Telemetry
 
 DEFAULT_ROW_PANEL = 256
 """SPADE Base row panel size (Section 7.A)."""
@@ -84,6 +85,7 @@ class ExecutionReport:
     settings: KernelSettings
     schedule: Schedule
     config: SpadeConfig
+    telemetry: Optional[Telemetry] = None
 
     @property
     def output(self) -> np.ndarray:
@@ -148,6 +150,9 @@ class SpadeSystem:
         self.config = config or paper_config()
         self.chunk_nnz = chunk_nnz
         self.cpe = ControlProcessor(self.config.num_pes)
+        # One telemetry session per system: successive kernel runs
+        # accumulate into the same registry/trace (all-off by default).
+        self.telemetry = Telemetry(self.config.telemetry)
 
     @classmethod
     def scaled(cls, num_pes: int = 28, **kwargs) -> "SpadeSystem":
@@ -170,35 +175,46 @@ class SpadeSystem:
             )
         settings = settings or KernelSettings.base()
         k = b_dense.shape[1]
-        tiled = tile_matrix(
-            a, settings.row_panel_size, settings.col_panel_size
+        with self.telemetry.tracer.span(
+            "spmm", cat="kernel",
+            args={"nnz": a.nnz, "k": k, "settings": settings.describe()},
+        ):
+            tiled = tile_matrix(
+                a, settings.row_panel_size, settings.col_panel_size
+            )
+            amap = self._build_address_map(tiled, k, Primitive.SPMM)
+            init = self.cpe.make_initialization(
+                Primitive.SPMM,
+                amap,
+                rmatrix_bypass=settings.rmatrix_bypass,
+                cmatrix_bypass=False,
+                dense_row_size=k,
+            )
+            policy = BypassPolicy(
+                rmatrix_bypass=settings.rmatrix_bypass,
+                sparse_stream_bypass=settings.sparse_stream_bypass,
+                sddmm_output_bypass=settings.sddmm_output_bypass,
+            )
+            with self.telemetry.tracer.span(
+                "build_schedule", cat="schedule"
+            ):
+                schedule = self.cpe.build_schedule(
+                    tiled,
+                    ScheduleParams(
+                        use_barriers=settings.use_barriers,
+                        barrier_group_cols=settings.barrier_group_cols,
+                    ),
+                    telemetry=self.telemetry,
+                )
+            engine = Engine(
+                self.config, tiled, init, amap, policy, self.chunk_nnz,
+                telemetry=self.telemetry,
+            )
+            engine.bind_schedule(schedule)
+            result = engine.run_spmm(schedule, b_dense)
+        return ExecutionReport(
+            result, settings, schedule, self.config, self.telemetry
         )
-        amap = self._build_address_map(tiled, k, Primitive.SPMM)
-        init = self.cpe.make_initialization(
-            Primitive.SPMM,
-            amap,
-            rmatrix_bypass=settings.rmatrix_bypass,
-            cmatrix_bypass=False,
-            dense_row_size=k,
-        )
-        policy = BypassPolicy(
-            rmatrix_bypass=settings.rmatrix_bypass,
-            sparse_stream_bypass=settings.sparse_stream_bypass,
-            sddmm_output_bypass=settings.sddmm_output_bypass,
-        )
-        schedule = self.cpe.build_schedule(
-            tiled,
-            ScheduleParams(
-                use_barriers=settings.use_barriers,
-                barrier_group_cols=settings.barrier_group_cols,
-            ),
-        )
-        engine = Engine(
-            self.config, tiled, init, amap, policy, self.chunk_nnz
-        )
-        engine.bind_schedule(schedule)
-        result = engine.run_spmm(schedule, b_dense)
-        return ExecutionReport(result, settings, schedule, self.config)
 
     def sddmm(
         self,
@@ -222,35 +238,46 @@ class SpadeSystem:
             raise ValueError("B and C must share the dense row size K")
         settings = settings or KernelSettings.base()
         k = b_dense.shape[1]
-        tiled = tile_matrix(
-            a, settings.row_panel_size, settings.col_panel_size
+        with self.telemetry.tracer.span(
+            "sddmm", cat="kernel",
+            args={"nnz": a.nnz, "k": k, "settings": settings.describe()},
+        ):
+            tiled = tile_matrix(
+                a, settings.row_panel_size, settings.col_panel_size
+            )
+            amap = self._build_address_map(tiled, k, Primitive.SDDMM)
+            init = self.cpe.make_initialization(
+                Primitive.SDDMM,
+                amap,
+                rmatrix_bypass=settings.rmatrix_bypass,
+                cmatrix_bypass=False,
+                dense_row_size=k,
+            )
+            policy = BypassPolicy(
+                rmatrix_bypass=settings.rmatrix_bypass,
+                sparse_stream_bypass=settings.sparse_stream_bypass,
+                sddmm_output_bypass=settings.sddmm_output_bypass,
+            )
+            with self.telemetry.tracer.span(
+                "build_schedule", cat="schedule"
+            ):
+                schedule = self.cpe.build_schedule(
+                    tiled,
+                    ScheduleParams(
+                        use_barriers=settings.use_barriers,
+                        barrier_group_cols=settings.barrier_group_cols,
+                    ),
+                    telemetry=self.telemetry,
+                )
+            engine = Engine(
+                self.config, tiled, init, amap, policy, self.chunk_nnz,
+                telemetry=self.telemetry,
+            )
+            engine.bind_schedule(schedule)
+            result = engine.run_sddmm(schedule, b_dense, c_dense)
+        return ExecutionReport(
+            result, settings, schedule, self.config, self.telemetry
         )
-        amap = self._build_address_map(tiled, k, Primitive.SDDMM)
-        init = self.cpe.make_initialization(
-            Primitive.SDDMM,
-            amap,
-            rmatrix_bypass=settings.rmatrix_bypass,
-            cmatrix_bypass=False,
-            dense_row_size=k,
-        )
-        policy = BypassPolicy(
-            rmatrix_bypass=settings.rmatrix_bypass,
-            sparse_stream_bypass=settings.sparse_stream_bypass,
-            sddmm_output_bypass=settings.sddmm_output_bypass,
-        )
-        schedule = self.cpe.build_schedule(
-            tiled,
-            ScheduleParams(
-                use_barriers=settings.use_barriers,
-                barrier_group_cols=settings.barrier_group_cols,
-            ),
-        )
-        engine = Engine(
-            self.config, tiled, init, amap, policy, self.chunk_nnz
-        )
-        engine.bind_schedule(schedule)
-        result = engine.run_sddmm(schedule, b_dense, c_dense)
-        return ExecutionReport(result, settings, schedule, self.config)
 
     # -- helpers -----------------------------------------------------------
 

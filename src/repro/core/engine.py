@@ -26,6 +26,7 @@ from repro.memory.address import AddressMap
 from repro.memory.hierarchy import MemorySystem
 from repro.memory.stats import AccessStats
 from repro.sparse.tiled import TiledMatrix, TileInfo
+from repro.telemetry import Telemetry
 
 DEFAULT_CHUNK_NNZ = 4096
 """Interleaving granularity across PEs inside an epoch."""
@@ -96,6 +97,7 @@ class Engine:
         address_map: AddressMap,
         policy: BypassPolicy,
         chunk_nnz: int = DEFAULT_CHUNK_NNZ,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.config = config
         self.tiled = tiled
@@ -104,6 +106,12 @@ class Engine:
         self.policy = policy
         self.chunk_nnz = max(1, chunk_nnz)
         self.memory = MemorySystem(config)
+        # Telemetry session: a caller-provided one (SpadeSystem shares
+        # its session across runs) or a fresh one from the config.
+        self.telemetry = (
+            telemetry if telemetry is not None
+            else Telemetry(config.telemetry)
+        )
         # Replay mode: "batched" buffers each PE chunk's trace and
         # replays it in one vectorized call per chunk; "scalar" is the
         # per-access reference oracle (bit-identical results).
@@ -112,6 +120,7 @@ class Engine:
             ProcessingElement(
                 i, config.pe, self.memory, init, address_map, policy,
                 batched=self.batched_replay,
+                telemetry=self.telemetry,
             )
             for i in range(config.num_pes)
         ]
@@ -140,11 +149,13 @@ class Engine:
         epochs, per_pe_time = self._run_epochs(do_chunk)
         term_ns, dirty = self._terminate()
         stats = self.memory.collect_stats()
+        time_ns = sum(e.epoch_time_ns for e in epochs) + term_ns
+        self._publish_run(stats, time_ns, term_ns)
         return EngineResult(
             primitive=Primitive.SPMM,
             output_dense=d_accum.astype(np.float32),
             output_vals=None,
-            time_ns=sum(e.epoch_time_ns for e in epochs) + term_ns,
+            time_ns=time_ns,
             epoch_timings=epochs,
             stats=stats,
             counters=self._merged_counters(),
@@ -181,11 +192,13 @@ class Engine:
         epochs, per_pe_time = self._run_epochs(do_chunk)
         term_ns, dirty = self._terminate()
         stats = self.memory.collect_stats()
+        time_ns = sum(e.epoch_time_ns for e in epochs) + term_ns
+        self._publish_run(stats, time_ns, term_ns)
         return EngineResult(
             primitive=Primitive.SDDMM,
             output_dense=None,
             output_vals=out_vals.astype(np.float32),
-            time_ns=sum(e.epoch_time_ns for e in epochs) + term_ns,
+            time_ns=time_ns,
             epoch_timings=epochs,
             stats=stats,
             counters=self._merged_counters(),
@@ -213,8 +226,12 @@ class Engine:
         epoch_results: List[EpochTiming] = []
         per_pe_total = [0.0] * self.config.num_pes
         self._epoch_counters: List[List[PECounters]] = []
+        tracer = self.telemetry.tracer
+        trace_chunks = (
+            tracer.enabled and self.config.telemetry.trace_chunks
+        )
 
-        for epoch in schedule.epochs:
+        for epoch_idx, epoch in enumerate(schedule.epochs):
             for pe in self.pes:
                 pe.counters = PECounters()
             dram_before = self.memory.dram.accesses
@@ -223,20 +240,33 @@ class Engine:
             ]
             active = True
             batched = self.batched_replay
-            while active:
-                active = False
-                for pe, cursor in zip(self.pes, cursors):
-                    nxt = cursor.next_chunk()
-                    if nxt is None:
-                        continue
-                    active = True
-                    tile, lo, hi = nxt
-                    do_chunk(pe, tile, lo, hi)
-                    if batched:
-                        # One batched memory-system call per PE chunk:
-                        # replay the chunk's buffered trace before the
-                        # next PE's chunk contends for the shared levels.
-                        pe.flush_trace()
+            with tracer.span(
+                f"epoch[{epoch_idx}]", cat="epoch",
+                args={"epoch": epoch_idx},
+            ):
+                while active:
+                    active = False
+                    for pe, cursor in zip(self.pes, cursors):
+                        nxt = cursor.next_chunk()
+                        if nxt is None:
+                            continue
+                        active = True
+                        tile, lo, hi = nxt
+                        if trace_chunks:
+                            with tracer.span(
+                                "chunk", cat="replay", tid=pe.pe_id + 1,
+                                args={"nnz": hi - lo},
+                            ):
+                                do_chunk(pe, tile, lo, hi)
+                                pe.flush_trace()
+                            continue
+                        do_chunk(pe, tile, lo, hi)
+                        if batched:
+                            # One batched memory-system call per PE
+                            # chunk: replay the chunk's buffered trace
+                            # before the next PE's chunk contends for
+                            # the shared levels.
+                            pe.flush_trace()
             per_pe = [pe.counters for pe in self.pes]
             self._epoch_counters.append(per_pe)
             dram_lines = self.memory.dram.accesses - dram_before
@@ -244,17 +274,65 @@ class Engine:
             epoch_results.append(timing)
             for i, t in enumerate(timing.pe_times_ns):
                 per_pe_total[i] += t
+            self._record_epoch_telemetry(epoch_idx, timing, dram_lines)
         return epoch_results, per_pe_total
+
+    def _record_epoch_telemetry(
+        self, epoch_idx: int, timing: EpochTiming, dram_lines: int
+    ) -> None:
+        """Per-epoch metrics: barrier waits and simulated-time facts."""
+        tel = self.telemetry
+        if not tel.enabled:
+            return
+        m = tel.metrics
+        m.counter(
+            "spade_epochs_total", help="barrier epochs executed"
+        ).inc()
+        wait_hist = m.histogram(
+            "spade_epoch_barrier_wait_ns",
+            help="per-PE simulated wait at each epoch barrier "
+            "(epoch time minus the PE's own time)",
+        )
+        for t in timing.pe_times_ns:
+            wait_hist.observe(timing.epoch_time_ns - t)
+        tel.tracer.instant(
+            f"barrier[{epoch_idx}]", cat="epoch",
+            args={
+                "epoch_time_ns": timing.epoch_time_ns,
+                "bandwidth_time_ns": timing.bandwidth_time_ns,
+                "critical_pe": timing.critical_pe,
+                "dram_lines": dram_lines,
+                "total_requests": timing.total_requests,
+            },
+        )
 
     def _terminate(self) -> Tuple[float, int]:
         """WB&Invalidate on every PE; returns (flush time, dirty lines)."""
         dirty = 0
-        for pe in self.pes:
-            pe.counters = PECounters()
-            dirty += pe.writeback_invalidate()
+        with self.telemetry.tracer.span("wb_invalidate", cat="flush"):
+            for pe in self.pes:
+                pe.counters = PECounters()
+                dirty += pe.writeback_invalidate()
         # VRF drain stores count as DRAM/cache writes already; the flush
         # time models draining the dirty L1/BBF lines to memory.
         return flush_time_ns(dirty, self.config), dirty
+
+    def _publish_run(
+        self, stats: AccessStats, time_ns: float, term_ns: float
+    ) -> None:
+        """End-of-run metric snapshot: the memory hierarchy's counters
+        plus whole-run simulated-time gauges."""
+        m = self.telemetry.metrics
+        if not m.enabled:
+            return
+        self.memory.publish_metrics(m)
+        m.gauge(
+            "spade_run_time_ns", help="simulated kernel time"
+        ).set(time_ns)
+        m.gauge(
+            "spade_run_termination_ns",
+            help="simulated SPADE->CPU transition time",
+        ).set(term_ns)
 
     def _merged_counters(self) -> PECounters:
         merged = PECounters()

@@ -39,6 +39,7 @@ from repro.memory.hierarchy import (
     ServiceLevel,
     encode_op,
 )
+from repro.telemetry import ensure
 
 _NUM_LEVELS = len(ServiceLevel)
 _OUT_VALS_PER_LINE = CACHE_LINE_BYTES // 4
@@ -111,6 +112,7 @@ class ProcessingElement:
         address_map: AddressMap,
         policy: BypassPolicy,
         batched: bool = False,
+        telemetry=None,
     ) -> None:
         self.pe_id = pe_id
         self.config = config
@@ -133,6 +135,15 @@ class ProcessingElement:
         self.batched = batched
         self._trace_lines: List[int] = []
         self._trace_ops: List[int] = []
+        # Replay-batch-size histogram; a disabled registry hands back a
+        # shared no-op instrument, so observe() stays on the path at
+        # one method call per chunk flush either way.
+        self._telemetry = ensure(telemetry)
+        self._replay_batch_hist = self._telemetry.metrics.histogram(
+            "spade_replay_batch_accesses",
+            help="accesses per batched chunk replay",
+            pe=str(pe_id),
+        )
         self._op_sparse = encode_op(
             OP_STREAM if policy.sparse_stream_bypass else OP_DENSE,
             False, _R_SPARSE,
@@ -218,6 +229,7 @@ class ProcessingElement:
             return
         lines = np.array(self._trace_lines, dtype=np.int64)
         ops = np.array(self._trace_ops, dtype=np.int64)
+        self._replay_batch_hist.observe(lines.shape[0])
         self._trace_lines.clear()
         self._trace_ops.clear()
         levels = self.memory.replay_trace(self.pe_id, lines, ops)

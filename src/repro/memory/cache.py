@@ -223,6 +223,19 @@ class Cache:
         self.hits = self.misses = self.writebacks = self.fills = 0
         self.flush_writebacks = 0
 
+    def publish_metrics(self, registry, level: str, unit: str) -> None:
+        """Snapshot this cache's counters into a metrics registry as
+        ``spade_cache_*_total{level=,unit=}``.  Call once per run: the
+        counters are cumulative, so repeated publishing double-counts."""
+        for metric, value in (
+            ("spade_cache_hits_total", self.hits),
+            ("spade_cache_misses_total", self.misses),
+            ("spade_cache_writebacks_total", self.writebacks),
+            ("spade_cache_fills_total", self.fills),
+            ("spade_cache_flush_writebacks_total", self.flush_writebacks),
+        ):
+            registry.counter(metric, level=level, unit=unit).inc(value)
+
     def __repr__(self) -> str:
         return (
             f"Cache({self.name}, sets={self.num_sets}, ways={self.ways}, "

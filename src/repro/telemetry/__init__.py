@@ -1,0 +1,99 @@
+"""repro.telemetry: metrics registry, event tracing, run provenance.
+
+The simulator's evaluation is read off internal counters; this package
+turns those counters into *telemetry* — structured, labelled,
+exportable, and provenance-stamped — so every performance record is
+measurable and comparable across PRs:
+
+- :class:`MetricsRegistry` (``registry``): counters / gauges /
+  histograms with Prometheus-style labels, published by the memory
+  hierarchy, PEs, scheduler, and engine; near-zero overhead when
+  disabled (one shared no-op instrument).
+- :class:`EventTracer` (``tracer``): wall-clock spans emitted as Chrome
+  trace-event JSON, loadable in Perfetto / ``chrome://tracing``, plus a
+  terminal ``--profile`` top-N summary.
+- :mod:`~repro.telemetry.provenance`: run manifests carrying schema
+  version, config hash, git SHA, workload seed/spec, and host info.
+- :mod:`~repro.telemetry.exporters`: JSON / CSV / Prometheus text.
+
+A :class:`Telemetry` session bundles one registry + one tracer and is
+selected by :class:`repro.config.TelemetryConfig` (all-off by default);
+``SpadeSystem`` owns one per instance and every ``ExecutionReport``
+carries a reference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import TelemetryConfig
+from repro.telemetry.exporters import (
+    to_csv,
+    to_json,
+    to_prometheus,
+    write_metrics,
+)
+from repro.telemetry.provenance import (
+    MANIFEST_SCHEMA_VERSION,
+    config_fingerprint,
+    diff_manifests,
+    run_manifest,
+    stamp,
+    validate_manifest,
+)
+from repro.telemetry.registry import (
+    NULL_INSTRUMENT,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.tracer import NULL_SPAN, EventTracer, PhaseSummary
+
+
+class Telemetry:
+    """One session: a registry and a tracer driven by one config."""
+
+    def __init__(self, config: Optional[TelemetryConfig] = None) -> None:
+        self.config = config or TelemetryConfig()
+        self.metrics = MetricsRegistry(enabled=self.config.metrics)
+        self.tracer = EventTracer(enabled=self.config.trace)
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+
+NULL_TELEMETRY = Telemetry()
+"""Fully disabled session, shared by code paths given no telemetry."""
+
+
+def ensure(telemetry: Optional[Telemetry]) -> Telemetry:
+    """Coalesce None to the shared disabled session."""
+    return telemetry if telemetry is not None else NULL_TELEMETRY
+
+
+__all__ = [
+    "Telemetry",
+    "TelemetryConfig",
+    "NULL_TELEMETRY",
+    "ensure",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_INSTRUMENT",
+    "EventTracer",
+    "PhaseSummary",
+    "NULL_SPAN",
+    "MANIFEST_SCHEMA_VERSION",
+    "run_manifest",
+    "stamp",
+    "validate_manifest",
+    "diff_manifests",
+    "config_fingerprint",
+    "to_json",
+    "to_csv",
+    "to_prometheus",
+    "write_metrics",
+]

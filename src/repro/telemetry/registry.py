@@ -1,0 +1,284 @@
+"""Structured metrics registry: counters, gauges, and histograms.
+
+Every layer of the simulator publishes its counters here — per-PE and
+per-level cache traffic, replay-batch sizes, STLB/BBF fast-path hit
+ratios, epoch barrier waits — so one run produces a single, queryable,
+tool-consumable metric set (exported via :mod:`repro.telemetry.exporters`).
+
+Label semantics follow the Prometheus data model: a metric *family* is
+identified by its name and has one fixed kind (counter/gauge/histogram)
+and one fixed label-key set, both pinned at first registration; each
+distinct label-value combination owns one child instrument, and asking
+for the same combination again returns the *same* child (identity, not
+equality).
+
+When the registry is disabled, every ``counter()``/``gauge()``/
+``histogram()`` call returns one shared no-op instrument without
+recording anything — publishing sites keep a single unconditional
+method call on their path, which is the near-zero-overhead contract
+pinned by the telemetry tests.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class NullInstrument:
+    """Shared no-op stand-in for every instrument kind when disabled."""
+
+    __slots__ = ()
+
+    kind = "null"
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+NULL_INSTRUMENT = NullInstrument()
+"""The one instance handed out by a disabled registry."""
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (e.g. schedule load imbalance)."""
+
+    __slots__ = ("value",)
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+DEFAULT_BUCKET_BOUNDS: Tuple[float, ...] = tuple(
+    4.0 ** e for e in range(13)
+)
+"""Power-of-four upper bounds: 1 .. 16.7M, +Inf implicit.  Wide enough
+for both replay-batch access counts and nanosecond-scale waits."""
+
+
+class Histogram:
+    """Cumulative-bucket histogram plus count/sum/min/max."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKET_BOUNDS):
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted")
+        # One slot per finite bound plus the +Inf overflow slot.
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def value(self) -> float:
+        """Histogram 'value' for uniform queries: the sum."""
+        return self.total
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """Prometheus-style (le, cumulative count) pairs, +Inf last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, c in zip(self.bounds, self.bucket_counts):
+            running += c
+            out.append((bound, running))
+        out.append((float("inf"), self.count))
+        return out
+
+
+class MetricSample:
+    """One (family, labelset, instrument) row from ``samples()``."""
+
+    __slots__ = ("name", "kind", "help", "labels", "instrument")
+
+    def __init__(self, name, kind, help_text, labels, instrument):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.labels = labels
+        self.instrument = instrument
+
+    @property
+    def value(self) -> float:
+        return self.instrument.value
+
+
+class _Family:
+    __slots__ = ("name", "kind", "help", "label_names", "children")
+
+    def __init__(self, name, kind, help_text, label_names):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names = label_names
+        self.children: Dict[LabelKey, object] = {}
+
+
+class MetricsRegistry:
+    """Holds every metric family of one telemetry session."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._families: Dict[str, _Family] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def _child(self, name, kind, factory, help_text, labels):
+        fam = self._families.get(name)
+        label_names = frozenset(labels)
+        if fam is None:
+            fam = _Family(name, kind, help_text, label_names)
+            self._families[name] = fam
+        else:
+            if fam.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {fam.kind}, not a {kind}"
+                )
+            if fam.label_names != label_names:
+                raise ValueError(
+                    f"metric {name!r} has labels "
+                    f"{sorted(fam.label_names)}, got {sorted(label_names)}"
+                )
+        key = _label_key(labels)
+        child = fam.children.get(key)
+        if child is None:
+            child = factory()
+            fam.children[key] = child
+        return child
+
+    def counter(self, name: str, help: Optional[str] = None, **labels):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        return self._child(name, "counter", Counter, help, labels)
+
+    def gauge(self, name: str, help: Optional[str] = None, **labels):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        return self._child(name, "gauge", Gauge, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: Optional[str] = None,
+        bounds: Sequence[float] = DEFAULT_BUCKET_BOUNDS,
+        **labels,
+    ):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        return self._child(
+            name, "histogram", lambda: Histogram(bounds), help, labels
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def samples(self) -> Iterator[MetricSample]:
+        for name in sorted(self._families):
+            fam = self._families[name]
+            for key in sorted(fam.children):
+                yield MetricSample(
+                    fam.name, fam.kind, fam.help, dict(key),
+                    fam.children[key],
+                )
+
+    def value(self, name: str, **labels) -> float:
+        """The value of one child (0 if it was never registered)."""
+        fam = self._families.get(name)
+        if fam is None:
+            return 0.0
+        child = fam.children.get(_label_key(labels))
+        return child.value if child is not None else 0.0
+
+    def total(self, name: str, **label_filter) -> float:
+        """Sum of every child of ``name`` matching the label filter."""
+        fam = self._families.get(name)
+        if fam is None:
+            return 0.0
+        want = set(_label_key(label_filter))
+        return sum(
+            child.value
+            for key, child in fam.children.items()
+            if want <= set(key)
+        )
+
+    def __len__(self) -> int:
+        return sum(len(f.children) for f in self._families.values())
+
+    def as_dict(self) -> dict:
+        """Plain-data snapshot (the JSON exporter's payload)."""
+        metrics = []
+        for s in self.samples():
+            row = {"name": s.name, "kind": s.kind, "labels": s.labels}
+            if s.help:
+                row["help"] = s.help
+            if s.kind == "histogram":
+                h = s.instrument
+                row.update(
+                    count=h.count, sum=h.total, min=h.min, max=h.max,
+                    mean=h.mean,
+                    buckets=[
+                        {"le": le if le != float("inf") else "+Inf",
+                         "count": c}
+                        for le, c in h.cumulative_buckets()
+                    ],
+                )
+            else:
+                row["value"] = s.instrument.value
+            metrics.append(row)
+        return {"schema_version": 1, "metrics": metrics}

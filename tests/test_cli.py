@@ -80,3 +80,106 @@ class TestCommands:
     def test_experiment_unknown(self, capsys):
         assert main(["experiment", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestTelemetryFlags:
+    RUN = ["run", "--matrix", "ASI", "--scale", "tiny",
+           "--pes", "2", "--k", "16"]
+
+    def test_trace_written_and_perfetto_loadable(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "run.trace.json"
+        assert main(self.RUN + ["--trace", str(trace)]) == 0
+        assert "Perfetto" in capsys.readouterr().out
+        doc = json.loads(trace.read_text())
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+        # The run manifest rides along in otherData.
+        from repro.telemetry import validate_manifest
+
+        validate_manifest(doc["otherData"]["manifest"])
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "spmm" in names and "build_schedule" in names
+
+    def test_metrics_out_matches_report(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        assert main(self.RUN + ["--metrics-out", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics written" in out
+        doc = json.loads(metrics.read_text())
+        assert doc["schema_version"] == 1
+        names = {m["name"] for m in doc["metrics"]}
+        assert "spade_level_hits_total" in names
+        assert "spade_dram_lines_total" in names
+        # DRAM accesses printed by the run equal the exported counters.
+        dram_printed = int(
+            [ln for ln in out.splitlines()
+             if ln.startswith("DRAM accesses")][0].split(":")[1]
+        )
+        dram_metrics = sum(
+            m["value"] for m in doc["metrics"]
+            if m["name"] == "spade_dram_lines_total"
+        )
+        assert dram_metrics == dram_printed
+
+    def test_metrics_out_prometheus(self, tmp_path):
+        metrics = tmp_path / "metrics.prom"
+        assert main(self.RUN + ["--metrics-out", str(metrics)]) == 0
+        text = metrics.read_text()
+        assert "# TYPE spade_level_hits_total counter" in text
+
+    def test_manifest_out(self, tmp_path):
+        import json
+
+        from repro.telemetry import validate_manifest
+
+        manifest = tmp_path / "manifest.json"
+        assert main(self.RUN + ["--manifest-out", str(manifest)]) == 0
+        doc = validate_manifest(json.loads(manifest.read_text()))
+        assert doc["workload"]["matrix"] == "ASI"
+        assert doc["workload"]["kernel"] == "spmm"
+        assert doc["config"]["num_pes"] == 2
+
+    def test_profile_table(self, capsys):
+        assert main(self.RUN + ["--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "hottest phases" in out
+        assert "spmm" in out and "total ms" in out
+
+    def test_trace_chunks_adds_replay_spans(self, tmp_path):
+        import json
+
+        trace = tmp_path / "chunks.trace.json"
+        code = main(self.RUN + [
+            "--trace", str(trace), "--trace-chunks",
+        ])
+        assert code == 0
+        doc = json.loads(trace.read_text())
+        cats = {e.get("cat") for e in doc["traceEvents"]}
+        assert "replay" in cats
+
+    def test_suite_trace(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "suite.trace.json"
+        code = main([
+            "suite", "--scale", "tiny", "--trace", str(trace),
+        ])
+        assert code == 0
+        assert "trace written" in capsys.readouterr().out
+        doc = json.loads(trace.read_text())
+        suite_spans = [
+            e for e in doc["traceEvents"] if e.get("cat") == "suite"
+        ]
+        assert len(suite_spans) > 0
+
+    def test_default_run_has_no_telemetry_files(self, tmp_path, capsys):
+        # No flags -> no telemetry output and no mention of traces.
+        assert main(self.RUN) == 0
+        out = capsys.readouterr().out
+        assert "trace written" not in out
+        assert "metrics written" not in out
+        assert list(tmp_path.iterdir()) == []

@@ -145,6 +145,23 @@ class TestStats:
         m = a.merged(b)
         assert m.by_region == {"x": 7, "y": 1}
 
+    def test_hit_rate_zero_accesses(self):
+        # Regression: no accesses must read as 0.0, not raise or NaN.
+        assert LevelStats().hit_rate == 0.0
+
+    def test_access_stats_merge_keeps_flushed_dirty_lines(self):
+        # Regression: flushed_dirty_lines must survive merged().
+        a = AccessStats(flushed_dirty_lines=4)
+        b = AccessStats(flushed_dirty_lines=9)
+        assert a.merged(b).flushed_dirty_lines == 13
+
+    def test_merged_regions_do_not_alias_inputs(self):
+        a = AccessStats()
+        a.record_region("x", 1)
+        m = a.merged(AccessStats())
+        m.record_region("x", 100)
+        assert a.by_region == {"x": 1}
+
     def test_summary_renders(self):
         text = AccessStats().summary()
         assert "L1" in text and "DRAM" in text

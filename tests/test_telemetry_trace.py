@@ -1,0 +1,210 @@
+"""Tracer (Chrome trace-event JSON) and provenance manifest tests."""
+
+import json
+
+import pytest
+
+from repro.config import scaled_config
+from repro.telemetry import (
+    MANIFEST_SCHEMA_VERSION,
+    NULL_SPAN,
+    EventTracer,
+    config_fingerprint,
+    diff_manifests,
+    run_manifest,
+    stamp,
+    validate_manifest,
+)
+
+
+class FakeClock:
+    """Deterministic perf_counter stand-in (seconds)."""
+
+    def __init__(self):
+        self.t = 100.0
+
+    def advance(self, seconds):
+        self.t += seconds
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+class TestTracer:
+    def test_span_records_complete_event(self, clock):
+        tr = EventTracer(clock=clock)
+        with tr.span("epoch[0]", cat="epoch", tid=3, args={"epoch": 0}):
+            clock.advance(0.002)
+        (e,) = tr.events
+        assert e["ph"] == "X"
+        assert e["name"] == "epoch[0]"
+        assert e["cat"] == "epoch"
+        assert e["tid"] == 3
+        assert e["ts"] == pytest.approx(0.0)
+        assert e["dur"] == pytest.approx(2000.0)  # 2 ms in us
+        assert e["args"] == {"epoch": 0}
+
+    def test_instant_event(self, clock):
+        tr = EventTracer(clock=clock)
+        clock.advance(0.001)
+        tr.instant("barrier[0]", cat="epoch", args={"critical_pe": 2})
+        (e,) = tr.events
+        assert e["ph"] == "i" and e["s"] == "t"
+        assert e["ts"] == pytest.approx(1000.0)
+
+    def test_disabled_tracer_shares_null_span(self, clock):
+        tr = EventTracer(enabled=False, clock=clock)
+        assert tr.span("x") is NULL_SPAN
+        with tr.span("x"):
+            pass
+        tr.instant("y")
+        tr.set_thread_name(1, "pe1")
+        assert tr.events == []
+        assert tr.to_chrome()["traceEvents"] == []
+
+    def test_chrome_trace_schema(self, clock, tmp_path):
+        tr = EventTracer(clock=clock)
+        tr.set_thread_name(1, "pe0")
+        with tr.span("kernel", cat="kernel", args={"nnz": 9}):
+            clock.advance(0.01)
+        path = tr.write(tmp_path / "t.json", metadata={"note": "hi"})
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"] == {"note": "hi"}
+        events = doc["traceEvents"]
+        assert isinstance(events, list)
+        # Thread-name metadata event comes first.
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"] == {"name": "pe0"}
+        for e in events:
+            assert {"name", "ph", "pid", "tid"} <= set(e)
+            if e["ph"] == "X":
+                assert e["dur"] >= 0 and e["ts"] >= 0
+
+    def test_profile_aggregates_by_cat_and_name(self, clock):
+        tr = EventTracer(clock=clock)
+        for dur in (0.001, 0.003):
+            with tr.span("chunk", cat="replay"):
+                clock.advance(dur)
+        with tr.span("epoch[0]", cat="epoch"):
+            clock.advance(0.01)
+        rows = tr.profile()
+        assert [r.name for r in rows] == ["epoch[0]", "chunk"]
+        chunk = rows[1]
+        assert chunk.count == 2
+        assert chunk.total_us == pytest.approx(4000.0)
+        assert chunk.max_us == pytest.approx(3000.0)
+        assert chunk.mean_us == pytest.approx(2000.0)
+        assert tr.profile(top_n=1)[0].name == "epoch[0]"
+
+    def test_format_profile(self, clock):
+        tr = EventTracer(clock=clock)
+        assert tr.format_profile() == "(no spans recorded)"
+        with tr.span("kernel", cat="kernel"):
+            clock.advance(0.005)
+        text = tr.format_profile()
+        assert "phase" in text and "kernel" in text and "total ms" in text
+
+
+class TestProvenance:
+    def test_manifest_has_required_fields(self):
+        cfg = scaled_config(4)
+        m = run_manifest(
+            config=cfg, workload={"matrix": "KRO"}, seed=7,
+            argv=["run", "--matrix", "KRO"],
+        )
+        validate_manifest(m)
+        assert m["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert m["config"]["fingerprint"] == config_fingerprint(cfg)
+        assert m["config"]["num_pes"] == 4
+        assert m["workload"] == {"matrix": "KRO"}
+        assert m["seed"] == 7
+        assert m["argv"] == ["run", "--matrix", "KRO"]
+        assert m["host"]["python"]
+        assert json.loads(json.dumps(m)) == m  # JSON-serialisable
+
+    def test_fingerprint_stable_and_sensitive(self):
+        a = scaled_config(4)
+        b = scaled_config(4)
+        c = scaled_config(8)
+        assert config_fingerprint(a) == config_fingerprint(b)
+        assert config_fingerprint(a) != config_fingerprint(c)
+        with pytest.raises(TypeError):
+            config_fingerprint("not a config")
+
+    def test_validate_rejects_bad_manifests(self):
+        with pytest.raises(ValueError):
+            validate_manifest([])
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_manifest({"created_utc": "x", "host": {}})
+        with pytest.raises(ValueError, match="positive int"):
+            validate_manifest(
+                {"schema_version": 0, "created_utc": "x", "host": {}}
+            )
+
+    def test_stamp_preserves_measured_numbers(self):
+        payload = {"headline_speedup": 3.19, "workloads": [1, 2]}
+        stamped = stamp(payload, workload={"w": 1})
+        assert stamped["headline_speedup"] == 3.19
+        assert stamped["workloads"] == [1, 2]
+        assert "manifest" not in payload  # original untouched
+        validate_manifest(stamped["manifest"])
+
+    def test_diff_manifests_reports_dotted_leaves(self):
+        a = run_manifest(config=scaled_config(4), seed=1)
+        b = run_manifest(config=scaled_config(8), seed=1)
+        d = diff_manifests(a, b)
+        assert "config.fingerprint" in d
+        assert "config.num_pes" in d
+        assert d["config.num_pes"] == (4, 8)
+        assert "seed" not in d
+        assert diff_manifests(a, a) == {}
+
+
+class TestBackfill:
+    def _load_backfill(self):
+        import importlib.util
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks" / "backfill_manifests.py"
+        )
+        spec = importlib.util.spec_from_file_location("backfill", path)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod
+
+    def test_backfill_adds_manifest_without_touching_numbers(
+        self, tmp_path
+    ):
+        mod = self._load_backfill()
+        path = tmp_path / "BENCH_x.json"
+        original = {"headline_speedup": 3.19, "workloads": [{"a": 1}]}
+        path.write_text(json.dumps(original))
+
+        assert mod.backfill_file(path, write=False) == "missing"
+        assert mod.backfill_file(path) == "stamped"
+        stamped = json.loads(path.read_text())
+        assert stamped["headline_speedup"] == 3.19
+        assert stamped["workloads"] == [{"a": 1}]
+        validate_manifest(stamped["manifest"])
+        assert stamped["manifest"]["extra"]["backfilled"] is True
+        # Second pass is idempotent.
+        assert mod.backfill_file(path) == "ok"
+
+    def test_backfill_check_mode_exit_codes(self, tmp_path, capsys):
+        mod = self._load_backfill()
+        good = tmp_path / "BENCH_good.json"
+        good.write_text(json.dumps(stamp({"v": 1})))
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"v": 2}))
+        assert mod.main([str(good), "--check"]) == 0
+        assert mod.main([str(bad), "--check"]) == 1
+        assert mod.main([str(bad)]) == 0  # stamps it
+        assert mod.main([str(bad), "--check"]) == 0
