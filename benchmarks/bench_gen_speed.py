@@ -1,0 +1,213 @@
+"""Trace-generation benchmark: scalar vs vectorized vs pipelined engines.
+
+Runs the same seeded SpMM/SDDMM workloads end to end under every
+execution backend (``SpadeConfig.execution``):
+
+* **scalar** — the PR 1 oracle: per-nonzero Python loops drive the VRF
+  and emit the post-VRF trace access by access;
+* **vectorized** — per-chunk NumPy derivation of the ``(lines, ops)``
+  trace arrays with protected-run elision plus array functional
+  kernels (see DESIGN.md section 7);
+* **pipelined** — the vectorized generator running in a bounded
+  producer/consumer pipeline overlapped with shared-memory replay.
+
+Every run asserts bit-identical outputs, simulated time, AccessStats
+and PECounters across the three backends before timing is reported, so
+the benchmark doubles as an end-to-end differential check.  Results
+land in ``BENCH_gen.json`` (see README) to track the perf trajectory.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_gen_speed.py
+    PYTHONPATH=src python benchmarks/bench_gen_speed.py --smoke
+
+This is a standalone script, not a pytest-benchmark module (the
+``bench_*`` siblings are run via ``pytest benchmarks``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.bench.harness import write_bench_json
+from repro.config import EXECUTION_MODES, scaled_config
+from repro.core.accelerator import SpadeSystem
+from repro.core.engine import DEFAULT_CHUNK_NNZ
+from repro.sparse.generators import banded, rmat_graph, uniform_random
+
+
+def run_once(cfg, execution: str, a, b, c, kernel: str):
+    """One timed end-to-end engine run; returns (seconds, report)."""
+    system = SpadeSystem(cfg, execution=execution)
+    t0 = time.perf_counter()
+    if kernel == "spmm":
+        report = system.spmm(a, b)
+    else:
+        report = system.sddmm(a, b, c)
+    return time.perf_counter() - t0, report
+
+
+def assert_parity(name: str, oracle, candidate, mode: str) -> None:
+    if not np.array_equal(oracle.output, candidate.output):
+        raise AssertionError(f"{name}: {mode} output diverged from scalar")
+    if oracle.result.time_ns != candidate.result.time_ns:
+        raise AssertionError(
+            f"{name}: {mode} simulated time diverged "
+            f"({oracle.result.time_ns} != {candidate.result.time_ns})"
+        )
+    if dataclasses.asdict(oracle.stats) != dataclasses.asdict(
+        candidate.stats
+    ):
+        raise AssertionError(f"{name}: {mode} AccessStats diverged")
+    if oracle.counters != candidate.counters:
+        raise AssertionError(f"{name}: {mode} PECounters diverged")
+
+
+def bench_one(cfg, name: str, gen, k: int, kernel: str, reps: int) -> dict:
+    a = gen()
+    rng = np.random.default_rng(7)
+    if kernel == "spmm":
+        b = rng.random((a.num_cols, k), dtype=np.float32)
+        c = None
+    else:
+        b = rng.random((a.num_rows, k), dtype=np.float32)
+        c = rng.random((a.num_cols, k), dtype=np.float32)
+
+    times = {}
+    reports = {}
+    for mode in EXECUTION_MODES:
+        mode_times = []
+        for _ in range(reps):
+            dt, report = run_once(cfg, mode, a, b, c, kernel)
+            mode_times.append(dt)
+        # Median of reps: robust to one-off scheduler noise in either
+        # direction, unlike min (best case only) or mean.
+        times[mode] = statistics.median(mode_times)
+        reports[mode] = report
+
+    for mode in EXECUTION_MODES[1:]:
+        assert_parity(name, reports["scalar"], reports[mode], mode)
+
+    requests = reports["scalar"].counters.total_requests
+    scalar_s = times["scalar"]
+    row = {
+        "name": name,
+        "kernel": kernel,
+        "nnz": int(a.nnz),
+        "k": k,
+        "requests": int(requests),
+        "parity": True,
+    }
+    for mode in EXECUTION_MODES:
+        row[f"{mode}_s"] = round(times[mode], 4)
+    for mode in EXECUTION_MODES[1:]:
+        row[f"{mode}_speedup"] = round(scalar_s / times[mode], 2)
+    return row
+
+
+def workloads(smoke: bool) -> List[Tuple[str, Callable, int, str]]:
+    if smoke:
+        return [
+            ("smoke-unif-sddmm",
+             lambda: uniform_random(512, 256, nnz=20_000, seed=11),
+             16, "sddmm"),
+            ("smoke-rmat-spmm",
+             lambda: rmat_graph(9, edge_factor=8, seed=5), 16, "spmm"),
+        ]
+    return [
+        # Headline: the same >= 1M-access SDDMM as BENCH_replay.json,
+        # so generation- and replay-stage gains are tracked on one
+        # workload across PRs.
+        ("unif-sddmm-1m",
+         lambda: uniform_random(8192, 1024, nnz=900_000, seed=11),
+         16, "sddmm"),
+        ("rmat13-spmm-k64",
+         lambda: rmat_graph(13, edge_factor=16, seed=5), 64, "spmm"),
+        ("banded64k-sddmm-k16",
+         lambda: banded(65_536, bandwidth=24, seed=3), 16, "sddmm"),
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny workloads, 1 rep: CI-sized parity + plumbing check",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=3,
+        help="timing repetitions per workload (median is reported)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="output JSON path (default: repo-root BENCH_gen.json, or "
+        "BENCH_gen_smoke.json in --smoke mode so smoke runs never "
+        "clobber the tracked full-mode results)",
+    )
+    parser.add_argument(
+        "--pes", type=int, default=8, help="scaled_config PE count"
+    )
+    args = parser.parse_args(argv)
+    if args.out is None:
+        name = "BENCH_gen_smoke.json" if args.smoke else "BENCH_gen.json"
+        args.out = Path(__file__).resolve().parent.parent / name
+    reps = 1 if args.smoke else max(1, args.reps)
+
+    # Benchmark the batched replay path (the PR 1 default); the scalar
+    # column is then exactly the PR 1 engine baseline.
+    cfg = dataclasses.replace(scaled_config(args.pes), replay="batched")
+    results = []
+    for name, gen, k, kernel in workloads(args.smoke):
+        row = bench_one(cfg, name, gen, k, kernel, reps)
+        results.append(row)
+        print(
+            f"{row['name']:22s} requests={row['requests']:>9,d}  "
+            f"scalar {row['scalar_s']:.3f}s  "
+            f"vectorized {row['vectorized_s']:.3f}s "
+            f"({row['vectorized_speedup']:.2f}x)  "
+            f"pipelined {row['pipelined_s']:.3f}s "
+            f"({row['pipelined_speedup']:.2f}x)  parity=OK"
+        )
+
+    payload = {
+        "benchmark": "gen_speed",
+        "mode": "smoke" if args.smoke else "full",
+        "config": {
+            "pes": args.pes,
+            "reps": reps,
+            "chunk_nnz": DEFAULT_CHUNK_NNZ,
+            "execution": list(EXECUTION_MODES),
+            "replay": cfg.replay,
+            "pipeline": {
+                "lookahead": cfg.pipeline.lookahead,
+                "pool": cfg.pipeline.pool,
+                "workers": cfg.pipeline.workers,
+            },
+        },
+        "workloads": results,
+        "headline_speedup": results[0]["vectorized_speedup"],
+    }
+    write_bench_json(
+        args.out, payload,
+        config=cfg,
+        workload={
+            "benchmark": "gen_speed",
+            "mode": payload["mode"],
+            "workloads": [name for name, _, _, _ in workloads(args.smoke)],
+        },
+        extra={"argv": argv if argv is not None else sys.argv[1:]},
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -39,6 +40,7 @@ import numpy as np
 from repro.bench.harness import write_bench_json
 from repro.config import scaled_config
 from repro.core.accelerator import SpadeSystem
+from repro.core.engine import DEFAULT_CHUNK_NNZ
 from repro.memory.hierarchy import (
     OP_DENSE_BYPASS,
     OP_PATH_MASK,
@@ -170,8 +172,10 @@ def bench_one(cfg, name: str, chunks: List[Chunk], reps: int) -> dict:
     assert lru_state(ms_s) == lru_state(ms_b), f"{name}: LRU state diverged"
 
     st = ms_b.collect_stats()
-    scalar_s = min(scalar_times)
-    batched_s = min(batched_times)
+    # Median of reps: robust to one-off scheduler noise in either
+    # direction, unlike min (best case only) or mean (outlier-skewed).
+    scalar_s = statistics.median(scalar_times)
+    batched_s = statistics.median(batched_times)
     return {
         "name": name,
         "accesses": accesses,
@@ -218,7 +222,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--reps", type=int, default=3,
-        help="timing repetitions per workload (min is reported)",
+        help="timing repetitions per workload (median is reported)",
     )
     parser.add_argument(
         "--out", type=Path, default=None,
@@ -250,7 +254,13 @@ def main(argv=None) -> int:
     payload = {
         "benchmark": "replay_speed",
         "mode": "smoke" if args.smoke else "full",
-        "config": {"pes": args.pes, "reps": reps},
+        "config": {
+            "pes": args.pes,
+            "reps": reps,
+            "chunk_nnz": DEFAULT_CHUNK_NNZ,
+            "execution": cfg.execution,
+            "replay": cfg.replay,
+        },
         "workloads": results,
         "headline_speedup": results[0]["speedup"],
     }

@@ -164,6 +164,44 @@ REPLAY_MODES = ("scalar", "batched")
 oracle; ``batched`` is the vectorized fast path, bit-identical to the
 oracle on all counters and cache state (see tests/test_memory_batched_parity.py)."""
 
+EXECUTION_MODES = ("scalar", "vectorized", "pipelined")
+"""PE execution backends: ``scalar`` walks every nonzero in Python (the
+reference oracle); ``vectorized`` derives each chunk's access stream
+with NumPy and runs a reduced tight loop over it (bit-identical traces,
+outputs, stats, and counters — see tests/test_execution_parity.py);
+``pipelined`` additionally overlaps chunk-trace generation with the
+serial replay cascade through a bounded producer/consumer queue."""
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Overlapped generate/replay pipeline (``execution="pipelined"``).
+
+    ``lookahead`` bounds how many generated-but-not-yet-replayed chunk
+    traces may queue per PE; ``pool`` selects where generation runs:
+    ``thread`` uses a shared thread pool (generation overlaps the
+    replay cascade), ``serial`` runs the same producer/consumer queue
+    inline (deterministic, no threads — useful for debugging and CI).
+    A process pool is deliberately not offered: each PE's VRF state is
+    carried chunk-to-chunk, so generation for one PE is inherently
+    serial and the state would have to be shipped across process
+    boundaries every chunk (see DESIGN.md section 7).
+    """
+
+    lookahead: int = 2
+    pool: str = "thread"
+    workers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.lookahead < 1:
+            raise ValueError("pipeline lookahead must be >= 1")
+        if self.pool not in ("thread", "serial"):
+            raise ValueError(
+                f"pipeline pool must be 'thread' or 'serial', got {self.pool!r}"
+            )
+        if self.workers < 1:
+            raise ValueError("pipeline workers must be >= 1")
+
 
 @dataclass(frozen=True)
 class SpadeConfig:
@@ -175,6 +213,8 @@ class SpadeConfig:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     host: HostCPUConfig = field(default_factory=HostCPUConfig)
     replay: str = "batched"
+    execution: str = "vectorized"
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def __post_init__(self) -> None:
@@ -183,6 +223,11 @@ class SpadeConfig:
         if self.replay not in REPLAY_MODES:
             raise ValueError(
                 f"replay must be one of {REPLAY_MODES}, got {self.replay!r}"
+            )
+        if self.execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution must be one of {EXECUTION_MODES}, "
+                f"got {self.execution!r}"
             )
 
     @property

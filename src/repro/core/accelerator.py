@@ -17,6 +17,7 @@ Typical use::
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -140,14 +141,25 @@ class ExecutionReport:
 
 
 class SpadeSystem:
-    """A configured SPADE accelerator ready to execute kernels."""
+    """A configured SPADE accelerator ready to execute kernels.
+
+    ``execution`` overrides the config's execution backend (``"scalar"``,
+    ``"vectorized"`` or ``"pipelined"``, see :mod:`repro.config`); the
+    backends differ only in host wall-clock time — traces, outputs,
+    stats and counters are bit-identical.
+    """
 
     def __init__(
         self,
         config: Optional[SpadeConfig] = None,
         chunk_nnz: int = DEFAULT_CHUNK_NNZ,
+        execution: Optional[str] = None,
     ) -> None:
         self.config = config or paper_config()
+        if execution is not None and execution != self.config.execution:
+            self.config = dataclasses.replace(
+                self.config, execution=execution
+            )
         self.chunk_nnz = chunk_nnz
         self.cpe = ControlProcessor(self.config.num_pes)
         # One telemetry session per system: successive kernel runs

@@ -11,6 +11,10 @@ epochs accumulate (Section 4.3, Figure 5b).
 
 from __future__ import annotations
 
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -22,6 +26,7 @@ from repro.core.cpe import Schedule
 from repro.core.instructions import InitializationInstruction, Primitive
 from repro.core.pe import PECounters, ProcessingElement
 from repro.core.timing import EpochTiming, epoch_timing, flush_time_ns
+from repro.kernels.reference import sddmm_chunk_vals, spmm_chunk_update
 from repro.memory.address import AddressMap
 from repro.memory.hierarchy import MemorySystem
 from repro.memory.stats import AccessStats
@@ -86,6 +91,25 @@ class _ChunkCursor:
         return None
 
 
+class _InlineExecutor:
+    """Executor twin for ``pipeline.pool == "serial"``: runs each
+    submitted task synchronously on the caller's thread, so the whole
+    producer/consumer machinery executes deterministically without
+    threads (done-callbacks fire inline; the chained re-submission
+    recursion is bounded by the lookahead)."""
+
+    def submit(self, fn, *args) -> Future:
+        fut: Future = Future()
+        try:
+            fut.set_result(fn(*args))
+        except BaseException as exc:  # mirror ThreadPoolExecutor
+            fut.set_exception(exc)
+        return fut
+
+    def shutdown(self, wait: bool = True) -> None:
+        pass
+
+
 class Engine:
     """Binds a config, memory system, and PEs to execute one kernel."""
 
@@ -115,11 +139,18 @@ class Engine:
         # Replay mode: "batched" buffers each PE chunk's trace and
         # replays it in one vectorized call per chunk; "scalar" is the
         # per-access reference oracle (bit-identical results).
+        # Execution mode: "scalar" walks every nonzero in Python;
+        # "vectorized" derives the chunk trace with NumPy + a reduced
+        # tight loop; "pipelined" additionally overlaps generation with
+        # replay (bit-identical results in all six combinations).
         self.batched_replay = config.replay == "batched"
+        self.execution = config.execution
+        self.buffered = self.batched_replay or self.execution != "scalar"
         self.pes = [
             ProcessingElement(
                 i, config.pe, self.memory, init, address_map, policy,
                 batched=self.batched_replay,
+                execution=self.execution,
                 telemetry=self.telemetry,
             )
             for i in range(config.num_pes)
@@ -138,15 +169,20 @@ class Engine:
         )
         b64 = np.asarray(b_dense, dtype=np.float64)
 
-        def do_chunk(pe: ProcessingElement, tile: TileInfo, lo: int, hi: int):
+        def gen_chunk(pe: ProcessingElement, tile: TileInfo, lo: int, hi: int):
+            off = tile.sparse_in_start_offset
+            r = self.tiled.r_ids[off + lo : off + hi]
+            c = self.tiled.c_ids[off + lo : off + hi]
+            pe.execute_spmm_chunk(r, c, off + lo)
+
+        def apply_chunk(tile: TileInfo, lo: int, hi: int):
             off = tile.sparse_in_start_offset
             r = self.tiled.r_ids[off + lo : off + hi]
             c = self.tiled.c_ids[off + lo : off + hi]
             v = self.tiled.vals[off + lo : off + hi]
-            pe.execute_spmm_chunk(r, c, off + lo)
-            np.add.at(d_accum, r, v[:, None].astype(np.float64) * b64[c])
+            spmm_chunk_update(d_accum, r, c, v, b64)
 
-        epochs, per_pe_time = self._run_epochs(do_chunk)
+        epochs, per_pe_time = self._run_epochs(gen_chunk, apply_chunk)
         term_ns, dirty = self._terminate()
         stats = self.memory.collect_stats()
         time_ns = sum(e.epoch_time_ns for e in epochs) + term_ns
@@ -177,7 +213,16 @@ class Engine:
         b64 = np.asarray(b_dense, dtype=np.float64)
         c64 = np.asarray(c_dense, dtype=np.float64)
 
-        def do_chunk(pe: ProcessingElement, tile: TileInfo, lo: int, hi: int):
+        def gen_chunk(pe: ProcessingElement, tile: TileInfo, lo: int, hi: int):
+            off = tile.sparse_in_start_offset
+            r = self.tiled.r_ids[off + lo : off + hi]
+            c = self.tiled.c_ids[off + lo : off + hi]
+            out_offsets = tile.sparse_out_start_offset + np.arange(
+                lo, hi, dtype=np.int64
+            )
+            pe.execute_sddmm_chunk(r, c, off + lo, out_offsets)
+
+        def apply_chunk(tile: TileInfo, lo: int, hi: int):
             off = tile.sparse_in_start_offset
             r = self.tiled.r_ids[off + lo : off + hi]
             c = self.tiled.c_ids[off + lo : off + hi]
@@ -185,11 +230,9 @@ class Engine:
             out_offsets = tile.sparse_out_start_offset + np.arange(
                 lo, hi, dtype=np.int64
             )
-            pe.execute_sddmm_chunk(r, c, off + lo, out_offsets)
-            inner = np.einsum("ij,ij->i", b64[r], c64[c])
-            out_vals[out_offsets] = v.astype(np.float64) * inner
+            sddmm_chunk_vals(out_vals, out_offsets, r, c, v, b64, c64)
 
-        epochs, per_pe_time = self._run_epochs(do_chunk)
+        epochs, per_pe_time = self._run_epochs(gen_chunk, apply_chunk)
         term_ns, dirty = self._terminate()
         stats = self.memory.collect_stats()
         time_ns = sum(e.epoch_time_ns for e in epochs) + term_ns
@@ -214,7 +257,9 @@ class Engine:
     def bind_schedule(self, schedule: Schedule) -> None:
         self._schedule = schedule
 
-    def _run_epochs(self, do_chunk) -> Tuple[List[EpochTiming], List[float]]:
+    def _run_epochs(
+        self, gen_chunk, apply_chunk
+    ) -> Tuple[List[EpochTiming], List[float]]:
         schedule = self._schedule
         if schedule is None:
             raise RuntimeError("bind_schedule() must be called before running")
@@ -226,56 +271,184 @@ class Engine:
         epoch_results: List[EpochTiming] = []
         per_pe_total = [0.0] * self.config.num_pes
         self._epoch_counters: List[List[PECounters]] = []
+        pipelined = self.execution == "pipelined"
+        executor = None
+        if pipelined:
+            if self.config.pipeline.pool == "thread":
+                executor = ThreadPoolExecutor(
+                    max_workers=self.config.pipeline.workers,
+                    thread_name_prefix="spade-gen",
+                )
+            else:
+                executor = _InlineExecutor()
+        try:
+            for epoch_idx, epoch in enumerate(schedule.epochs):
+                for pe in self.pes:
+                    pe.counters = PECounters()
+                dram_before = self.memory.dram.accesses
+                cursors = [
+                    _ChunkCursor(tiles, self.chunk_nnz) for tiles in epoch
+                ]
+                with self.telemetry.tracer.span(
+                    f"epoch[{epoch_idx}]", cat="epoch",
+                    args={"epoch": epoch_idx},
+                ):
+                    if pipelined:
+                        self._run_epoch_pipelined(
+                            executor, cursors, gen_chunk, apply_chunk
+                        )
+                    else:
+                        self._run_epoch_serial(
+                            cursors, gen_chunk, apply_chunk
+                        )
+                per_pe = [pe.counters for pe in self.pes]
+                self._epoch_counters.append(per_pe)
+                dram_lines = self.memory.dram.accesses - dram_before
+                timing = epoch_timing(
+                    per_pe, dram_lines, self.config, self.memory
+                )
+                epoch_results.append(timing)
+                for i, t in enumerate(timing.pe_times_ns):
+                    per_pe_total[i] += t
+                self._record_epoch_telemetry(epoch_idx, timing, dram_lines)
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
+        return epoch_results, per_pe_total
+
+    def _run_epoch_serial(self, cursors, gen_chunk, apply_chunk) -> None:
+        """Round-robin chunk interleave with generation and replay in
+        line (the scalar and vectorized execution modes)."""
         tracer = self.telemetry.tracer
-        trace_chunks = (
-            tracer.enabled and self.config.telemetry.trace_chunks
+        trace_chunks = tracer.enabled and self.config.telemetry.trace_chunks
+        buffered = self.buffered
+        active = True
+        while active:
+            active = False
+            for pe, cursor in zip(self.pes, cursors):
+                nxt = cursor.next_chunk()
+                if nxt is None:
+                    continue
+                active = True
+                tile, lo, hi = nxt
+                if trace_chunks:
+                    with tracer.span(
+                        "chunk", cat="replay", tid=pe.pe_id + 1,
+                        args={"nnz": hi - lo},
+                    ):
+                        gen_chunk(pe, tile, lo, hi)
+                        apply_chunk(tile, lo, hi)
+                        pe.flush_trace()
+                    continue
+                gen_chunk(pe, tile, lo, hi)
+                apply_chunk(tile, lo, hi)
+                if buffered:
+                    # One memory-system hand-off per PE chunk: replay
+                    # the chunk's buffered trace before the next PE's
+                    # chunk contends for the shared levels.
+                    pe.flush_trace()
+
+    def _run_epoch_pipelined(
+        self, executor, cursors, gen_chunk, apply_chunk
+    ) -> None:
+        """Overlapped generate/replay epoch driver.
+
+        Chunk-trace generation only touches per-PE state (VRF, trace
+        buffer, front-end counters), so producers for different PEs are
+        independent and may run ahead of the shared-memory replay
+        cascade; the consumer (this thread) drains the per-PE queues in
+        exactly the serial round-robin order, so the replayed access
+        stream — and every downstream counter and float accumulation —
+        is bit-identical to the serial drivers.  Per PE, at most one
+        generation task is in flight (VRF state is carried chunk to
+        chunk) and at most ``lookahead`` ready segments may queue.
+        """
+        tracer = self.telemetry.tracer
+        trace_chunks = tracer.enabled and self.config.telemetry.trace_chunks
+        lookahead = self.config.pipeline.lookahead
+        num = len(self.pes)
+        queues: List[queue.Queue] = [queue.Queue() for _ in range(num)]
+        locks = [threading.RLock() for _ in range(num)]
+        chained = [True] * num
+        exhausted = [False] * num
+        m = self.telemetry.metrics
+        depth_hist = m.histogram(
+            "spade_pipeline_queue_depth",
+            help="ready generated chunk segments per PE at consume time",
+        )
+        gen_hist = m.histogram(
+            "spade_gen_chunk_seconds",
+            help="wall-clock chunk trace-generation time",
         )
 
-        for epoch_idx, epoch in enumerate(schedule.epochs):
-            for pe in self.pes:
-                pe.counters = PECounters()
-            dram_before = self.memory.dram.accesses
-            cursors = [
-                _ChunkCursor(tiles, self.chunk_nnz) for tiles in epoch
-            ]
-            active = True
-            batched = self.batched_replay
-            with tracer.span(
-                f"epoch[{epoch_idx}]", cat="epoch",
-                args={"epoch": epoch_idx},
-            ):
-                while active:
-                    active = False
-                    for pe, cursor in zip(self.pes, cursors):
-                        nxt = cursor.next_chunk()
-                        if nxt is None:
-                            continue
-                        active = True
-                        tile, lo, hi = nxt
-                        if trace_chunks:
-                            with tracer.span(
-                                "chunk", cat="replay", tid=pe.pe_id + 1,
-                                args={"nnz": hi - lo},
-                            ):
-                                do_chunk(pe, tile, lo, hi)
-                                pe.flush_trace()
-                            continue
-                        do_chunk(pe, tile, lo, hi)
-                        if batched:
-                            # One batched memory-system call per PE
-                            # chunk: replay the chunk's buffered trace
-                            # before the next PE's chunk contends for
-                            # the shared levels.
-                            pe.flush_trace()
-            per_pe = [pe.counters for pe in self.pes]
-            self._epoch_counters.append(per_pe)
-            dram_lines = self.memory.dram.accesses - dram_before
-            timing = epoch_timing(per_pe, dram_lines, self.config, self.memory)
-            epoch_results.append(timing)
-            for i, t in enumerate(timing.pe_times_ns):
-                per_pe_total[i] += t
-            self._record_epoch_telemetry(epoch_idx, timing, dram_lines)
-        return epoch_results, per_pe_total
+        def produce(i: int):
+            nxt = cursors[i].next_chunk()
+            if nxt is None:
+                return None
+            tile, lo, hi = nxt
+            t0 = time.perf_counter()
+            gen_chunk(self.pes[i], tile, lo, hi)
+            lines, ops = self.pes[i].take_trace()
+            return tile, lo, hi, lines, ops, time.perf_counter() - t0
+
+        def submit(i: int) -> None:
+            fut = executor.submit(produce, i)
+            fut.add_done_callback(lambda f, i=i: on_done(i, f))
+
+        def on_done(i: int, fut) -> None:
+            exc = fut.exception()
+            with locks[i]:
+                if exc is not None:
+                    queues[i].put(("error", exc))
+                    chained[i] = False
+                    return
+                res = fut.result()
+                if res is None:
+                    queues[i].put(("done",))
+                    exhausted[i] = True
+                    chained[i] = False
+                    return
+                queues[i].put(("chunk", res))
+                if queues[i].qsize() < lookahead:
+                    submit(i)
+                else:
+                    chained[i] = False
+
+        for i in range(num):
+            with locks[i]:
+                submit(i)
+
+        remaining = num
+        live = [True] * num
+        while remaining:
+            for i, pe in enumerate(self.pes):
+                if not live[i]:
+                    continue
+                item = queues[i].get()
+                with locks[i]:
+                    if not exhausted[i] and not chained[i]:
+                        chained[i] = True
+                        submit(i)
+                kind = item[0]
+                if kind == "done":
+                    live[i] = False
+                    remaining -= 1
+                    continue
+                if kind == "error":
+                    raise item[1]
+                tile, lo, hi, lines, ops, gen_s = item[1]
+                depth_hist.observe(queues[i].qsize())
+                gen_hist.observe(gen_s)
+                if trace_chunks:
+                    with tracer.span(
+                        "chunk", cat="replay", tid=pe.pe_id + 1,
+                        args={"nnz": hi - lo},
+                    ):
+                        apply_chunk(tile, lo, hi)
+                        pe.replay_segment(lines, ops)
+                    continue
+                apply_chunk(tile, lo, hi)
+                pe.replay_segment(lines, ops)
 
     def _record_epoch_telemetry(
         self, epoch_idx: int, timing: EpochTiming, dram_lines: int

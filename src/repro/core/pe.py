@@ -26,6 +26,12 @@ import numpy as np
 from repro.config import CACHE_LINE_BYTES, PEConfig
 from repro.core.bypass import BypassPolicy
 from repro.core.instructions import InitializationInstruction, Primitive
+from repro.core.vectorized import (
+    TraceBuffer,
+    buffer_sparse_stream,
+    generate_sddmm_chunk,
+    generate_spmm_chunk,
+)
 from repro.core.vrf import VectorRegisterFile
 from repro.memory.address import AddressMap, padded_row_bytes
 from repro.memory.hierarchy import (
@@ -112,6 +118,7 @@ class ProcessingElement:
         address_map: AddressMap,
         policy: BypassPolicy,
         batched: bool = False,
+        execution: str = "scalar",
         telemetry=None,
     ) -> None:
         self.pe_id = pe_id
@@ -132,9 +139,13 @@ class ProcessingElement:
         # Batched fast path: chunk executors append (line, op) pairs to
         # the trace buffer instead of issuing scalar accesses; the
         # engine replays the buffer once per chunk via flush_trace().
+        # The vectorized/pipelined execution backends always buffer,
+        # regardless of replay mode (their scalar-replay flush walks the
+        # buffered chunk through the per-access reference paths).
         self.batched = batched
-        self._trace_lines: List[int] = []
-        self._trace_ops: List[int] = []
+        self.vectorized = execution in ("vectorized", "pipelined")
+        self.buffered = batched or self.vectorized
+        self._trace = TraceBuffer()
         # Replay-batch-size histogram; a disabled registry hands back a
         # shared no-op instrument, so observe() stays on the path at
         # one method call per chunk flush either way.
@@ -203,36 +214,35 @@ class ProcessingElement:
     def _buffer_sparse_stream(self, start_offset: int, nnz: int) -> None:
         """Batched-mode Sparse Data Loader: append the tile's stream
         line ranges to the trace buffer instead of issuing them."""
-        counters = self.counters
-        idx_b = self.init.sizeof_indices
-        val_b = self.init.sizeof_vals
-        op = self._op_sparse
-        lines = self._trace_lines
-        ops = self._trace_ops
-        for region, elem_bytes in (
-            ("sparse_r_ids", idx_b),
-            ("sparse_c_ids", idx_b),
-            ("sparse_vals", val_b),
-        ):
-            first, count = self.address_map.stream_lines(
-                region, start_offset * elem_bytes, nnz * elem_bytes
-            )
-            counters.sparse_line_reads += count
-            lines.extend(range(first, first + count))
-            ops.extend([op] * count)
+        buffer_sparse_stream(self, start_offset, nnz)
 
     def flush_trace(self) -> None:
-        """Replay the buffered chunk trace through the memory system in
-        one batched call and fold the service levels into the counters.
-        No-op when the buffer is empty (and always in scalar mode)."""
-        if not self._trace_lines:
+        """Replay the buffered chunk trace through the memory system
+        and fold the service levels into the counters.  No-op when the
+        buffer is empty (and always in scalar-direct mode)."""
+        if len(self._trace) == 0:
             return
-        lines = np.array(self._trace_lines, dtype=np.int64)
-        ops = np.array(self._trace_ops, dtype=np.int64)
-        self._replay_batch_hist.observe(lines.shape[0])
-        self._trace_lines.clear()
-        self._trace_ops.clear()
-        levels = self.memory.replay_trace(self.pe_id, lines, ops)
+        lines, ops = self._trace.views()
+        self._replay_chunk(lines, ops)
+        self._trace.clear()
+
+    def take_trace(self):
+        """Hand the buffered chunk trace out as owned arrays and reset
+        the buffer (pipelined generate/replay hand-off)."""
+        return self._trace.take()
+
+    def replay_segment(self, lines: np.ndarray, ops: np.ndarray) -> None:
+        """Replay a chunk segment previously taken with
+        :meth:`take_trace` (pipelined consumer side)."""
+        if lines.shape[0]:
+            self._replay_chunk(lines, ops)
+
+    def _replay_chunk(self, lines: np.ndarray, ops: np.ndarray) -> None:
+        if self.batched:
+            self._replay_batch_hist.observe(lines.shape[0])
+            levels = self.memory.replay_trace(self.pe_id, lines, ops)
+        else:
+            levels = self.memory.replay_trace_scalar(self.pe_id, lines, ops)
         writes = (ops & OP_WRITE) != 0
         sparse = (ops >> OP_REGION_SHIFT) == _R_SPARSE
         dense = ~writes
@@ -289,6 +299,8 @@ class ProcessingElement:
         each touching one rMatrix line (read-modify-write in the VRF)
         and one cMatrix line (read-only).
         """
+        if self.vectorized:
+            return generate_spmm_chunk(self, r_ids, c_ids, start_offset)
         if self.batched:
             return self._execute_spmm_chunk_batched(
                 r_ids, c_ids, start_offset
@@ -350,8 +362,10 @@ class ProcessingElement:
         vrf = self.vrf
         counters = self.counters
         lpr = self.lines_per_row
-        lapp = self._trace_lines.append
-        oapp = self._trace_ops.append
+        chunk_lines: List[int] = []
+        chunk_ops: List[int] = []
+        lapp = chunk_lines.append
+        oapp = chunk_ops.append
         op_r = self._op_rmatrix_read
         op_c = self._op_cmatrix_read
         op_st = self._op_store
@@ -384,6 +398,7 @@ class ProcessingElement:
                 for s in stores:
                     lapp(s)
                     oapp(op_st)
+        self._trace.extend(chunk_lines, chunk_ops)
 
     def execute_sddmm_chunk(
         self,
@@ -398,6 +413,10 @@ class ProcessingElement:
         writes one scalar into the output vals array, coalesced into its
         destination VR (``out_offsets`` are positions in the padded
         output array, line-aligned per tile, Section 4.3)."""
+        if self.vectorized:
+            return generate_sddmm_chunk(
+                self, r_ids, c_ids, start_offset, out_offsets
+            )
         if self.batched:
             return self._execute_sddmm_chunk_batched(
                 r_ids, c_ids, start_offset, out_offsets
@@ -469,8 +488,10 @@ class ProcessingElement:
         vrf = self.vrf
         counters = self.counters
         lpr = self.lines_per_row
-        lapp = self._trace_lines.append
-        oapp = self._trace_ops.append
+        chunk_lines: List[int] = []
+        chunk_ops: List[int] = []
+        lapp = chunk_lines.append
+        oapp = chunk_ops.append
         op_r = self._op_rmatrix_read
         op_c = self._op_cmatrix_read
         op_st = self._op_store
@@ -513,6 +534,7 @@ class ProcessingElement:
             for s in stores:
                 lapp(s)
                 oapp(op_st)
+        self._trace.extend(chunk_lines, chunk_ops)
 
     # -- end of SPADE-mode section -------------------------------------------
 

@@ -1,0 +1,403 @@
+"""Vectorized chunk-trace generation for the PE layer.
+
+The scalar executors in :mod:`repro.core.pe` walk every nonzero in
+Python and push each operand through ``VectorRegisterFile.access``.
+This module derives the same per-chunk VRF access stream *as NumPy
+arrays* straight from the tile's CSR/COO index slices (line-id
+arithmetic through :class:`~repro.memory.address.AddressMap`), elides
+accesses that are provably invisible hits, and drives one generic
+tight loop over what remains.  The emitted ``(lines, ops)`` trace, the
+VRF state and counters, and therefore everything downstream (replay,
+``AccessStats``, ``PECounters``, timing) are bit-identical to the
+scalar oracle — the parity suite in ``tests/test_execution_parity.py``
+pins this per access.
+
+Why elision is exact (full argument in DESIGN.md section 7): CSR order
+makes the rMatrix operand of consecutive nonzeros repeat in long runs,
+and SDDMM output lines repeat in runs of ``CACHE_LINE_BYTES/4``.  An
+intermediate touch of such a run is a guaranteed VRF *hit* on an
+already-dirty (or clean, for read-only slots) line, so it emits
+nothing and leaves the dirty count unchanged; its only effect is an
+LRU move of the run's own line.  As long as the line is re-touched
+before ``capacity`` distinct other lines intervene, it can never reach
+the LRU head (never evicted) and — being the youngest dirty line —
+can never enter a Write-back Manager drain set (which keeps the
+youngest ``low`` dirty lines).  Hence dropping the intermediate
+touches, while keeping the first, the last, and every ``cadence``-th
+touch of each run, changes no hit/miss outcome, no eviction victim,
+no drain set, and no emission: only ``tag_hits`` must be credited for
+the skipped touches, which is done in bulk.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.config import CACHE_LINE_BYTES
+
+_OUT_VALS_PER_LINE = CACHE_LINE_BYTES // 4
+
+_OP_NONE = -1
+"""Emission sentinel: a VRF miss that allocates without a memory read
+(the SDDMM output slot is write-only)."""
+
+
+class TraceBuffer:
+    """Growable int64 ``(lines, ops)`` trace storage for one PE.
+
+    Replaces the per-chunk Python-list buffers: storage is preallocated
+    and reused across chunks (amortised-doubling growth), the dtype is
+    pinned to int64 (no silent float64 upcast on empty extends), and
+    ``views()`` hands zero-copy slices to the replay call.
+    """
+
+    __slots__ = ("_lines", "_ops", "_n")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        cap = max(16, capacity)
+        self._lines = np.empty(cap, dtype=np.int64)
+        self._ops = np.empty(cap, dtype=np.int64)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _reserve(self, extra: int) -> None:
+        need = self._n + extra
+        cap = self._lines.shape[0]
+        if need <= cap:
+            return
+        while cap < need:
+            cap *= 2
+        for name in ("_lines", "_ops"):
+            old = getattr(self, name)
+            arr = np.empty(cap, dtype=np.int64)
+            arr[: self._n] = old[: self._n]
+            setattr(self, name, arr)
+
+    def extend(self, lines: List[int], ops: List[int]) -> None:
+        """Append parallel Python lists (the tight loop's emissions)."""
+        k = len(lines)
+        if k == 0:
+            return
+        self._reserve(k)
+        n = self._n
+        self._lines[n : n + k] = lines
+        self._ops[n : n + k] = ops
+        self._n = n + k
+
+    def extend_range(self, first: int, count: int, op: int) -> None:
+        """Append ``count`` consecutive lines sharing one op (streams)."""
+        if count <= 0:
+            return
+        self._reserve(count)
+        n = self._n
+        self._lines[n : n + count] = np.arange(
+            first, first + count, dtype=np.int64
+        )
+        self._ops[n : n + count] = op
+        self._n = n + count
+
+    def views(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Zero-copy (lines, ops) views of the buffered trace."""
+        return self._lines[: self._n], self._ops[: self._n]
+
+    def take(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Copy the buffered trace out and clear the buffer (pipelined
+        mode hands these segments across the generate/replay queue)."""
+        lines, ops = self.views()
+        seg = (lines.copy(), ops.copy())
+        self._n = 0
+        return seg
+
+    def clear(self) -> None:
+        self._n = 0
+
+
+def _elision_cadence(
+    vrf, slots_per_nnz: int, live_lines: int, dirty_live: int
+) -> int:
+    """Largest safe re-touch cadence (in nonzeros) for run elision, or
+    1 when elision must stay off.
+
+    Between two kept touches of a live run, at most
+    ``slots_per_nnz * (cadence + 1)`` other accesses intervene; the
+    safety condition keeps that strictly below the VRF capacity minus
+    the live lines themselves (so no live line can sink to the LRU
+    head), and requires the slot's dirty live lines to fit inside the
+    drain floor (the Write-back Manager never drains the youngest
+    ``low`` dirty lines, so live dirty lines are never drained).
+    """
+    if dirty_live > vrf._low:
+        return 1
+    cadence = (vrf.num_registers - live_lines - 2) // slots_per_nnz - 1
+    return cadence if cadence >= 2 else 1
+
+
+def _run_keep_mask(ids: np.ndarray, cadence: int) -> np.ndarray:
+    """Touch schedule over consecutive same-value runs: keep the first
+    element of each run, every ``cadence``-th after it, and the last."""
+    n = ids.shape[0]
+    first = np.empty(n, dtype=bool)
+    first[0] = True
+    np.not_equal(ids[1:], ids[:-1], out=first[1:])
+    last = np.empty(n, dtype=bool)
+    last[-1] = True
+    last[:-1] = first[1:]
+    idx = np.arange(n, dtype=np.int64)
+    run_start = np.maximum.accumulate(np.where(first, idx, 0))
+    return first | last | ((idx - run_start) % cadence == 0)
+
+
+def _run_vrf_stream(
+    pe,
+    lines: np.ndarray,
+    dirties: np.ndarray,
+    emit_ops: np.ndarray,
+    skipped_hits: int,
+) -> None:
+    """Drive the PE's VRF over a derived access stream, appending trace
+    emissions (miss loads, eviction stores, drain stores) to the PE's
+    trace buffer in exact scalar order.
+
+    Mirrors ``VectorRegisterFile.access`` state-transition for
+    state-transition, but inlined over the whole chunk: the insertion
+    order of ``vrf._tags`` IS the LRU order, a hit reinserts at MRU, a
+    miss evicts the head, and any access that raises the dirty count
+    past the high watermark immediately drains the oldest dirty lines
+    to the low watermark (dirty count can only cross the watermark on
+    an increment, so the drain check is needed on those paths only).
+    """
+    vrf = pe.vrf
+    tags = vrf._tags
+    pop = tags.pop
+    cap = vrf.num_registers
+    high = vrf._high
+    low = vrf._low
+    dc = vrf._dirty_count
+    hits = misses = evc = evw = mwb = 0
+    out_lines: List[int] = []
+    out_ops: List[int] = []
+    lapp = out_lines.append
+    oapp = out_ops.append
+    op_store = pe._op_store
+
+    def drain(to_drain: int) -> List[int]:
+        drained: List[int] = []
+        for tagged_line, is_dirty in tags.items():
+            if len(drained) >= to_drain:
+                break
+            if is_dirty:
+                drained.append(tagged_line)
+        for tagged_line in drained:
+            tags[tagged_line] = False
+        return drained
+
+    for line, dm, op in zip(
+        lines.tolist(), dirties.tolist(), emit_ops.tolist()
+    ):
+        d = pop(line, None)
+        if d is not None:
+            hits += 1
+            if d:
+                tags[line] = True
+                continue
+            tags[line] = dm
+            if dm:
+                dc += 1
+                if dc > high:
+                    dr = drain(dc - low)
+                    dc -= len(dr)
+                    mwb += len(dr)
+                    for s in dr:
+                        lapp(s)
+                        oapp(op_store)
+            continue
+        misses += 1
+        if op >= 0:
+            lapp(line)
+            oapp(op)
+        if len(tags) >= cap:
+            evc += 1
+            victim = next(iter(tags))
+            if pop(victim):
+                dc -= 1
+                evw += 1
+                lapp(victim)
+                oapp(op_store)
+        tags[line] = dm
+        if dm:
+            dc += 1
+            if dc > high:
+                dr = drain(dc - low)
+                dc -= len(dr)
+                mwb += len(dr)
+                for s in dr:
+                    lapp(s)
+                    oapp(op_store)
+
+    vrf._dirty_count = dc
+    vrf.tag_hits += hits + skipped_hits
+    vrf.tag_misses += misses
+    vrf.evictions += evc
+    vrf.eviction_writebacks += evw
+    vrf.manager_writebacks += mwb
+    pe._trace.extend(out_lines, out_ops)
+
+
+def buffer_sparse_stream(pe, start_offset: int, nnz: int) -> None:
+    """Vectorized Sparse Data Loader: append the tile's r_ids/c_ids/vals
+    stream line ranges to the trace buffer as arrays."""
+    counters = pe.counters
+    idx_b = pe.init.sizeof_indices
+    val_b = pe.init.sizeof_vals
+    op = pe._op_sparse
+    buf = pe._trace
+    for region, elem_bytes in (
+        ("sparse_r_ids", idx_b),
+        ("sparse_c_ids", idx_b),
+        ("sparse_vals", val_b),
+    ):
+        first, count = pe.address_map.stream_lines(
+            region, start_offset * elem_bytes, nnz * elem_bytes
+        )
+        counters.sparse_line_reads += count
+        buf.extend_range(first, count, op)
+
+
+def generate_spmm_chunk(
+    pe, r_ids: np.ndarray, c_ids: np.ndarray, start_offset: int
+) -> None:
+    """Vectorized twin of ``ProcessingElement.execute_spmm_chunk``.
+
+    Per nonzero the scalar pipeline touches, in order,
+    ``r+0, c+0, r+1, c+1, ...`` for ``lines_per_row`` line pairs; the
+    rMatrix slot is read-modify-write (dirty), the cMatrix slot is
+    read-only.  CSR runs of equal r_id make the rMatrix touches of
+    elided nonzeros guaranteed dirty hits (see module docstring).
+    """
+    n = len(r_ids)
+    buffer_sparse_stream(pe, start_offset, n)
+    lpr = pe.lines_per_row
+    counters = pe.counters
+    counters.tops += n
+    counters.vops += n * lpr
+    pe._rmatrix_rows_touched.update(np.unique(r_ids).tolist())
+    if n == 0:
+        return
+    amap = pe.address_map
+    k = pe.init.dense_row_size
+    r_lines = amap.dense_row_base_lines("rmatrix", r_ids, k)
+    c_lines = amap.dense_row_base_lines("cmatrix", c_ids, k)
+
+    offs = np.arange(lpr, dtype=np.int64)
+    cols = 2 * lpr
+    lines_mat = np.empty((n, cols), dtype=np.int64)
+    lines_mat[:, 0::2] = r_lines[:, None] + offs
+    lines_mat[:, 1::2] = c_lines[:, None] + offs
+    dirty_mat = np.empty((n, cols), dtype=bool)
+    dirty_mat[:, 0::2] = True
+    dirty_mat[:, 1::2] = False
+    ops_mat = np.empty((n, cols), dtype=np.int64)
+    ops_mat[:, 0::2] = pe._op_rmatrix_read
+    ops_mat[:, 1::2] = pe._op_cmatrix_read
+
+    cadence = _elision_cadence(
+        pe.vrf, slots_per_nnz=cols, live_lines=lpr, dirty_live=lpr
+    )
+    skipped = 0
+    if cadence >= 2:
+        keep_r = _run_keep_mask(r_lines, cadence)
+        n_kept = int(keep_r.sum())
+        if n_kept < n:
+            skipped = (n - n_kept) * lpr
+            keep_mat = np.empty((n, cols), dtype=bool)
+            keep_mat[:, 0::2] = keep_r[:, None]
+            keep_mat[:, 1::2] = True
+            _run_vrf_stream(
+                pe,
+                lines_mat[keep_mat],
+                dirty_mat[keep_mat],
+                ops_mat[keep_mat],
+                skipped,
+            )
+            return
+    _run_vrf_stream(
+        pe, lines_mat.ravel(), dirty_mat.ravel(), ops_mat.ravel(), 0
+    )
+
+
+def generate_sddmm_chunk(
+    pe,
+    r_ids: np.ndarray,
+    c_ids: np.ndarray,
+    start_offset: int,
+    out_offsets: np.ndarray,
+) -> None:
+    """Vectorized twin of ``ProcessingElement.execute_sddmm_chunk``.
+
+    Per nonzero: ``lines_per_row`` read-only (r, c) line pairs followed
+    by one write-only output-line touch (dirty, no load on miss).  Both
+    the rMatrix CSR runs and the 16-nonzeros-per-line output runs are
+    elidable.
+    """
+    n = len(r_ids)
+    buffer_sparse_stream(pe, start_offset, n)
+    lpr = pe.lines_per_row
+    counters = pe.counters
+    counters.tops += n
+    counters.vops += n * lpr
+    counters.output_line_writes += n
+    if n == 0:
+        return
+    amap = pe.address_map
+    k = pe.init.dense_row_size
+    r_lines = amap.dense_row_base_lines("rmatrix", r_ids, k)
+    c_lines = amap.dense_row_base_lines("cmatrix", c_ids, k)
+    out_region = amap.regions["sparse_out_vals"]
+    out_base_line = out_region.base // CACHE_LINE_BYTES
+    out_lines = out_base_line + np.asarray(
+        out_offsets, dtype=np.int64
+    ) // _OUT_VALS_PER_LINE
+
+    offs = np.arange(lpr, dtype=np.int64)
+    cols = 2 * lpr + 1
+    lines_mat = np.empty((n, cols), dtype=np.int64)
+    lines_mat[:, 0 : 2 * lpr : 2] = r_lines[:, None] + offs
+    lines_mat[:, 1 : 2 * lpr : 2] = c_lines[:, None] + offs
+    lines_mat[:, -1] = out_lines
+    dirty_mat = np.zeros((n, cols), dtype=bool)
+    dirty_mat[:, -1] = True
+    ops_mat = np.empty((n, cols), dtype=np.int64)
+    ops_mat[:, 0 : 2 * lpr : 2] = pe._op_rmatrix_read
+    ops_mat[:, 1 : 2 * lpr : 2] = pe._op_cmatrix_read
+    ops_mat[:, -1] = _OP_NONE
+
+    cadence = _elision_cadence(
+        pe.vrf, slots_per_nnz=cols, live_lines=lpr + 1, dirty_live=1
+    )
+    skipped = 0
+    if cadence >= 2:
+        keep_r = _run_keep_mask(r_lines, cadence)
+        keep_o = _run_keep_mask(out_lines, cadence)
+        skipped_r = n - int(keep_r.sum())
+        skipped_o = n - int(keep_o.sum())
+        if skipped_r or skipped_o:
+            skipped = skipped_r * lpr + skipped_o
+            keep_mat = np.empty((n, cols), dtype=bool)
+            keep_mat[:, 0 : 2 * lpr : 2] = keep_r[:, None]
+            keep_mat[:, 1 : 2 * lpr : 2] = True
+            keep_mat[:, -1] = keep_o
+            _run_vrf_stream(
+                pe,
+                lines_mat[keep_mat],
+                dirty_mat[keep_mat],
+                ops_mat[keep_mat],
+                skipped,
+            )
+            return
+    _run_vrf_stream(
+        pe, lines_mat.ravel(), dirty_mat.ravel(), ops_mat.ravel(), 0
+    )

@@ -71,6 +71,44 @@ def sddmm_reference(
     return COOMatrix(a.num_rows, a.num_cols, a.r_ids, a.c_ids, vals)
 
 
+def spmm_chunk_update(
+    d_accum: np.ndarray,
+    r_ids: np.ndarray,
+    c_ids: np.ndarray,
+    vals: np.ndarray,
+    b64: np.ndarray,
+) -> None:
+    """Scatter-accumulate one chunk of SpMM nonzeros into ``d_accum``
+    (float64, in place).
+
+    This is the engine's per-chunk functional kernel: ``np.add.at``
+    applies the chunk's products in nonzero order, so accumulation
+    order — and therefore the float32 result — is identical whichever
+    execution backend generated the chunk's trace, as long as chunks
+    are applied in the round-robin schedule order.
+    """
+    np.add.at(
+        d_accum, r_ids, vals[:, None].astype(np.float64) * b64[c_ids]
+    )
+
+
+def sddmm_chunk_vals(
+    out_vals: np.ndarray,
+    out_offsets: np.ndarray,
+    r_ids: np.ndarray,
+    c_ids: np.ndarray,
+    vals: np.ndarray,
+    b64: np.ndarray,
+    c64: np.ndarray,
+) -> None:
+    """Segment dot products for one chunk of SDDMM nonzeros, written
+    into ``out_vals`` (float64, in place) at the chunk's padded output
+    offsets.  Offsets are unique per nonzero, so chunk application
+    order cannot change the result."""
+    inner = np.einsum("ij,ij->i", b64[r_ids], c64[c_ids])
+    out_vals[out_offsets] = vals.astype(np.float64) * inner
+
+
 def spmm_reference_csr(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
     """Row-by-row CSR SpMM, as a CPU-baseline-shaped reference."""
     b = np.asarray(b, dtype=np.float32)

@@ -612,6 +612,43 @@ class MemorySystem:
             levels[mask] = sub_levels
         return levels
 
+    def replay_trace_scalar(
+        self,
+        pe_id: int,
+        lines: np.ndarray,
+        ops: np.ndarray,
+        region_names: Sequence[Optional[str]] = TRACE_REGIONS,
+    ) -> np.ndarray:
+        """Scalar twin of :meth:`replay_trace`: one per-access call per
+        trace entry, in trace order.
+
+        This is the chunk hand-off API for ``replay="scalar"`` engines
+        whose execution backend buffers chunk traces (the vectorized
+        generators): the buffered chunk is handed to the hierarchy as
+        one unit, but each access walks the scalar reference paths so
+        the cache state transitions are — trivially — the oracle's.
+        """
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        ops = np.ascontiguousarray(ops, dtype=np.int64)
+        n = lines.shape[0]
+        levels = np.empty(n, dtype=np.uint8)
+        if n == 0:
+            return levels
+        dense = self.dense_access
+        stream = self.stream_access
+        for i, (line, op) in enumerate(zip(lines.tolist(), ops.tolist())):
+            w = bool(op & OP_WRITE)
+            path = op & OP_PATH_MASK
+            region = region_names[op >> OP_REGION_SHIFT]
+            if path == OP_STREAM:
+                levels[i] = stream(pe_id, line, w, region=region)
+            else:
+                levels[i] = dense(
+                    pe_id, line, w,
+                    bypass=(path == OP_DENSE_BYPASS), region=region,
+                )
+        return levels
+
     # -- maintenance --------------------------------------------------------
 
     def flush_pe(self, pe_id: int) -> int:

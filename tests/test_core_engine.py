@@ -44,6 +44,56 @@ class TestChunkCursor:
             total += nxt[2] - nxt[1]
         assert total == 49
 
+    @staticmethod
+    def _drain(cursor):
+        chunks = []
+        while (nxt := cursor.next_chunk()) is not None:
+            chunks.append((nxt[0].tile_id, nxt[1], nxt[2]))
+        return chunks
+
+    def test_zero_nnz_tiles_skipped(self):
+        # Empty tiles (barrier epochs can produce them) must yield no
+        # chunks — not zero-length chunks — wherever they appear.
+        tiles = [
+            _tile(0, 0, 0), _tile(5, 0, 1), _tile(0, 5, 2),
+            _tile(3, 5, 3), _tile(0, 8, 4),
+        ]
+        assert self._drain(_ChunkCursor(tiles, chunk_nnz=4)) == [
+            (1, 0, 4), (1, 4, 5), (3, 0, 3),
+        ]
+
+    def test_all_zero_nnz_tiles(self):
+        cursor = _ChunkCursor([_tile(0, 0, 0), _tile(0, 0, 1)], 4)
+        assert cursor.next_chunk() is None
+
+    def test_tile_boundary_exactly_on_chunk(self):
+        # nnz an exact multiple of chunk_nnz: the cursor must advance
+        # to the next tile, never emit an empty (lo == hi) chunk.
+        tiles = [_tile(8, 0, 0), _tile(4, 8, 1)]
+        assert self._drain(_ChunkCursor(tiles, chunk_nnz=4)) == [
+            (0, 0, 4), (0, 4, 8), (1, 0, 4),
+        ]
+
+    def test_final_partial_chunk(self):
+        # Last chunk of the last tile is smaller than chunk_nnz and must
+        # still be emitted with the exact residue bounds.
+        tiles = [_tile(10, 0, 0)]
+        assert self._drain(_ChunkCursor(tiles, chunk_nnz=3)) == [
+            (0, 0, 3), (0, 3, 6), (0, 6, 9), (0, 9, 10),
+        ]
+
+    def test_chunk_larger_than_tile(self):
+        tiles = [_tile(2, 0, 0), _tile(3, 2, 1)]
+        assert self._drain(_ChunkCursor(tiles, chunk_nnz=100)) == [
+            (0, 0, 2), (1, 0, 3),
+        ]
+
+    def test_exhausted_cursor_stays_exhausted(self):
+        cursor = _ChunkCursor([_tile(1, 0, 0)], 4)
+        assert self._drain(cursor) == [(0, 0, 1)]
+        assert cursor.next_chunk() is None
+        assert cursor.next_chunk() is None
+
 
 class TestPECounters:
     def test_merge_sums_everything(self):

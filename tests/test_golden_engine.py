@@ -5,7 +5,11 @@ as JSON under ``tests/golden/``: ``time_ns``, ``dram_bytes``, per-level
 hit/miss counts, and ``dirty_lines_flushed``.  Any silent drift in
 either replay path — scalar oracle or batched fast path — fails loudly
 here, and because ONE golden file serves BOTH replay modes, these tests
-also pin the bit-identical equivalence guarantee end to end.
+also pin the bit-identical equivalence guarantee end to end.  A second
+fixture family (``fingerprint_*.json``) freezes the full EngineResult
+surface — simulated time, epoch count, merged PECounters and an output
+digest — and holds ALL THREE execution backends (scalar, vectorized,
+pipelined) to it.
 
 Regenerate after an intentional model change (from the repo root)::
 
@@ -17,14 +21,15 @@ then review the JSON diff like any other code change.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.config import scaled_config
-from repro.core.accelerator import SpadeSystem
+from repro.config import EXECUTION_MODES, scaled_config
+from repro.core.accelerator import KernelSettings, SpadeSystem
 from repro.sparse.generators import banded, rmat_graph, uniform_random
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
@@ -41,19 +46,25 @@ REPLAY_MODES = ("scalar", "batched")
 K = 16
 
 
-def run_case(domain: str, kernel: str, replay: str):
+def run_case(
+    domain: str,
+    kernel: str,
+    replay: str,
+    execution: str = "vectorized",
+    settings: KernelSettings = None,
+):
     cfg = dataclasses.replace(
-        scaled_config(4, cache_shrink=8), replay=replay
+        scaled_config(4, cache_shrink=8), replay=replay, execution=execution
     )
     system = SpadeSystem(cfg)
     a = DOMAINS[domain]()
     rng = np.random.default_rng(2024)
     if kernel == "spmm":
         b = rng.random((a.num_cols, K), dtype=np.float32)
-        return system.spmm(a, b)
+        return system.spmm(a, b, settings=settings)
     b = rng.random((a.num_rows, K), dtype=np.float32)
     c = rng.random((a.num_cols, K), dtype=np.float32)
-    return system.sddmm(a, b, c)
+    return system.sddmm(a, b, c, settings=settings)
 
 
 def metrics(report) -> dict:
@@ -80,8 +91,48 @@ def metrics(report) -> dict:
     }
 
 
+def fingerprint(report) -> dict:
+    """The frozen EngineResult surface pinned across execution modes:
+    simulated time, epoch count, merged PECounters, the metric surface
+    of :func:`metrics`, and a digest of the raw output bytes."""
+    result = report.result
+    out = (
+        result.output_dense
+        if result.output_dense is not None
+        else result.output_vals
+    )
+    return {
+        "time_ns": round(result.time_ns, 6),
+        "compute_time_ns": round(result.compute_time_ns, 6),
+        "epochs": len(result.epoch_timings),
+        "counters": dataclasses.asdict(result.counters),
+        "output_sha256": hashlib.sha256(
+            np.ascontiguousarray(out).tobytes()
+        ).hexdigest(),
+        "metrics": metrics(report),
+    }
+
+
+# One SpMM and one SDDMM workload; the SDDMM case uses barrier epochs
+# so the pinned epoch count exercises the multi-epoch driver path.
+FINGERPRINT_CASES = {
+    "spmm_rmat": ("rmat", "spmm", None),
+    "sddmm_uniform": (
+        "uniform",
+        "sddmm",
+        KernelSettings(
+            row_panel_size=64, col_panel_size=64, use_barriers=True
+        ),
+    ),
+}
+
+
 def golden_path(domain: str, kernel: str) -> Path:
     return GOLDEN_DIR / f"{kernel}_{domain}.json"
+
+
+def fingerprint_path(case: str) -> Path:
+    return GOLDEN_DIR / f"fingerprint_{case}.json"
 
 
 def assert_matches_golden(got: dict, want: dict, where: str) -> None:
@@ -114,6 +165,25 @@ def test_engine_matches_golden(domain, kernel, replay):
     assert_matches_golden(got, want, f"{kernel}/{domain}[{replay}]")
 
 
+@pytest.mark.parametrize("execution", EXECUTION_MODES)
+@pytest.mark.parametrize("case", sorted(FINGERPRINT_CASES))
+def test_engine_fingerprint_matches_golden(case, execution):
+    """ONE pinned fingerprint per workload holds ALL execution backends
+    to the same simulated time, epoch count, stats, counters and output
+    bits."""
+    path = fingerprint_path(case)
+    assert path.exists(), (
+        f"missing golden fixture {path}; regenerate with "
+        f"`PYTHONPATH=src python tests/test_golden_engine.py --regen`"
+    )
+    want = json.loads(path.read_text())
+    domain, kernel, settings = FINGERPRINT_CASES[case]
+    got = fingerprint(
+        run_case(domain, kernel, "batched", execution, settings)
+    )
+    assert_matches_golden(got, want, f"fingerprint/{case}[{execution}]")
+
+
 def test_replay_modes_agree_on_numerics():
     """Beyond the counters: the numeric kernel output is identical."""
     scalar = run_case("uniform", "spmm", "scalar")
@@ -129,10 +199,19 @@ def regenerate() -> None:
         for kernel in KERNELS:
             # Golden values come from the scalar oracle; the parametrized
             # test then holds both modes to them.
-            got = metrics(run_case(domain, kernel, "scalar"))
+            got = metrics(run_case(domain, kernel, "scalar", "scalar"))
             path = golden_path(domain, kernel)
             path.write_text(json.dumps(got, indent=2) + "\n")
             print(f"wrote {path}")
+    for case, (domain, kernel, settings) in sorted(
+        FINGERPRINT_CASES.items()
+    ):
+        got = fingerprint(
+            run_case(domain, kernel, "batched", "scalar", settings)
+        )
+        path = fingerprint_path(case)
+        path.write_text(json.dumps(got, indent=2) + "\n")
+        print(f"wrote {path}")
 
 
 if __name__ == "__main__":
