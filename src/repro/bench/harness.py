@@ -13,10 +13,15 @@ bench files can run quick (CI) or thorough (full reproduction):
 - ``REPRO_RP_DIVISOR`` — divide the paper's Table 3 row-panel sizes by
   this factor so that panels-per-PE matches the paper on scaled-down
   matrices (default: 8)
+- ``REPRO_TIMEOUT_S`` — wall-clock watchdog per supervised attempt, in
+  seconds (default: off)
+- ``REPRO_MAX_RETRIES`` — transient-failure retries per supervised
+  attempt (default: 0)
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import math
 import os
@@ -30,7 +35,12 @@ import numpy as np
 from repro.baselines.cpu import CPUModel
 from repro.baselines.gpu import GPUModel
 from repro.baselines.sextans import SextansModel
-from repro.config import SpadeConfig, paper_config, scaled_config
+from repro.config import (
+    ResilienceConfig,
+    SpadeConfig,
+    paper_config,
+    scaled_config,
+)
 from repro.core.accelerator import KernelSettings, SpadeSystem
 from repro.sparse.coo import COOMatrix
 from repro.sparse.suite import SUITE, Benchmark, get_benchmark
@@ -48,11 +58,20 @@ class BenchEnvironment:
     opt_mode: str
     cache_shrink: float = 32.0
     row_panel_divisor: int = 8
+    timeout_s: Optional[float] = None
+    max_retries: int = 0
 
     @property
     def ratio(self) -> float:
         """System scale ratio versus the paper's 224-PE machine."""
         return self.num_pes / PAPER_PES
+
+    def resilience_config(self, **overrides) -> ResilienceConfig:
+        """Resilience policy from the environment's watchdog/retry
+        knobs; keyword overrides win."""
+        overrides.setdefault("timeout_s", self.timeout_s)
+        overrides.setdefault("max_retries", self.max_retries)
+        return ResilienceConfig(**overrides)
 
     def spade_config(self, factor: int = 1) -> SpadeConfig:
         """SPADE{factor} Base system at this environment's scale."""
@@ -61,10 +80,31 @@ class BenchEnvironment:
             name=f"SPADE{factor}-bench",
             cache_shrink=self.cache_shrink,
         )
+        cfg = dataclasses.replace(cfg, resilience=self.resilience_config())
         return cfg.scaled(factor) if factor > 1 else cfg
 
     def spade_system(self, factor: int = 1) -> SpadeSystem:
         return SpadeSystem(self.spade_config(factor))
+
+    def supervisor(self, telemetry=None, chaos=None):
+        """A :class:`~repro.resilience.RunSupervisor` with this
+        environment's watchdog/retry policy."""
+        from repro.resilience import RunSupervisor
+
+        return RunSupervisor(
+            resilience=self.resilience_config(),
+            telemetry=telemetry,
+            chaos=chaos,
+        )
+
+    def supervised_run(
+        self, kernel: str, a, b, c=None, factor: int = 1, settings=None
+    ):
+        """Run one kernel under supervision (watchdog + retry +
+        degradation) at this environment's scale."""
+        return self.supervisor().run_kernel(
+            self.spade_config(factor), kernel, a, b, c, settings=settings
+        )
 
     def base_settings(self, **overrides) -> KernelSettings:
         """SPADE Base settings mapped onto this environment's scale:
@@ -96,11 +136,15 @@ def get_environment() -> BenchEnvironment:
     opt_mode = os.environ.get("REPRO_OPT", "quick")
     cache_shrink = float(os.environ.get("REPRO_CACHE_SHRINK", "32"))
     rp_divisor = int(os.environ.get("REPRO_RP_DIVISOR", "8"))
+    timeout_env = os.environ.get("REPRO_TIMEOUT_S")
+    timeout_s = float(timeout_env) if timeout_env else None
+    max_retries = int(os.environ.get("REPRO_MAX_RETRIES", "0"))
     if opt_mode not in ("quick", "full"):
         raise ValueError("REPRO_OPT must be 'quick' or 'full'")
     return BenchEnvironment(
         scale=scale, num_pes=num_pes, opt_mode=opt_mode,
         cache_shrink=cache_shrink, row_panel_divisor=rp_divisor,
+        timeout_s=timeout_s, max_retries=max_retries,
     )
 
 

@@ -25,12 +25,20 @@ import numpy as np
 import dataclasses
 
 from repro.bench.harness import get_environment
-from repro.config import TelemetryConfig, config_summary, scaled_config
+from repro.config import (
+    ResilienceConfig,
+    TelemetryConfig,
+    config_summary,
+    scaled_config,
+)
 from repro.core.accelerator import SpadeSystem
+from repro.errors import SpadeError, WorkloadError
 from repro.sparse.analysis import estimate_ru, reuse_stats
 from repro.sparse.coo import COOMatrix
 from repro.sparse.suite import SUITE, get_benchmark
 from repro.tuning.autotune import autotune
+
+METRICS_SUFFIXES = (".json", ".csv", ".prom", ".txt")
 
 EXPERIMENTS = (
     "fig02", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
@@ -44,7 +52,12 @@ def _load_matrix(spec: str, scale: str) -> COOMatrix:
         from repro.sparse.io import read_matrix_market
 
         return read_matrix_market(path)
-    return get_benchmark(spec).build(scale)
+    try:
+        bench = get_benchmark(spec)
+    except KeyError as exc:
+        # KeyError str() adds quotes around the message; unwrap it.
+        raise WorkloadError(exc.args[0]) from exc
+    return bench.build(scale)
 
 
 def _telemetry_config(args: argparse.Namespace) -> TelemetryConfig:
@@ -58,23 +71,23 @@ def _telemetry_config(args: argparse.Namespace) -> TelemetryConfig:
     )
 
 
-def _write_telemetry(args: argparse.Namespace, system, workload) -> None:
+def _write_telemetry(args: argparse.Namespace, config, telemetry, workload) -> None:
     """Write the trace / metrics / manifest files requested by flags."""
     from repro.telemetry import run_manifest, write_metrics
 
     manifest = run_manifest(
-        config=system.config,
+        config=config,
         workload=workload,
         seed=getattr(args, "seed", None),
         argv=sys.argv[1:],
     )
     if args.trace:
-        path = system.telemetry.tracer.write(
+        path = telemetry.tracer.write(
             args.trace, metadata={"manifest": manifest}
         )
         print(f"trace written       : {path} (open in Perfetto)")
     if args.metrics_out:
-        path = write_metrics(system.telemetry.metrics, args.metrics_out)
+        path = write_metrics(telemetry.metrics, args.metrics_out)
         print(f"metrics written     : {path}")
     if args.manifest_out:
         Path(args.manifest_out).write_text(
@@ -83,35 +96,76 @@ def _write_telemetry(args: argparse.Namespace, system, workload) -> None:
         print(f"manifest written    : {args.manifest_out}")
     if args.profile:
         print("\nhottest phases (host wall clock)")
-        print(system.telemetry.tracer.format_profile(args.profile_top))
+        print(telemetry.tracer.format_profile(args.profile_top))
+
+
+def _validate_run_args(args: argparse.Namespace) -> Optional[str]:
+    """Flag-combination checks; returns an error message or None."""
+    if args.trace_chunks and not args.trace:
+        return "--trace-chunks requires --trace PATH (chunk spans land in the trace file)"
+    if (
+        args.metrics_out is not None
+        and args.metrics_out.suffix not in METRICS_SUFFIXES
+    ):
+        return (
+            f"--metrics-out suffix {args.metrics_out.suffix!r} is not "
+            f"supported; use one of {', '.join(METRICS_SUFFIXES)}"
+        )
+    if args.resume and args.checkpoint_dir is None:
+        return "--resume requires --checkpoint-dir DIR (where to find the snapshots)"
+    return None
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    problem = _validate_run_args(args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+    from repro.resilience import RunSupervisor
+    from repro.telemetry import Telemetry
+
     a = _load_matrix(args.matrix, args.scale)
+    resilience = ResilienceConfig(
+        checkpoint_dir=(
+            str(args.checkpoint_dir) if args.checkpoint_dir else None
+        ),
+        checkpoint_interval=args.checkpoint_interval,
+        resume=args.resume,
+        timeout_s=args.timeout,
+        max_retries=args.max_retries,
+    )
     cfg = dataclasses.replace(
         scaled_config(args.pes, cache_shrink=args.cache_shrink),
         telemetry=_telemetry_config(args),
+        resilience=resilience,
     )
-    system = SpadeSystem(cfg)
+    telemetry = Telemetry(cfg.telemetry)
+    supervisor = RunSupervisor(resilience=resilience, telemetry=telemetry)
     rng = np.random.default_rng(args.seed)
     b = rng.random((a.num_cols, args.k), dtype=np.float32)
     if args.kernel == "spmm":
-        report = system.spmm(a, b)
+        report = supervisor.run_kernel(cfg, "spmm", a, b)
     else:
         b_r = rng.random((a.num_rows, args.k), dtype=np.float32)
-        report = system.sddmm(a, b_r, b)
+        report = supervisor.run_kernel(cfg, "sddmm", a, b_r, b)
+    outcome = supervisor.last_outcome
     print(f"matrix              : {a}")
     print(f"kernel              : {args.kernel} (K={args.k})")
-    print(f"system              : {system.config.name} "
-          f"({system.config.num_pes} PEs)")
+    print(f"system              : {cfg.name} "
+          f"({cfg.num_pes} PEs)")
     print(f"simulated time      : {report.time_ms:.4f} ms")
     print(f"DRAM accesses       : {report.dram_accesses}")
     print(f"bandwidth utilization: {report.bandwidth_utilization:.1%}")
     print(f"requests per cycle  : {report.requests_per_cycle:.2f}")
     print(f"load imbalance      : {report.load_imbalance:.2f}")
+    if outcome is not None and (outcome.degraded or outcome.retries):
+        print(f"backend             : {outcome.backend} "
+              f"(requested {outcome.requested_backend}, "
+              f"{outcome.retries} retries, "
+              f"{outcome.degradations} degradations)")
     print(report.stats.summary())
     _write_telemetry(
-        args, system,
+        args, cfg, telemetry,
         workload={
             "matrix": args.matrix, "scale": args.scale,
             "kernel": args.kernel, "k": args.k, "pes": args.pes,
@@ -235,6 +289,23 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the hottest phases after the run")
     tel.add_argument("--profile-top", type=int, default=10,
                      help="rows in the --profile table (default 10)")
+    res = run_p.add_argument_group("resilience (long runs)")
+    res.add_argument("--checkpoint-dir", type=Path, default=None,
+                     metavar="DIR",
+                     help="write an epoch snapshot into DIR so the run "
+                     "can be resumed after a crash or kill")
+    res.add_argument("--checkpoint-interval", type=int, default=1,
+                     metavar="N",
+                     help="snapshot every N epochs (default 1)")
+    res.add_argument("--resume", action="store_true",
+                     help="resume from the latest snapshot in "
+                     "--checkpoint-dir (bit-identical to an "
+                     "uninterrupted run)")
+    res.add_argument("--timeout", type=float, default=None, metavar="S",
+                     help="wall-clock watchdog per attempt, in seconds")
+    res.add_argument("--max-retries", type=int, default=0, metavar="N",
+                     help="retry transient failures up to N times per "
+                     "execution backend (default 0)")
     run_p.set_defaults(func=_cmd_run)
 
     tune_p = sub.add_parser("autotune", help="SPADE Opt search")
@@ -272,7 +343,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SpadeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -19,6 +19,8 @@ import dataclasses
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.errors import ConfigError
+
 CACHE_LINE_BYTES = 64
 """System cache line size in bytes (Table 1: 64B VR entries)."""
 
@@ -39,7 +41,7 @@ class CacheConfig:
 
     def __post_init__(self) -> None:
         if self.size_bytes % (self.associativity * self.line_bytes):
-            raise ValueError(
+            raise ConfigError(
                 f"cache size {self.size_bytes} not divisible by "
                 f"{self.associativity} ways x {self.line_bytes}B lines"
             )
@@ -152,7 +154,7 @@ class TelemetryConfig:
 
     def __post_init__(self) -> None:
         if self.trace_chunks and not self.trace:
-            raise ValueError("trace_chunks requires trace=True")
+            raise ConfigError("trace_chunks requires trace=True")
 
     @property
     def enabled(self) -> bool:
@@ -194,13 +196,66 @@ class PipelineConfig:
 
     def __post_init__(self) -> None:
         if self.lookahead < 1:
-            raise ValueError("pipeline lookahead must be >= 1")
+            raise ConfigError("pipeline lookahead must be >= 1")
         if self.pool not in ("thread", "serial"):
-            raise ValueError(
+            raise ConfigError(
                 f"pipeline pool must be 'thread' or 'serial', got {self.pool!r}"
             )
         if self.workers < 1:
-            raise ValueError("pipeline workers must be >= 1")
+            raise ConfigError("pipeline workers must be >= 1")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Run-supervision knobs (see :mod:`repro.resilience`).
+
+    Everything defaults off so the default config behaves exactly like
+    an unsupervised run.  ``checkpoint_dir`` enables epoch-granular
+    snapshots every ``checkpoint_interval`` epochs; ``resume`` restores
+    the newest valid snapshot from that directory before running (a
+    resumed run is bit-identical to an uninterrupted one).  The
+    supervisor knobs bound retries (``max_retries`` with exponential
+    backoff ``backoff_base_s * backoff_factor**attempt``), arm a
+    watchdog (``timeout_s``, host wall-clock seconds), and control the
+    pipelined -> vectorized -> scalar degradation ladder (``degrade``).
+    """
+
+    checkpoint_dir: Optional[str] = None
+    checkpoint_interval: int = 1
+    resume: bool = False
+    timeout_s: Optional[float] = None
+    max_retries: int = 0
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval < 1:
+            raise ConfigError("checkpoint_interval must be >= 1")
+        if self.resume and not self.checkpoint_dir:
+            raise ConfigError("resume=True requires a checkpoint_dir")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigError("timeout_s must be positive (or None)")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.backoff_base_s < 0:
+            raise ConfigError("backoff_base_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+
+    @property
+    def checkpointing(self) -> bool:
+        return self.checkpoint_dir is not None
+
+    @property
+    def supervised(self) -> bool:
+        """Whether any supervision feature beyond a plain run is on."""
+        return bool(
+            self.checkpoint_dir
+            or self.resume
+            or self.timeout_s
+            or self.max_retries
+        )
 
 
 @dataclass(frozen=True)
@@ -216,16 +271,17 @@ class SpadeConfig:
     execution: str = "vectorized"
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def __post_init__(self) -> None:
         if self.num_pes < 1:
-            raise ValueError("num_pes must be >= 1")
+            raise ConfigError("num_pes must be >= 1")
         if self.replay not in REPLAY_MODES:
-            raise ValueError(
+            raise ConfigError(
                 f"replay must be one of {REPLAY_MODES}, got {self.replay!r}"
             )
         if self.execution not in EXECUTION_MODES:
-            raise ValueError(
+            raise ConfigError(
                 f"execution must be one of {EXECUTION_MODES}, "
                 f"got {self.execution!r}"
             )
@@ -242,7 +298,7 @@ class SpadeConfig:
         """Return a SPADEn Base system: ``factor``x the PE count, DRAM
         bandwidth, LLC size, and link latency (Section 7.E)."""
         if factor < 1:
-            raise ValueError("scale factor must be >= 1")
+            raise ConfigError("scale factor must be >= 1")
         mem = replace(
             self.memory,
             dram_peak_gbps=self.memory.dram_peak_gbps * factor,
@@ -300,9 +356,9 @@ def scaled_config(
     """
     base = paper_config()
     if num_pes < 1:
-        raise ValueError("num_pes must be >= 1")
+        raise ConfigError("num_pes must be >= 1")
     if cache_shrink < 1:
-        raise ValueError("cache_shrink must be >= 1")
+        raise ConfigError("cache_shrink must be >= 1")
     ratio = num_pes / base.num_pes
     mem = replace(
         base.memory,

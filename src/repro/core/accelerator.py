@@ -30,6 +30,7 @@ from repro.core.engine import DEFAULT_CHUNK_NNZ, Engine, EngineResult
 from repro.core.instructions import Primitive
 from repro.core.pe import PECounters
 from repro.core.timing import requests_per_cycle
+from repro.errors import ConfigError, WorkloadError
 from repro.memory.address import AddressMap
 from repro.memory.stats import AccessStats
 from repro.sparse.coo import COOMatrix
@@ -60,9 +61,9 @@ class KernelSettings:
 
     def __post_init__(self) -> None:
         if self.row_panel_size < 1:
-            raise ValueError("row_panel_size must be >= 1")
+            raise ConfigError("row_panel_size must be >= 1")
         if self.col_panel_size is not None and self.col_panel_size < 1:
-            raise ValueError("col_panel_size must be >= 1 or None")
+            raise ConfigError("col_panel_size must be >= 1 or None")
 
     @classmethod
     def base(cls) -> "KernelSettings":
@@ -154,6 +155,8 @@ class SpadeSystem:
         config: Optional[SpadeConfig] = None,
         chunk_nnz: int = DEFAULT_CHUNK_NNZ,
         execution: Optional[str] = None,
+        telemetry: Optional[Telemetry] = None,
+        chaos=None,
     ) -> None:
         self.config = config or paper_config()
         if execution is not None and execution != self.config.execution:
@@ -164,7 +167,14 @@ class SpadeSystem:
         self.cpe = ControlProcessor(self.config.num_pes)
         # One telemetry session per system: successive kernel runs
         # accumulate into the same registry/trace (all-off by default).
-        self.telemetry = Telemetry(self.config.telemetry)
+        # A supervisor may pass its own session so retried/degraded
+        # attempts accumulate into one registry, and a chaos monkey for
+        # fault-injection testing (forwarded to the engine).
+        self.telemetry = (
+            telemetry if telemetry is not None
+            else Telemetry(self.config.telemetry)
+        )
+        self.chaos = chaos
 
     @classmethod
     def scaled(cls, num_pes: int = 28, **kwargs) -> "SpadeSystem":
@@ -181,9 +191,22 @@ class SpadeSystem:
     ) -> ExecutionReport:
         """Run D = A @ B on the simulated accelerator."""
         b_dense = np.asarray(b_dense, dtype=np.float32)
-        if b_dense.ndim != 2 or b_dense.shape[0] != a.num_cols:
-            raise ValueError(
-                f"B must be ({a.num_cols}, K); got {b_dense.shape}"
+        if b_dense.ndim != 2:
+            raise WorkloadError(
+                f"SpMM operand B must be a 2-D array of shape "
+                f"({a.num_cols}, K); got a {b_dense.ndim}-D array of "
+                f"shape {b_dense.shape}"
+            )
+        if b_dense.shape[0] != a.num_cols:
+            raise WorkloadError(
+                f"SpMM operand B must be ({a.num_cols}, K) — one row per "
+                f"sparse-matrix column; got shape {b_dense.shape}. "
+                "Did you pass B transposed?"
+            )
+        if b_dense.shape[1] < 1:
+            raise WorkloadError(
+                "SpMM operand B must be non-empty (K >= 1 columns); "
+                f"got shape {b_dense.shape}"
             )
         settings = settings or KernelSettings.base()
         k = b_dense.shape[1]
@@ -220,7 +243,7 @@ class SpadeSystem:
                 )
             engine = Engine(
                 self.config, tiled, init, amap, policy, self.chunk_nnz,
-                telemetry=self.telemetry,
+                telemetry=self.telemetry, chaos=self.chaos,
             )
             engine.bind_schedule(schedule)
             result = engine.run_spmm(schedule, b_dense)
@@ -239,15 +262,26 @@ class SpadeSystem:
         b_dense = np.asarray(b_dense, dtype=np.float32)
         c_dense = np.asarray(c_dense, dtype=np.float32)
         if b_dense.ndim != 2 or b_dense.shape[0] != a.num_rows:
-            raise ValueError(
-                f"B must be ({a.num_rows}, K); got {b_dense.shape}"
+            raise WorkloadError(
+                f"SDDMM dense operand B must be ({a.num_rows}, K) — one "
+                f"row per sparse-matrix row; got shape {b_dense.shape}"
             )
         if c_dense.ndim != 2 or c_dense.shape[0] != a.num_cols:
-            raise ValueError(
-                f"C must be ({a.num_cols}, K); got {c_dense.shape}"
+            raise WorkloadError(
+                f"SDDMM dense operand C must be ({a.num_cols}, K) — one "
+                f"row per sparse-matrix column; got shape {c_dense.shape}"
             )
         if b_dense.shape[1] != c_dense.shape[1]:
-            raise ValueError("B and C must share the dense row size K")
+            raise WorkloadError(
+                "SDDMM dense operands B and C must share the dense row "
+                f"size K; got K={b_dense.shape[1]} for B and "
+                f"K={c_dense.shape[1]} for C"
+            )
+        if b_dense.shape[1] < 1:
+            raise WorkloadError(
+                "SDDMM dense operands must have at least one column "
+                f"(K >= 1); got shape {b_dense.shape}"
+            )
         settings = settings or KernelSettings.base()
         k = b_dense.shape[1]
         with self.telemetry.tracer.span(
@@ -283,7 +317,7 @@ class SpadeSystem:
                 )
             engine = Engine(
                 self.config, tiled, init, amap, policy, self.chunk_nnz,
-                telemetry=self.telemetry,
+                telemetry=self.telemetry, chaos=self.chaos,
             )
             engine.bind_schedule(schedule)
             result = engine.run_sddmm(schedule, b_dense, c_dense)

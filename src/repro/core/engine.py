@@ -26,10 +26,12 @@ from repro.core.cpe import Schedule
 from repro.core.instructions import InitializationInstruction, Primitive
 from repro.core.pe import PECounters, ProcessingElement
 from repro.core.timing import EpochTiming, epoch_timing, flush_time_ns
+from repro.errors import CheckpointError, ConfigError, EngineExecutionError, SpadeError
 from repro.kernels.reference import sddmm_chunk_vals, spmm_chunk_update
 from repro.memory.address import AddressMap
 from repro.memory.hierarchy import MemorySystem
 from repro.memory.stats import AccessStats
+from repro.resilience.checkpoint import CheckpointManager, checkpoint_fingerprint
 from repro.sparse.tiled import TiledMatrix, TileInfo
 from repro.telemetry import Telemetry
 
@@ -122,6 +124,7 @@ class Engine:
         policy: BypassPolicy,
         chunk_nnz: int = DEFAULT_CHUNK_NNZ,
         telemetry: Optional[Telemetry] = None,
+        chaos=None,
     ) -> None:
         self.config = config
         self.tiled = tiled
@@ -136,6 +139,21 @@ class Engine:
             telemetry if telemetry is not None
             else Telemetry(config.telemetry)
         )
+        self._chaos = chaos
+        # Epoch checkpointing: snapshots land in resilience.checkpoint_dir
+        # after every checkpoint_interval-th epoch; resumed_from_epoch
+        # records the snapshot a run restarted from (None = fresh run).
+        self.resumed_from_epoch: Optional[int] = None
+        res = config.resilience
+        self._ckpt: Optional[CheckpointManager] = None
+        if res.checkpoint_dir is not None:
+            self._ckpt = CheckpointManager(
+                res.checkpoint_dir,
+                interval=res.checkpoint_interval,
+                fingerprint=checkpoint_fingerprint(config),
+                telemetry=self.telemetry,
+                chaos=chaos,
+            )
         # Replay mode: "batched" buffers each PE chunk's trace and
         # replays it in one vectorized call per chunk; "scalar" is the
         # per-access reference oracle (bit-identical results).
@@ -163,7 +181,7 @@ class Engine:
     ) -> EngineResult:
         """Execute D = A @ B over the schedule."""
         if self.init.primitive is not Primitive.SPMM:
-            raise ValueError("engine was initialised for a different primitive")
+            raise ConfigError("engine was initialised for a different primitive")
         d_accum = np.zeros(
             (self.tiled.num_rows, self.init.dense_row_size), dtype=np.float64
         )
@@ -182,7 +200,9 @@ class Engine:
             v = self.tiled.vals[off + lo : off + hi]
             spmm_chunk_update(d_accum, r, c, v, b64)
 
-        epochs, per_pe_time = self._run_epochs(gen_chunk, apply_chunk)
+        epochs, per_pe_time = self._run_epochs(
+            gen_chunk, apply_chunk, d_accum, "spmm"
+        )
         term_ns, dirty = self._terminate()
         stats = self.memory.collect_stats()
         time_ns = sum(e.epoch_time_ns for e in epochs) + term_ns
@@ -208,7 +228,7 @@ class Engine:
     ) -> EngineResult:
         """Execute D = A o (B @ C^T) over the schedule."""
         if self.init.primitive is not Primitive.SDDMM:
-            raise ValueError("engine was initialised for a different primitive")
+            raise ConfigError("engine was initialised for a different primitive")
         out_vals = np.zeros(self.tiled.out_vals_length, dtype=np.float64)
         b64 = np.asarray(b_dense, dtype=np.float64)
         c64 = np.asarray(c_dense, dtype=np.float64)
@@ -232,7 +252,9 @@ class Engine:
             )
             sddmm_chunk_vals(out_vals, out_offsets, r, c, v, b64, c64)
 
-        epochs, per_pe_time = self._run_epochs(gen_chunk, apply_chunk)
+        epochs, per_pe_time = self._run_epochs(
+            gen_chunk, apply_chunk, out_vals, "sddmm"
+        )
         term_ns, dirty = self._terminate()
         stats = self.memory.collect_stats()
         time_ns = sum(e.epoch_time_ns for e in epochs) + term_ns
@@ -258,19 +280,34 @@ class Engine:
         self._schedule = schedule
 
     def _run_epochs(
-        self, gen_chunk, apply_chunk
+        self, gen_chunk, apply_chunk, output: np.ndarray, primitive: str
     ) -> Tuple[List[EpochTiming], List[float]]:
         schedule = self._schedule
         if schedule is None:
             raise RuntimeError("bind_schedule() must be called before running")
         if schedule.num_pes != self.config.num_pes:
-            raise ValueError(
+            raise ConfigError(
                 f"schedule is for {schedule.num_pes} PEs but the system "
                 f"has {self.config.num_pes}"
             )
         epoch_results: List[EpochTiming] = []
         per_pe_total = [0.0] * self.config.num_pes
         self._epoch_counters: List[List[PECounters]] = []
+        start_epoch = 0
+        if self._ckpt is not None and self.config.resilience.resume:
+            loaded = self._ckpt.load_latest()
+            if loaded is not None:
+                header, state = loaded
+                self._check_resume_meta(header, primitive)
+                self._restore_snapshot(
+                    state, output, epoch_results, per_pe_total
+                )
+                start_epoch = state["next_epoch"]
+                self.resumed_from_epoch = header["epoch"]
+        # Run-global per-PE chunk ordinals: EngineExecutionError's
+        # chunk_index (and chaos targeting) identifies the n-th chunk a
+        # PE processed this run, across epochs.
+        self._chunk_ordinal = [0] * self.config.num_pes
         pipelined = self.execution == "pipelined"
         executor = None
         if pipelined:
@@ -283,6 +320,8 @@ class Engine:
                 executor = _InlineExecutor()
         try:
             for epoch_idx, epoch in enumerate(schedule.epochs):
+                if epoch_idx < start_epoch:
+                    continue
                 for pe in self.pes:
                     pe.counters = PECounters()
                 dram_before = self.memory.dram.accesses
@@ -311,10 +350,102 @@ class Engine:
                 for i, t in enumerate(timing.pe_times_ns):
                     per_pe_total[i] += t
                 self._record_epoch_telemetry(epoch_idx, timing, dram_lines)
+                if self._ckpt is not None and self._ckpt.should_write(
+                    epoch_idx
+                ):
+                    self._ckpt.write(
+                        epoch_idx,
+                        self._snapshot(
+                            epoch_idx + 1, output, epoch_results,
+                            per_pe_total,
+                        ),
+                        meta=self._ckpt_meta(primitive),
+                    )
+                if self._chaos is not None:
+                    self._chaos.after_epoch(epoch_idx)
         finally:
             if executor is not None:
                 executor.shutdown(wait=True)
         return epoch_results, per_pe_total
+
+    # -- checkpoint plumbing ---------------------------------------------
+
+    def _ckpt_meta(self, primitive: str) -> dict:
+        """Workload identity stored in the checkpoint header, checked
+        before resuming so a snapshot is never applied to a different
+        kernel, schedule shape, or chunking."""
+        return {
+            "primitive": primitive,
+            "chunk_nnz": self.chunk_nnz,
+            "num_pes": self.config.num_pes,
+            "nnz": int(len(self.tiled.r_ids)),
+        }
+
+    def _check_resume_meta(self, header: dict, primitive: str) -> None:
+        expected = self._ckpt_meta(primitive)
+        actual = header.get("meta", {})
+        for key, want in expected.items():
+            got = actual.get(key)
+            if got != want:
+                raise CheckpointError(
+                    f"checkpoint epoch {header.get('epoch')} does not match "
+                    f"this run: {key} is {got!r} in the snapshot but "
+                    f"{want!r} here"
+                )
+
+    def _snapshot(
+        self,
+        next_epoch: int,
+        output: np.ndarray,
+        epoch_results: List[EpochTiming],
+        per_pe_total: List[float],
+    ) -> dict:
+        """Full architectural + accumulator state at an epoch boundary.
+
+        Safe exactly here: trace buffers are empty (flushed or taken per
+        chunk), the pipelined queues are drained, and each finished
+        epoch's PE counters are already archived in _epoch_counters —
+        so caches, STLBs, BBFs, VRFs, the output accumulator, and the
+        schedule cursor (= next_epoch, since chunking restarts per
+        epoch) capture everything the remaining epochs depend on.
+        """
+        return {
+            "next_epoch": next_epoch,
+            "output": np.array(output, copy=True),
+            "epoch_timings": list(epoch_results),
+            "per_pe_total": list(per_pe_total),
+            "epoch_counters": [list(c) for c in self._epoch_counters],
+            "memory": self.memory.state_dict(),
+            "pes": [pe.state_dict() for pe in self.pes],
+        }
+
+    def _restore_snapshot(
+        self,
+        state: dict,
+        output: np.ndarray,
+        epoch_results: List[EpochTiming],
+        per_pe_total: List[float],
+    ) -> None:
+        restored = state["output"]
+        if restored.shape != output.shape:
+            raise CheckpointError(
+                f"checkpoint output has shape {restored.shape}, "
+                f"this run produces {output.shape}"
+            )
+        output[...] = restored
+        epoch_results.extend(state["epoch_timings"])
+        per_pe_total[:] = state["per_pe_total"]
+        self._epoch_counters.extend(state["epoch_counters"])
+        try:
+            self.memory.load_state_dict(state["memory"])
+            for pe, pe_state in zip(self.pes, state["pes"]):
+                pe.load_state_dict(pe_state)
+        except (KeyError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint state does not fit this system: {exc}"
+            ) from exc
+
+    # -- epoch drivers ---------------------------------------------------
 
     def _run_epoch_serial(self, cursors, gen_chunk, apply_chunk) -> None:
         """Round-robin chunk interleave with generation and replay in
@@ -322,6 +453,9 @@ class Engine:
         tracer = self.telemetry.tracer
         trace_chunks = tracer.enabled and self.config.telemetry.trace_chunks
         buffered = self.buffered
+        chaos = self._chaos
+        execution = self.execution
+        chunk_ordinal = self._chunk_ordinal
         active = True
         while active:
             active = False
@@ -331,22 +465,39 @@ class Engine:
                     continue
                 active = True
                 tile, lo, hi = nxt
-                if trace_chunks:
-                    with tracer.span(
-                        "chunk", cat="replay", tid=pe.pe_id + 1,
-                        args={"nnz": hi - lo},
-                    ):
-                        gen_chunk(pe, tile, lo, hi)
-                        apply_chunk(tile, lo, hi)
+                chunk_idx = chunk_ordinal[pe.pe_id]
+                chunk_ordinal[pe.pe_id] += 1
+                try:
+                    if chaos is not None:
+                        chaos.worker_fault(
+                            pe.pe_id, chunk_idx, backend=execution
+                        )
+                        chaos.replay_delay()
+                    if trace_chunks:
+                        with tracer.span(
+                            "chunk", cat="replay", tid=pe.pe_id + 1,
+                            args={"nnz": hi - lo},
+                        ):
+                            gen_chunk(pe, tile, lo, hi)
+                            apply_chunk(tile, lo, hi)
+                            pe.flush_trace()
+                        continue
+                    gen_chunk(pe, tile, lo, hi)
+                    apply_chunk(tile, lo, hi)
+                    if buffered:
+                        # One memory-system hand-off per PE chunk:
+                        # replay the chunk's buffered trace before the
+                        # next PE's chunk contends for the shared
+                        # levels.
                         pe.flush_trace()
-                    continue
-                gen_chunk(pe, tile, lo, hi)
-                apply_chunk(tile, lo, hi)
-                if buffered:
-                    # One memory-system hand-off per PE chunk: replay
-                    # the chunk's buffered trace before the next PE's
-                    # chunk contends for the shared levels.
-                    pe.flush_trace()
+                except SpadeError:
+                    raise
+                except Exception as exc:
+                    raise EngineExecutionError(
+                        f"{execution} execution failed on a chunk",
+                        pe_id=pe.pe_id,
+                        chunk_index=chunk_idx,
+                    ) from exc
 
     def _run_epoch_pipelined(
         self, executor, cursors, gen_chunk, apply_chunk
@@ -381,13 +532,32 @@ class Engine:
             help="wall-clock chunk trace-generation time",
         )
 
+        chaos = self._chaos
+        chunk_ordinal = self._chunk_ordinal
+
         def produce(i: int):
             nxt = cursors[i].next_chunk()
             if nxt is None:
                 return None
             tile, lo, hi = nxt
+            # Safe without a lock: at most one generation task per PE is
+            # in flight, so only one thread touches this PE's ordinal.
+            chunk_idx = chunk_ordinal[i]
+            chunk_ordinal[i] = chunk_idx + 1
             t0 = time.perf_counter()
-            gen_chunk(self.pes[i], tile, lo, hi)
+            try:
+                if chaos is not None:
+                    chaos.worker_fault(i, chunk_idx, backend="pipelined")
+                gen_chunk(self.pes[i], tile, lo, hi)
+            except SpadeError:
+                raise
+            except Exception as exc:
+                raise EngineExecutionError(
+                    "pipelined worker failed while generating a chunk "
+                    "trace",
+                    pe_id=i,
+                    chunk_index=chunk_idx,
+                ) from exc
             lines, ops = self.pes[i].take_trace()
             return tile, lo, hi, lines, ops, time.perf_counter() - t0
 
@@ -435,10 +605,20 @@ class Engine:
                     remaining -= 1
                     continue
                 if kind == "error":
-                    raise item[1]
+                    exc = item[1]
+                    if isinstance(exc, SpadeError):
+                        raise exc
+                    # Anything the producer wrapper did not classify
+                    # (e.g. a take_trace failure) still surfaces typed,
+                    # with the original traceback chained.
+                    raise EngineExecutionError(
+                        "pipelined worker failed", pe_id=i
+                    ) from exc
                 tile, lo, hi, lines, ops, gen_s = item[1]
                 depth_hist.observe(queues[i].qsize())
                 gen_hist.observe(gen_s)
+                if chaos is not None:
+                    chaos.replay_delay()
                 if trace_chunks:
                     with tracer.span(
                         "chunk", cat="replay", tid=pe.pe_id + 1,

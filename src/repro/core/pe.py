@@ -551,6 +551,31 @@ class ProcessingElement:
         self.drain()
         return self.memory.flush_pe(self.pe_id)
 
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Per-PE architectural state at an epoch boundary.
+
+        Only valid between epochs: the chunk trace buffer must be empty
+        (flushed or taken) and ``counters`` is excluded because the
+        engine resets it per epoch and archives the per-epoch values
+        itself.
+        """
+        if len(self._trace) != 0:
+            raise RuntimeError(
+                f"PE {self.pe_id} has a non-empty trace buffer; "
+                "checkpoints are only valid at epoch boundaries"
+            )
+        return {
+            "vrf": self.vrf.state_dict(),
+            "rmatrix_rows_touched": sorted(self._rmatrix_rows_touched),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.vrf.load_state_dict(state["vrf"])
+        self._rmatrix_rows_touched = set(state["rmatrix_rows_touched"])
+        self._trace.clear()
+
     @property
     def rmatrix_rows_touched(self) -> int:
         return len(self._rmatrix_rows_touched)

@@ -117,6 +117,34 @@ class VectorRegisterFile:
         self._tags.clear()
         return stores
 
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Tag CAM contents in LRU order (line, dirty) plus counters."""
+        return {
+            "tags": list(self._tags.items()),
+            "tag_hits": self.tag_hits,
+            "tag_misses": self.tag_misses,
+            "evictions": self.evictions,
+            "manager_writebacks": self.manager_writebacks,
+            "eviction_writebacks": self.eviction_writebacks,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        tags = dict(state["tags"])
+        if len(tags) > self.num_registers:
+            raise ValueError(
+                f"snapshot holds {len(tags)} tags, VRF has "
+                f"{self.num_registers} registers"
+            )
+        self._tags = tags
+        self._dirty_count = sum(1 for d in tags.values() if d)
+        self.tag_hits = state["tag_hits"]
+        self.tag_misses = state["tag_misses"]
+        self.evictions = state["evictions"]
+        self.manager_writebacks = state["manager_writebacks"]
+        self.eviction_writebacks = state["eviction_writebacks"]
+
     @property
     def occupancy(self) -> int:
         return len(self._tags)

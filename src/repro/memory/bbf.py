@@ -184,3 +184,24 @@ class BypassBuffer:
         self.stream_hits = self.stream_misses = self.writebacks = 0
         self.flush_writebacks = 0
         self.victim.reset_stats()
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Stream-buffer LRU contents, victim-cache state, counters."""
+        return {
+            "buffer": list(self._buffer.items()),
+            "victim": self.victim.state_dict(),
+            "stream_hits": self.stream_hits,
+            "stream_misses": self.stream_misses,
+            "writebacks": self.writebacks,
+            "flush_writebacks": self.flush_writebacks,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._buffer = dict(state["buffer"])
+        self.victim.load_state_dict(state["victim"])
+        self.stream_hits = state["stream_hits"]
+        self.stream_misses = state["stream_misses"]
+        self.writebacks = state["writebacks"]
+        self.flush_writebacks = state["flush_writebacks"]

@@ -223,6 +223,35 @@ class Cache:
         self.hits = self.misses = self.writebacks = self.fills = 0
         self.flush_writebacks = 0
 
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Full replayable state: per-set LRU contents (order = dict
+        insertion order, first key LRU) plus the live counters."""
+        return {
+            "sets": [list(s.items()) for s in self._sets],
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks,
+            "fills": self.fills,
+            "flush_writebacks": self.flush_writebacks,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot.  The geometry must
+        match — snapshots are not portable across cache shapes."""
+        if len(state["sets"]) != self.num_sets:
+            raise ValueError(
+                f"{self.name}: snapshot has {len(state['sets'])} sets, "
+                f"cache has {self.num_sets}"
+            )
+        self._sets = [dict(items) for items in state["sets"]]
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.writebacks = state["writebacks"]
+        self.fills = state["fills"]
+        self.flush_writebacks = state["flush_writebacks"]
+
     def publish_metrics(self, registry, level: str, unit: str) -> None:
         """Snapshot this cache's counters into a metrics registry as
         ``spade_cache_*_total{level=,unit=}``.  Call once per run: the

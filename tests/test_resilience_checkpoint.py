@@ -1,0 +1,351 @@
+"""Checkpoint/resume: state round-trips, corruption handling, and
+kill-then-resume bit-exactness across all execution backends."""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import ResilienceConfig, scaled_config
+from repro.core.accelerator import KernelSettings, SpadeSystem
+from repro.errors import CheckpointError
+from repro.memory.hierarchy import MemorySystem
+from repro.resilience import (
+    ChaosConfig,
+    ChaosMonkey,
+    CheckpointManager,
+    InjectedCrash,
+    checkpoint_fingerprint,
+)
+from repro.sparse.generators import rmat_graph
+
+BACKENDS = ("scalar", "vectorized", "pipelined")
+
+MULTI_EPOCH_SETTINGS = KernelSettings(
+    row_panel_size=32, col_panel_size=64, use_barriers=True
+)
+
+
+def fingerprint(report) -> dict:
+    """Everything a resumed run must reproduce exactly."""
+    out = np.ascontiguousarray(report.output)
+    return {
+        "time_ns": report.result.time_ns,
+        "compute_time_ns": report.result.compute_time_ns,
+        "epochs": len(report.result.epoch_timings),
+        "epoch_times": [
+            t.epoch_time_ns for t in report.result.epoch_timings
+        ],
+        "per_pe_time_ns": report.result.per_pe_time_ns,
+        "counters": dataclasses.asdict(report.result.counters),
+        "stats": report.result.stats.summary(),
+        "output_sha256": hashlib.sha256(out.tobytes()).hexdigest(),
+    }
+
+
+@pytest.fixture(scope="module")
+def workload():
+    a = rmat_graph(scale=8, seed=5)
+    b = np.random.default_rng(0).random((a.num_cols, 16), dtype=np.float32)
+    b_r = np.random.default_rng(1).random((a.num_rows, 16), dtype=np.float32)
+    return a, b, b_r
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    return scaled_config(4, cache_shrink=8)
+
+
+@pytest.fixture(scope="module")
+def golden(workload, base_config):
+    a, b, _ = workload
+    report = SpadeSystem(base_config).spmm(
+        a, b, settings=MULTI_EPOCH_SETTINGS
+    )
+    assert len(report.result.epoch_timings) >= 3, (
+        "kill-then-resume needs a multi-epoch schedule"
+    )
+    return report
+
+
+class TestStateRoundTrips:
+    def test_memory_system_state_round_trip(self, base_config, workload):
+        a, b, _ = workload
+        system = SpadeSystem(base_config)
+        system.spmm(a, b)
+        # Drive one memory system, snapshot it, restore into a fresh one.
+        mem = MemorySystem(base_config)
+        for line in range(0, 500, 3):
+            mem.dense_access(0, line, region="rmatrix")
+            mem.stream_access(1, line + 1, region="sparse")
+        state = mem.state_dict()
+        fresh = MemorySystem(base_config)
+        fresh.load_state_dict(state)
+        assert fresh.state_dict() == state
+        assert fresh.collect_stats().summary() == mem.collect_stats().summary()
+        # Post-restore behaviour matches: same access, same service level.
+        assert fresh.dense_access(0, 3, region="rmatrix") == mem.dense_access(
+            0, 3, region="rmatrix"
+        )
+
+    def test_memory_state_rejects_wrong_geometry(self, base_config):
+        mem = MemorySystem(base_config)
+        state = mem.state_dict()
+        other = MemorySystem(scaled_config(8, cache_shrink=8))
+        with pytest.raises(ValueError):
+            other.load_state_dict(state)
+
+    def test_vrf_state_round_trip(self):
+        from repro.core.vrf import VectorRegisterFile
+
+        vrf = VectorRegisterFile(8)
+        for line in (1, 2, 3, 1, 9, 2, 11, 12, 13, 14):
+            vrf.access(line, mark_dirty=line % 2 == 0)
+        state = vrf.state_dict()
+        fresh = VectorRegisterFile(8)
+        fresh.load_state_dict(state)
+        assert fresh.state_dict() == state
+        assert fresh.access(5, mark_dirty=True) == vrf.access(
+            5, mark_dirty=True
+        )
+
+
+class TestCheckpointFiles:
+    def test_write_then_read_round_trip(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path), fingerprint="f" * 64)
+        state = {"next_epoch": 2, "output": np.arange(6.0)}
+        path = mgr.write(1, state, meta={"primitive": "spmm"})
+        header, loaded = mgr.read(path)
+        assert header["epoch"] == 1
+        assert header["meta"] == {"primitive": "spmm"}
+        assert loaded["next_epoch"] == 2
+        np.testing.assert_array_equal(loaded["output"], state["output"])
+
+    def test_truncated_checkpoint_is_rejected(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path))
+        path = mgr.write(0, {"payload": list(range(1000))})
+        size = path and __import__("os").path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size // 2)
+        with pytest.raises(CheckpointError, match="truncated"):
+            mgr.read(path)
+
+    def test_bit_flip_is_rejected(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path))
+        path = mgr.write(0, {"payload": list(range(1000))})
+        with open(path, "r+b") as fh:
+            data = fh.read()
+            fh.seek(len(data) - 10)
+            fh.write(b"\x00" if data[-10:-9] != b"\x00" else b"\x01")
+        with pytest.raises(CheckpointError, match="integrity"):
+            mgr.read(path)
+
+    def test_wrong_magic_is_rejected(self, tmp_path):
+        bad = tmp_path / "ckpt-epoch-000000.ckpt"
+        bad.write_bytes(json.dumps({"format": "other"}).encode() + b"\n")
+        mgr = CheckpointManager(str(tmp_path))
+        with pytest.raises(CheckpointError, match="spade-checkpoint"):
+            mgr.read(str(bad))
+
+    def test_fingerprint_mismatch_is_rejected(self, tmp_path):
+        writer = CheckpointManager(str(tmp_path), fingerprint="a" * 64)
+        path = writer.write(0, {"x": 1})
+        reader = CheckpointManager(str(tmp_path), fingerprint="b" * 64)
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            reader.read(path)
+
+    def test_load_latest_falls_back_to_older_valid(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path))
+        mgr.write(0, {"epoch": 0})
+        newest = mgr.write(1, {"epoch": 1})
+        with open(newest, "r+b") as fh:
+            fh.truncate(5)
+        header, state = mgr.load_latest()
+        assert header["epoch"] == 0
+        assert state == {"epoch": 0}
+
+    def test_load_latest_empty_dir_returns_none(self, tmp_path):
+        assert CheckpointManager(str(tmp_path)).load_latest() is None
+
+    def test_load_latest_all_corrupt_raises(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path))
+        path = mgr.write(0, {"x": 1})
+        with open(path, "r+b") as fh:
+            fh.truncate(3)
+        with pytest.raises(CheckpointError, match="no loadable"):
+            mgr.load_latest()
+
+    def test_interval_controls_cadence(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path), interval=3)
+        assert [e for e in range(9) if mgr.should_write(e)] == [2, 5, 8]
+
+    def test_fingerprint_ignores_backend_and_resilience(self, base_config):
+        fp = checkpoint_fingerprint(base_config)
+        variants = [
+            dataclasses.replace(base_config, execution="pipelined"),
+            dataclasses.replace(base_config, replay="scalar"),
+            dataclasses.replace(
+                base_config,
+                resilience=ResilienceConfig(checkpoint_dir="/tmp/x"),
+            ),
+        ]
+        for variant in variants:
+            assert checkpoint_fingerprint(variant) == fp
+        shrunk = scaled_config(8, cache_shrink=8)
+        assert checkpoint_fingerprint(shrunk) != fp
+
+
+class TestKillAndResume:
+    def _with_resilience(self, config, backend, **res):
+        return dataclasses.replace(
+            config,
+            execution=backend,
+            resilience=ResilienceConfig(**res),
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_kill_then_resume_is_bit_identical(
+        self, tmp_path, workload, base_config, golden, backend
+    ):
+        a, b, _ = workload
+        kill_at = len(golden.result.epoch_timings) // 2
+        cfg = self._with_resilience(
+            base_config, backend, checkpoint_dir=str(tmp_path)
+        )
+        monkey = ChaosMonkey(ChaosConfig(kill_after_epoch=kill_at))
+        with pytest.raises(InjectedCrash):
+            SpadeSystem(cfg, chaos=monkey).spmm(
+                a, b, settings=MULTI_EPOCH_SETTINGS
+            )
+        resumed_cfg = self._with_resilience(
+            base_config, backend, checkpoint_dir=str(tmp_path), resume=True
+        )
+        report = SpadeSystem(resumed_cfg).spmm(
+            a, b, settings=MULTI_EPOCH_SETTINGS
+        )
+        assert fingerprint(report) == fingerprint(golden)
+
+    def test_cross_backend_resume(
+        self, tmp_path, workload, base_config, golden
+    ):
+        """A checkpoint written by a pipelined run resumes under the
+        scalar backend (what the degradation ladder relies on)."""
+        a, b, _ = workload
+        cfg = self._with_resilience(
+            base_config, "pipelined", checkpoint_dir=str(tmp_path)
+        )
+        monkey = ChaosMonkey(ChaosConfig(kill_after_epoch=1))
+        with pytest.raises(InjectedCrash):
+            SpadeSystem(cfg, chaos=monkey).spmm(
+                a, b, settings=MULTI_EPOCH_SETTINGS
+            )
+        resumed_cfg = self._with_resilience(
+            base_config, "scalar", checkpoint_dir=str(tmp_path), resume=True
+        )
+        report = SpadeSystem(resumed_cfg).spmm(
+            a, b, settings=MULTI_EPOCH_SETTINGS
+        )
+        assert fingerprint(report) == fingerprint(golden)
+
+    def test_checkpointing_does_not_perturb_results(
+        self, tmp_path, workload, base_config, golden
+    ):
+        a, b, _ = workload
+        cfg = self._with_resilience(
+            base_config, "scalar", checkpoint_dir=str(tmp_path)
+        )
+        report = SpadeSystem(cfg).spmm(a, b, settings=MULTI_EPOCH_SETTINGS)
+        assert fingerprint(report) == fingerprint(golden)
+        n_epochs = len(golden.result.epoch_timings)
+        assert len(list(tmp_path.glob("ckpt-epoch-*.ckpt"))) == n_epochs
+
+    def test_resume_of_completed_run_is_identical(
+        self, tmp_path, workload, base_config, golden
+    ):
+        a, b, _ = workload
+        cfg = self._with_resilience(
+            base_config, "scalar", checkpoint_dir=str(tmp_path)
+        )
+        SpadeSystem(cfg).spmm(a, b, settings=MULTI_EPOCH_SETTINGS)
+        resumed_cfg = self._with_resilience(
+            base_config, "scalar", checkpoint_dir=str(tmp_path), resume=True
+        )
+        report = SpadeSystem(resumed_cfg).spmm(
+            a, b, settings=MULTI_EPOCH_SETTINGS
+        )
+        assert report.result.output_dense is not None
+        assert fingerprint(report) == fingerprint(golden)
+
+    def test_resume_with_empty_dir_runs_fresh(
+        self, tmp_path, workload, base_config, golden
+    ):
+        a, b, _ = workload
+        cfg = self._with_resilience(
+            base_config, "scalar", checkpoint_dir=str(tmp_path), resume=True
+        )
+        report = SpadeSystem(cfg).spmm(a, b, settings=MULTI_EPOCH_SETTINGS)
+        assert fingerprint(report) == fingerprint(golden)
+
+    def test_resume_rejects_different_workload(
+        self, tmp_path, workload, base_config
+    ):
+        a, b, b_r = workload
+        cfg = self._with_resilience(
+            base_config, "scalar", checkpoint_dir=str(tmp_path)
+        )
+        SpadeSystem(cfg).spmm(a, b, settings=MULTI_EPOCH_SETTINGS)
+        resumed_cfg = self._with_resilience(
+            base_config, "scalar", checkpoint_dir=str(tmp_path), resume=True
+        )
+        with pytest.raises(CheckpointError, match="primitive"):
+            SpadeSystem(resumed_cfg).sddmm(
+                a, b_r, b, settings=MULTI_EPOCH_SETTINGS
+            )
+
+    def test_sddmm_kill_then_resume(self, tmp_path, workload, base_config):
+        a, b, b_r = workload
+        golden = SpadeSystem(base_config).sddmm(
+            a, b_r, b, settings=MULTI_EPOCH_SETTINGS
+        )
+        assert len(golden.result.epoch_timings) >= 2
+        cfg = self._with_resilience(
+            base_config, "vectorized", checkpoint_dir=str(tmp_path)
+        )
+        monkey = ChaosMonkey(ChaosConfig(kill_after_epoch=0))
+        with pytest.raises(InjectedCrash):
+            SpadeSystem(cfg, chaos=monkey).sddmm(
+                a, b_r, b, settings=MULTI_EPOCH_SETTINGS
+            )
+        resumed_cfg = self._with_resilience(
+            base_config, "vectorized",
+            checkpoint_dir=str(tmp_path), resume=True,
+        )
+        report = SpadeSystem(resumed_cfg).sddmm(
+            a, b_r, b, settings=MULTI_EPOCH_SETTINGS
+        )
+        assert report.result.output_vals is not None
+        assert fingerprint(report) == fingerprint(golden)
+
+    def test_checkpoints_written_counter(
+        self, tmp_path, workload, base_config, golden
+    ):
+        from repro.config import TelemetryConfig
+        from repro.telemetry import Telemetry
+
+        a, b, _ = workload
+        cfg = dataclasses.replace(
+            self._with_resilience(
+                base_config, "scalar", checkpoint_dir=str(tmp_path)
+            ),
+            telemetry=TelemetryConfig(metrics=True),
+        )
+        telemetry = Telemetry(cfg.telemetry)
+        SpadeSystem(cfg, telemetry=telemetry).spmm(
+            a, b, settings=MULTI_EPOCH_SETTINGS
+        )
+        written = telemetry.metrics.counter("spade_checkpoints_written")
+        assert written.value == len(golden.result.epoch_timings)
