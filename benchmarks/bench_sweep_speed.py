@@ -1,0 +1,194 @@
+"""Sweep-orchestrator benchmark: serial vs process-parallel vs cached.
+
+Runs representative experiment grids (fig09, table5) three ways:
+
+* **serial** — ``sweep=None``, the plain in-process loop;
+* **parallel** — a :class:`~repro.sweep.SweepRunner` with ``--jobs N``
+  worker processes and a cold content-addressed result cache;
+* **warm** — the same sweep again over the now-populated cache, which
+  must execute **zero** simulator invocations.
+
+Every run asserts the parallel and cached outputs are equal to the
+serial rows before timing is reported, so the benchmark doubles as an
+end-to-end parity check.  Two speedups land in ``BENCH_sweep.json``:
+
+* ``parallel_speedup`` — hardware-dependent; scales with physical
+  cores (recorded alongside ``cpu_count`` so a 1-core CI box and an
+  N-core workstation are comparable on their own terms);
+* ``warm_cache_speedup`` — machine-independent: cached reruns replace
+  simulation with file reads regardless of core count.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_speed.py
+    PYTHONPATH=src python benchmarks/bench_sweep_speed.py --smoke
+
+This is a standalone script, not a pytest-benchmark module (the
+``bench_*`` siblings are run via ``pytest benchmarks``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+from repro.bench import fig09, table5
+from repro.bench.harness import BenchEnvironment, write_bench_json
+from repro.sweep import SweepRunner, open_cache
+
+
+def _env(smoke: bool) -> BenchEnvironment:
+    if smoke:
+        return BenchEnvironment(
+            scale="tiny", num_pes=2, opt_mode="quick",
+            cache_shrink=8.0, row_panel_divisor=8,
+        )
+    return BenchEnvironment(
+        scale="small", num_pes=4, opt_mode="quick",
+        cache_shrink=16.0, row_panel_divisor=8,
+    )
+
+
+def _drivers(smoke: bool):
+    matrices = ["KRO", "DEL", "MYC"] if smoke else None
+    return [("fig09", fig09, matrices), ("table5", table5, matrices)]
+
+
+def _timed(fn) -> tuple:
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def bench_driver(
+    name: str, module, matrices, env: BenchEnvironment,
+    jobs: int, cache_dir: str, reps: int,
+) -> dict:
+    # Untimed warm-up: populates the process-wide workload caches
+    # (suite_matrix/dense_input lru_caches) that forked workers inherit,
+    # so the serial leg is not charged for first-touch construction the
+    # parallel leg gets for free.
+    module.run(env, matrices=matrices)
+
+    serial_times: List[float] = []
+    serial_rows = None
+    for _ in range(reps):
+        serial_rows, dt = _timed(
+            lambda: module.run(env, matrices=matrices)
+        )
+        serial_times.append(dt)
+
+    cold = SweepRunner(jobs=jobs, cache=open_cache(cache_dir))
+    parallel_rows, parallel_s = _timed(
+        lambda: module.run(env, matrices=matrices, sweep=cold)
+    )
+    assert parallel_rows == serial_rows, f"{name}: parallel != serial"
+    assert cold.report.completed == cold.report.total
+
+    warm_times: List[float] = []
+    warm_rows = None
+    warm = None
+    for _ in range(reps):
+        warm = SweepRunner(jobs=jobs, cache=open_cache(cache_dir))
+        warm_rows, dt = _timed(
+            lambda: module.run(env, matrices=matrices, sweep=warm)
+        )
+        warm_times.append(dt)
+    assert warm_rows == serial_rows, f"{name}: cached != serial"
+    assert warm.report.cached == warm.report.total, (
+        f"{name}: warm rerun executed "
+        f"{warm.report.completed} simulator invocations, expected 0"
+    )
+
+    serial_s = statistics.median(serial_times)
+    warm_s = statistics.median(warm_times)
+    return {
+        "name": name,
+        "grid_jobs": cold.report.total,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "warm_s": round(warm_s, 4),
+        "parallel_speedup": round(serial_s / parallel_s, 2),
+        "warm_cache_speedup": round(serial_s / warm_s, 2),
+        "warm_cache_hit_fraction": warm.report.cached_fraction,
+        "warm_simulator_invocations": warm.report.completed,
+        "parity": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny grids for CI (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4,
+        help="worker processes for the parallel leg (default 4)",
+    )
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="output JSON path (default: repo-root BENCH_sweep.json, or "
+        "BENCH_sweep_smoke.json in --smoke mode so smoke runs never "
+        "overwrite tracked full-mode results)",
+    )
+    parser.add_argument("--cache-dir", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    out = args.out
+    if out is None:
+        name = "BENCH_sweep_smoke.json" if args.smoke else "BENCH_sweep.json"
+        out = Path(__file__).resolve().parent.parent / name
+    reps = 1 if args.smoke else max(1, args.reps)
+    env = _env(args.smoke)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as scratch:
+        cache_root = Path(args.cache_dir or scratch)
+        results = []
+        for name, module, matrices in _drivers(args.smoke):
+            results.append(
+                bench_driver(
+                    name, module, matrices, env,
+                    args.jobs, str(cache_root / name), reps,
+                )
+            )
+            print(
+                f"{name}: {results[-1]['grid_jobs']} jobs  "
+                f"serial {results[-1]['serial_s']}s  "
+                f"parallel(x{args.jobs}) {results[-1]['parallel_s']}s "
+                f"({results[-1]['parallel_speedup']}x)  "
+                f"warm cache {results[-1]['warm_s']}s "
+                f"({results[-1]['warm_cache_speedup']}x)"
+            )
+
+    payload = {
+        "benchmark": "sweep_speed",
+        "mode": "smoke" if args.smoke else "full",
+        "jobs": args.jobs,
+        "cpu_count": os.cpu_count(),
+        "reps": reps,
+        "results": results,
+    }
+    write_bench_json(
+        out,
+        payload,
+        workload={
+            "drivers": [name for name, _, _ in _drivers(args.smoke)],
+            "environment": env.scale,
+            "jobs": args.jobs,
+        },
+    )
+    print(f"results written: {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

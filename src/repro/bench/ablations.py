@@ -31,6 +31,7 @@ from repro.bench.harness import (
 )
 from repro.config import CacheConfig
 from repro.core.accelerator import KernelSettings, SpadeSystem
+from repro.sweep import sweep_map
 
 K = 32
 DEFAULT_MATRICES = ("ASI", "ORK", "KRO", "DEL", "SER")
@@ -77,9 +78,26 @@ def _sweep(
     )
 
 
+def _writeback_cell(env: BenchEnvironment, point) -> AblationPoint:
+    """One Write-back Manager threshold variant — pure and picklable
+    for the sweep orchestrator."""
+    label, high, low, matrices = point
+    cfg = env.spade_config()
+    cfg = replace(
+        cfg,
+        pe=replace(
+            cfg.pe,
+            writeback_high_threshold=high,
+            writeback_low_threshold=low,
+        ),
+    )
+    return _sweep(env, matrices, label, SpadeSystem(cfg))
+
+
 def writeback_thresholds(
     env: BenchEnvironment | None = None,
     matrices: Sequence[str] = DEFAULT_MATRICES,
+    sweep=None,
 ) -> List[AblationPoint]:
     """Eager vs paper-hysteresis vs lazy Write-back Manager."""
     env = env or get_environment()
@@ -88,93 +106,102 @@ def writeback_thresholds(
         ("paper (25%/15%)", 0.25, 0.15),
         ("lazy (95%/90%)", 0.95, 0.90),
     ]
-    points = []
-    for label, high, low in variants:
-        cfg = env.spade_config()
-        cfg = replace(
-            cfg,
-            pe=replace(
-                cfg.pe,
-                writeback_high_threshold=high,
-                writeback_low_threshold=low,
-            ),
-        )
-        points.append(_sweep(env, matrices, label, SpadeSystem(cfg)))
+    grid = [
+        (label, high, low, tuple(matrices))
+        for label, high, low in variants
+    ]
+    points = sweep_map(
+        sweep, "ablation_writeback", env, _writeback_cell, grid
+    )
     base = points[1]
     return [p.normalised(base) for p in points]
+
+
+def _vrf_cell(env: BenchEnvironment, point) -> AblationPoint:
+    """One VRF-capacity variant — pure and picklable for the sweep
+    orchestrator."""
+    size, matrices = point
+    cfg = env.spade_config()
+    cfg = replace(cfg, pe=replace(cfg.pe, num_vector_registers=size))
+    return _sweep(env, matrices, f"{size} VRs", SpadeSystem(cfg))
 
 
 def vrf_sizes(
     env: BenchEnvironment | None = None,
     matrices: Sequence[str] = DEFAULT_MATRICES,
     sizes: Sequence[int] = (16, 32, 64, 128),
+    sweep=None,
 ) -> List[AblationPoint]:
     """Vector-register-file capacity sweep around Table 1's 64."""
     env = env or get_environment()
-    points = []
-    for size in sizes:
-        cfg = env.spade_config()
-        cfg = replace(
-            cfg, pe=replace(cfg.pe, num_vector_registers=size)
-        )
-        points.append(
-            _sweep(env, matrices, f"{size} VRs", SpadeSystem(cfg))
-        )
+    grid = [(size, tuple(matrices)) for size in sizes]
+    points = sweep_map(sweep, "ablation_vrf", env, _vrf_cell, grid)
     base = next(p for p, s in zip(points, sizes) if s == 64)
     return [p.normalised(base) for p in points]
+
+
+def _victim_cell(env: BenchEnvironment, point) -> AblationPoint:
+    """One victim-cache-capacity variant — pure and picklable for the
+    sweep orchestrator."""
+    size_kb, matrices = point
+    settings = env.base_settings(rmatrix_bypass=True)
+    cfg = env.spade_config()
+    cfg = replace(
+        cfg,
+        pe=replace(
+            cfg.pe,
+            victim_cache=CacheConfig(
+                size_bytes=size_kb * 1024, associativity=2
+            ),
+        ),
+    )
+    return _sweep(
+        env, matrices, f"{size_kb}KB victim", SpadeSystem(cfg), settings
+    )
 
 
 def victim_cache_sizes(
     env: BenchEnvironment | None = None,
     matrices: Sequence[str] = DEFAULT_MATRICES,
     sizes_kb: Sequence[int] = (1, 2, 8, 32),
+    sweep=None,
 ) -> List[AblationPoint]:
     """Victim-cache capacity under rMatrix bypassing (Section 5.2)."""
     env = env or get_environment()
-    settings = env.base_settings(rmatrix_bypass=True)
-    points = []
-    for size_kb in sizes_kb:
-        cfg = env.spade_config()
-        cfg = replace(
-            cfg,
-            pe=replace(
-                cfg.pe,
-                victim_cache=CacheConfig(
-                    size_bytes=size_kb * 1024, associativity=2
-                ),
-            ),
-        )
-        points.append(
-            _sweep(
-                env, matrices, f"{size_kb}KB victim",
-                SpadeSystem(cfg), settings,
-            )
-        )
+    grid = [(size_kb, tuple(matrices)) for size_kb in sizes_kb]
+    points = sweep_map(sweep, "ablation_victim", env, _victim_cell, grid)
     return [p.normalised(points[-1]) for p in points]
+
+
+def _barrier_cell(env: BenchEnvironment, point) -> AblationPoint:
+    """One barrier-epoch-granularity variant — pure and picklable for
+    the sweep orchestrator."""
+    group, matrices = point
+    first = suite_matrix(matrices[0], env.scale)
+    medium_cp = max(64, first.num_cols // 8)
+    settings = env.base_settings(
+        col_panel_size=medium_cp,
+        use_barriers=True,
+        barrier_group_cols=group,
+    )
+    return _sweep(
+        env, matrices, f"{group} col panel(s)/epoch",
+        env.spade_system(), settings,
+    )
 
 
 def barrier_granularity(
     env: BenchEnvironment | None = None,
     matrices: Sequence[str] = ("ORK", "KRO", "LIV"),
     group_sizes: Sequence[int] = (1, 2, 4),
+    sweep=None,
 ) -> List[AblationPoint]:
     """Columns-per-barrier-epoch sweep on the reuse-heavy matrices."""
     env = env or get_environment()
-    points = []
-    for group in group_sizes:
-        first = suite_matrix(matrices[0], env.scale)
-        medium_cp = max(64, first.num_cols // 8)
-        settings = env.base_settings(
-            col_panel_size=medium_cp,
-            use_barriers=True,
-            barrier_group_cols=group,
-        )
-        points.append(
-            _sweep(
-                env, matrices, f"{group} col panel(s)/epoch",
-                env.spade_system(), settings,
-            )
-        )
+    grid = [(group, tuple(matrices)) for group in group_sizes]
+    points = sweep_map(
+        sweep, "ablation_barrier", env, _barrier_cell, grid
+    )
     return [p.normalised(points[0]) for p in points]
 
 

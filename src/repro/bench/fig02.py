@@ -19,6 +19,7 @@ from repro.bench.harness import (
     suite_benchmarks,
     suite_matrix,
 )
+from repro.sweep import sweep_map
 
 K_VALUES = (32, 128)
 
@@ -51,26 +52,31 @@ class Fig02Row:
         return self.gpu_transfer_ns / self.gpu_total_ns
 
 
-def run(env: BenchEnvironment | None = None) -> List[Fig02Row]:
+def _cell(env: BenchEnvironment, point) -> Fig02Row:
+    """One (matrix, K) grid cell — pure and picklable for the sweep."""
+    name, k = point
+    a = suite_matrix(name, env.scale)
+    cpu_res = env.cpu_model().spmm(a, k)
+    gpu_res = env.gpu_model().spmm(a, k)
+    return Fig02Row(
+        matrix=name,
+        k=k,
+        cpu_ns=cpu_res.time_ns,
+        gpu_kernel_ns=gpu_res.kernel_ns,
+        gpu_transfer_ns=gpu_res.transfer_ns,
+    )
+
+
+def run(
+    env: BenchEnvironment | None = None, sweep=None
+) -> List[Fig02Row]:
     env = env or get_environment()
-    cpu = env.cpu_model()
-    gpu = env.gpu_model()
-    rows: List[Fig02Row] = []
-    for bench in suite_benchmarks():
-        a = suite_matrix(bench.name, env.scale)
-        for k in K_VALUES:
-            cpu_res = cpu.spmm(a, k)
-            gpu_res = gpu.spmm(a, k)
-            rows.append(
-                Fig02Row(
-                    matrix=bench.name,
-                    k=k,
-                    cpu_ns=cpu_res.time_ns,
-                    gpu_kernel_ns=gpu_res.kernel_ns,
-                    gpu_transfer_ns=gpu_res.transfer_ns,
-                )
-            )
-    return rows
+    points = [
+        (bench.name, k)
+        for bench in suite_benchmarks()
+        for k in K_VALUES
+    ]
+    return sweep_map(sweep, "fig02", env, _cell, points)
 
 
 def summary(rows: List[Fig02Row]) -> Dict[str, float]:

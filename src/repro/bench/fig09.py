@@ -25,7 +25,8 @@ from repro.bench.harness import (
     suite_matrix,
 )
 from repro.core.accelerator import KernelSettings
-from repro.sparse.suite import RU
+from repro.sparse.suite import RU, get_benchmark
+from repro.sweep import sweep_map
 from repro.tuning.autotune import autotune
 
 K_VALUES = (32, 128)
@@ -58,59 +59,62 @@ def _spade_time(env: BenchEnvironment, factor: int, a, kernel: str, k: int,
     return system.sddmm(a, b_r, b, settings).time_ns
 
 
+def _cell(env: BenchEnvironment, point) -> Fig09Row:
+    """One (matrix, kernel, K) grid cell — pure and picklable, the unit
+    the sweep orchestrator fans out."""
+    name, kernel, k = point
+    bench = get_benchmark(name)
+    cpu = env.cpu_model()
+    gpu = env.gpu_model()
+    a = suite_matrix(name, env.scale)
+    cpu_ns = (
+        cpu.spmm(a, k).time_ns
+        if kernel == "spmm"
+        else cpu.sddmm(a, k).time_ns
+    )
+    gpu_res = gpu.spmm(a, k) if kernel == "spmm" else gpu.sddmm(a, k)
+    # Out-of-memory rule: "for matrices that do not fit in
+    # the GPU memory we assume a GPU speedup of 1".
+    gpu_speedup = (
+        cpu_ns / gpu_res.kernel_ns if gpu_res.fits_in_memory else 1.0
+    )
+    base_ns = _spade_time(env, 1, a, kernel, k)
+    tune = autotune(
+        env.spade_system(1), a, kernel, k,
+        quick=(env.opt_mode == "quick"),
+        row_panel_divisor=env.row_panel_divisor,
+    )
+    opt_ns = min(tune.best_time_ns, base_ns)
+    spade2_ns = _spade_time(env, 2, a, kernel, k)
+    return Fig09Row(
+        matrix=name,
+        ru=bench.ru,
+        kernel=kernel,
+        k=k,
+        gpu_kernel=gpu_speedup,
+        spade_base=cpu_ns / base_ns,
+        spade_opt=cpu_ns / opt_ns,
+        spade2_base=cpu_ns / spade2_ns,
+        opt_settings=tune.best_settings,
+    )
+
+
 def run(
     env: BenchEnvironment | None = None,
     kernels=KERNELS,
     k_values=K_VALUES,
     matrices: Optional[List[str]] = None,
+    sweep=None,
 ) -> List[Fig09Row]:
     env = env or get_environment()
-    cpu = env.cpu_model()
-    gpu = env.gpu_model()
-    rows: List[Fig09Row] = []
-    for bench in suite_benchmarks():
-        if matrices and bench.name not in matrices:
-            continue
-        a = suite_matrix(bench.name, env.scale)
-        for kernel in kernels:
-            for k in k_values:
-                cpu_ns = (
-                    cpu.spmm(a, k).time_ns
-                    if kernel == "spmm"
-                    else cpu.sddmm(a, k).time_ns
-                )
-                gpu_res = (
-                    gpu.spmm(a, k) if kernel == "spmm" else gpu.sddmm(a, k)
-                )
-                # Out-of-memory rule: "for matrices that do not fit in
-                # the GPU memory we assume a GPU speedup of 1".
-                gpu_speedup = (
-                    cpu_ns / gpu_res.kernel_ns
-                    if gpu_res.fits_in_memory
-                    else 1.0
-                )
-                base_ns = _spade_time(env, 1, a, kernel, k)
-                tune = autotune(
-                    env.spade_system(1), a, kernel, k,
-                    quick=(env.opt_mode == "quick"),
-                    row_panel_divisor=env.row_panel_divisor,
-                )
-                opt_ns = min(tune.best_time_ns, base_ns)
-                spade2_ns = _spade_time(env, 2, a, kernel, k)
-                rows.append(
-                    Fig09Row(
-                        matrix=bench.name,
-                        ru=bench.ru,
-                        kernel=kernel,
-                        k=k,
-                        gpu_kernel=gpu_speedup,
-                        spade_base=cpu_ns / base_ns,
-                        spade_opt=cpu_ns / opt_ns,
-                        spade2_base=cpu_ns / spade2_ns,
-                        opt_settings=tune.best_settings,
-                    )
-                )
-    return rows
+    points = [
+        (bench.name, kernel, k)
+        for bench in suite_benchmarks()
+        if not matrices or bench.name in matrices
+        for kernel in kernels
+        for k in k_values
+    ]
+    return sweep_map(sweep, "fig09", env, _cell, points)
 
 
 def summary(rows: List[Fig09Row]) -> Dict[str, float]:

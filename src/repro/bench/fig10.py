@@ -35,6 +35,7 @@ from repro.bench.harness import (
 )
 from repro.config import SpadeConfig
 from repro.core.accelerator import KernelSettings, SpadeSystem
+from repro.sweep import sweep_map
 from repro.tuning.autotune import autotune
 
 LINK_LATENCIES_NS = (60.0, 480.0, 960.0)
@@ -90,36 +91,53 @@ def _cfg_settings(
     return env.base_settings(sparse_stream_bypass=sparse_bypass)
 
 
+def _cell(env: BenchEnvironment, point) -> Dict[str, float]:
+    """One (configuration, link latency, matrix) grid cell — pure and
+    picklable for the sweep orchestrator.  Geomean grouping across the
+    suite happens after the merge, in :func:`run`."""
+    cfg_name, ll, name = point
+    a = suite_matrix(name, env.scale)
+    system = _cfg_system(env, cfg_name, ll)
+    settings = _cfg_settings(env, cfg_name, name)
+    b = dense_input(a.num_cols, K)
+    rep = system.spmm(a, b, settings)
+    return {
+        "dram": rep.dram_accesses,
+        "llc": max(rep.llc_accesses, 1),
+        "rpc": rep.requests_per_cycle,
+        "time": rep.time_ns,
+    }
+
+
 def run(
     env: BenchEnvironment | None = None,
     matrices: Optional[Sequence[str]] = None,
+    sweep=None,
 ) -> List[CfgPoint]:
     env = env or get_environment()
     names = [b.name for b in suite_benchmarks()]
     if matrices:
         names = [n for n in names if n in matrices]
 
+    points = [
+        (cfg_name, ll, name)
+        for cfg_name in CFG_NAMES
+        for ll in ((60.0,) if cfg_name == "CFG5" else LINK_LATENCIES_NS)
+        for name in names
+    ]
+    cells = sweep_map(sweep, "fig10", env, _cell, points)
+
     raw: Dict[tuple, Dict[str, float]] = {}
-    for cfg_name in CFG_NAMES:
-        lls = (60.0,) if cfg_name == "CFG5" else LINK_LATENCIES_NS
-        for ll in lls:
-            dram, llc, rpc, times = [], [], [], []
-            for name in names:
-                a = suite_matrix(name, env.scale)
-                system = _cfg_system(env, cfg_name, ll)
-                settings = _cfg_settings(env, cfg_name, name)
-                b = dense_input(a.num_cols, K)
-                rep = system.spmm(a, b, settings)
-                dram.append(rep.dram_accesses)
-                llc.append(max(rep.llc_accesses, 1))
-                rpc.append(rep.requests_per_cycle)
-                times.append(rep.time_ns)
-            raw[(cfg_name, ll)] = {
-                "dram": geomean(dram),
-                "llc": geomean(llc),
-                "rpc": geomean(rpc),
-                "time": geomean(times),
-            }
+    for (cfg_name, ll, _), cell in zip(points, cells):
+        group = raw.setdefault(
+            (cfg_name, ll), {"dram": [], "llc": [], "rpc": [], "time": []}
+        )
+        for metric, value in cell.items():
+            group[metric].append(value)
+    raw = {
+        key: {metric: geomean(vals) for metric, vals in group.items()}
+        for key, group in raw.items()
+    }
 
     ref = raw[("CFG0", 60.0)]
     points = [

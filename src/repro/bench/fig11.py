@@ -24,6 +24,7 @@ from repro.bench.harness import (
     suite_matrix,
 )
 from repro.core.accelerator import KernelSettings
+from repro.sweep import sweep_map
 from repro.tuning.space import paper_row_panels, scaled_col_panels
 
 MATRICES = ("KRO", "DEL", "MYC")
@@ -46,36 +47,39 @@ class Heatmap:
         return max(self.normalized_time, key=self.normalized_time.get)
 
 
+def _cell(env: BenchEnvironment, point) -> Heatmap:
+    """One matrix's full RP x CP grid — pure and picklable for the
+    sweep orchestrator.  The inner panel loop stays inside the cell: it
+    reuses one system and operand, so a matrix is the natural job
+    granule here."""
+    (name,) = point
+    a = suite_matrix(name, env.scale)
+    row_panels = list(paper_row_panels(env.row_panel_divisor))
+    if name == "MYC":
+        row_panels = [max(2, 16 // env.row_panel_divisor)] + row_panels
+    col_panels = scaled_col_panels(a.num_cols)
+    system = env.spade_system()
+    b = dense_input(a.num_cols, K)
+    times: Dict[Tuple[int, Optional[int]], float] = {}
+    for rp in row_panels:
+        for cp in col_panels:
+            settings = KernelSettings(row_panel_size=rp, col_panel_size=cp)
+            times[(rp, cp)] = system.spmm(a, b, settings).time_ns
+    worst = max(times.values())
+    return Heatmap(
+        matrix=name,
+        row_panels=row_panels,
+        col_panels=col_panels,
+        normalized_time={k: v / worst for k, v in times.items()},
+    )
+
+
 def run(
-    env: BenchEnvironment | None = None, matrices=MATRICES
+    env: BenchEnvironment | None = None, matrices=MATRICES, sweep=None
 ) -> List[Heatmap]:
     env = env or get_environment()
-    maps: List[Heatmap] = []
-    for name in matrices:
-        a = suite_matrix(name, env.scale)
-        row_panels = list(paper_row_panels(env.row_panel_divisor))
-        if name == "MYC":
-            row_panels = [max(2, 16 // env.row_panel_divisor)] + row_panels
-        col_panels = scaled_col_panels(a.num_cols)
-        system = env.spade_system()
-        b = dense_input(a.num_cols, K)
-        times: Dict[Tuple[int, Optional[int]], float] = {}
-        for rp in row_panels:
-            for cp in col_panels:
-                settings = KernelSettings(
-                    row_panel_size=rp, col_panel_size=cp
-                )
-                times[(rp, cp)] = system.spmm(a, b, settings).time_ns
-        worst = max(times.values())
-        maps.append(
-            Heatmap(
-                matrix=name,
-                row_panels=row_panels,
-                col_panels=col_panels,
-                normalized_time={k: v / worst for k, v in times.items()},
-            )
-        )
-    return maps
+    points = [(name,) for name in matrices]
+    return sweep_map(sweep, "fig11", env, _cell, points)
 
 
 def format_result(maps: List[Heatmap]) -> str:

@@ -21,6 +21,8 @@ from repro.bench.harness import (
     suite_benchmarks,
     suite_matrix,
 )
+from repro.sweep import sweep_map
+
 SCALE_FACTORS = (2, 4, 8)
 K = 32
 
@@ -35,35 +37,42 @@ class Fig12Row:
     load_imbalance: Dict[int, float]
 
 
+def _cell(env: BenchEnvironment, point) -> Fig12Row:
+    """One matrix's full scaling ladder — pure and picklable for the
+    sweep orchestrator.  The factors stay inside the cell because every
+    speedup is relative to the same base run."""
+    name, factors = point
+    settings = env.base_settings()
+    a = suite_matrix(name, env.scale)
+    b = dense_input(a.num_cols, K)
+    base_rep = env.spade_system(1).spmm(a, b, settings)
+    speedups: Dict[int, float] = {}
+    imbalance: Dict[int, float] = {}
+    for factor in factors:
+        rep = env.spade_system(factor).spmm(a, b, settings)
+        speedups[factor] = base_rep.time_ns / rep.time_ns
+        imbalance[factor] = rep.load_imbalance
+    return Fig12Row(
+        matrix=name,
+        base_ns=base_rep.time_ns,
+        speedups=speedups,
+        load_imbalance=imbalance,
+    )
+
+
 def run(
     env: BenchEnvironment | None = None,
     matrices: Optional[Sequence[str]] = None,
     factors: Sequence[int] = SCALE_FACTORS,
+    sweep=None,
 ) -> List[Fig12Row]:
     env = env or get_environment()
-    rows: List[Fig12Row] = []
-    settings = env.base_settings()
-    for bench in suite_benchmarks():
-        if matrices and bench.name not in matrices:
-            continue
-        a = suite_matrix(bench.name, env.scale)
-        b = dense_input(a.num_cols, K)
-        base_rep = env.spade_system(1).spmm(a, b, settings)
-        speedups: Dict[int, float] = {}
-        imbalance: Dict[int, float] = {}
-        for factor in factors:
-            rep = env.spade_system(factor).spmm(a, b, settings)
-            speedups[factor] = base_rep.time_ns / rep.time_ns
-            imbalance[factor] = rep.load_imbalance
-        rows.append(
-            Fig12Row(
-                matrix=bench.name,
-                base_ns=base_rep.time_ns,
-                speedups=speedups,
-                load_imbalance=imbalance,
-            )
-        )
-    return rows
+    points = [
+        (bench.name, tuple(factors))
+        for bench in suite_benchmarks()
+        if not matrices or bench.name in matrices
+    ]
+    return sweep_map(sweep, "fig12", env, _cell, points)
 
 
 def scaling_efficiency(row: Fig12Row, factor: int) -> float:

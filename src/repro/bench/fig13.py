@@ -23,6 +23,7 @@ from repro.bench.harness import (
     suite_benchmarks,
     suite_matrix,
 )
+from repro.sweep import sweep_map
 from repro.tuning.autotune import autotune
 
 K = 32
@@ -40,36 +41,43 @@ class Fig13Row:
     speedup_with_transfer: float
 
 
+def _cell(env: BenchEnvironment, point) -> Fig13Row:
+    """One matrix's SPADE-Opt-vs-Sextans comparison — pure and picklable
+    for the sweep orchestrator."""
+    (name,) = point
+    sextans = env.sextans_model()
+    a = suite_matrix(name, env.scale)
+    sx = sextans.spmm(a, K)
+    tuned = autotune(
+        env.spade_system(), a, "spmm", K,
+        quick=(env.opt_mode == "quick"),
+        row_panel_divisor=env.row_panel_divisor,
+    )
+    rep = tuned.best_report
+    return Fig13Row(
+        matrix=name,
+        num_rows=a.num_rows,
+        bandwidth_utilization_ratio=(
+            rep.bandwidth_utilization / sx.bandwidth_utilization
+        ),
+        memory_access_ratio=rep.dram_accesses / sx.dram_accesses,
+        speedup=sx.kernel_ns / rep.time_ns,
+        speedup_with_transfer=sx.total_ns / rep.time_ns,
+    )
+
+
 def run(
     env: BenchEnvironment | None = None,
     matrices: Optional[Sequence[str]] = None,
+    sweep=None,
 ) -> List[Fig13Row]:
     env = env or get_environment()
-    sextans = env.sextans_model()
-    rows: List[Fig13Row] = []
-    for bench in suite_benchmarks():
-        if matrices and bench.name not in matrices:
-            continue
-        a = suite_matrix(bench.name, env.scale)
-        sx = sextans.spmm(a, K)
-        tuned = autotune(
-            env.spade_system(), a, "spmm", K,
-            quick=(env.opt_mode == "quick"),
-            row_panel_divisor=env.row_panel_divisor,
-        )
-        rep = tuned.best_report
-        rows.append(
-            Fig13Row(
-                matrix=bench.name,
-                num_rows=a.num_rows,
-                bandwidth_utilization_ratio=(
-                    rep.bandwidth_utilization / sx.bandwidth_utilization
-                ),
-                memory_access_ratio=rep.dram_accesses / sx.dram_accesses,
-                speedup=sx.kernel_ns / rep.time_ns,
-                speedup_with_transfer=sx.total_ns / rep.time_ns,
-            )
-        )
+    points = [
+        (bench.name,)
+        for bench in suite_benchmarks()
+        if not matrices or bench.name in matrices
+    ]
+    rows = sweep_map(sweep, "fig13", env, _cell, points)
     rows.sort(key=lambda r: r.num_rows)
     return rows
 

@@ -22,6 +22,7 @@ from repro.bench.harness import (
     suite_matrix,
 )
 from repro.power.report import PowerBreakdown, power_breakdown
+from repro.sweep import sweep_map
 
 K = 32
 
@@ -38,28 +39,32 @@ class Fig14Row:
         return self.breakdown.fractions()
 
 
+def _cell(env: BenchEnvironment, point) -> Fig14Row:
+    """One matrix's power breakdown — pure and picklable for the sweep
+    orchestrator."""
+    (name,) = point
+    a = suite_matrix(name, env.scale)
+    system = env.spade_system()
+    b = dense_input(a.num_cols, K)
+    rep = system.spmm(a, b, env.base_settings())
+    return Fig14Row(
+        matrix=name,
+        breakdown=power_breakdown(rep.stats, rep.time_ns, system.config),
+    )
+
+
 def run(
     env: BenchEnvironment | None = None,
     matrices: Optional[Sequence[str]] = None,
+    sweep=None,
 ) -> List[Fig14Row]:
     env = env or get_environment()
-    rows: List[Fig14Row] = []
-    for bench in suite_benchmarks():
-        if matrices and bench.name not in matrices:
-            continue
-        a = suite_matrix(bench.name, env.scale)
-        system = env.spade_system()
-        b = dense_input(a.num_cols, K)
-        rep = system.spmm(a, b, env.base_settings())
-        rows.append(
-            Fig14Row(
-                matrix=bench.name,
-                breakdown=power_breakdown(
-                    rep.stats, rep.time_ns, system.config
-                ),
-            )
-        )
-    return rows
+    points = [
+        (bench.name,)
+        for bench in suite_benchmarks()
+        if not matrices or bench.name in matrices
+    ]
+    return sweep_map(sweep, "fig14", env, _cell, points)
 
 
 def mean_fraction(rows: List[Fig14Row], component: str) -> float:

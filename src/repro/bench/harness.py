@@ -17,6 +17,11 @@ bench files can run quick (CI) or thorough (full reproduction):
   seconds (default: off)
 - ``REPRO_MAX_RETRIES`` — transient-failure retries per supervised
   attempt (default: 0)
+- ``REPRO_JOBS``   — worker processes for experiment grids (default: 1,
+  serial; parallel output is byte-identical to serial)
+- ``REPRO_CACHE_DIR`` — content-addressed sweep result cache directory
+  so re-runs and partially-failed sweeps skip completed jobs
+  (default: off)
 """
 
 from __future__ import annotations
@@ -60,6 +65,8 @@ class BenchEnvironment:
     row_panel_divisor: int = 8
     timeout_s: Optional[float] = None
     max_retries: int = 0
+    jobs: int = 1
+    cache_dir: Optional[str] = None
 
     @property
     def ratio(self) -> float:
@@ -106,6 +113,21 @@ class BenchEnvironment:
             self.spade_config(factor), kernel, a, b, c, settings=settings
         )
 
+    def sweep(self, telemetry=None):
+        """A :class:`~repro.sweep.SweepRunner` for this environment's
+        ``jobs``/``cache_dir`` knobs, or ``None`` when both are at their
+        defaults (drivers then run their plain serial loops)."""
+        if self.jobs <= 1 and not self.cache_dir:
+            return None
+        from repro.sweep import SweepRunner, open_cache
+
+        return SweepRunner(
+            jobs=self.jobs,
+            cache=open_cache(self.cache_dir),
+            telemetry=telemetry,
+            resilience=self.resilience_config(),
+        )
+
     def base_settings(self, **overrides) -> KernelSettings:
         """SPADE Base settings mapped onto this environment's scale:
         the paper's RP=256 divided by the row-panel scale factor."""
@@ -139,12 +161,15 @@ def get_environment() -> BenchEnvironment:
     timeout_env = os.environ.get("REPRO_TIMEOUT_S")
     timeout_s = float(timeout_env) if timeout_env else None
     max_retries = int(os.environ.get("REPRO_MAX_RETRIES", "0"))
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
     if opt_mode not in ("quick", "full"):
         raise ValueError("REPRO_OPT must be 'quick' or 'full'")
     return BenchEnvironment(
         scale=scale, num_pes=num_pes, opt_mode=opt_mode,
         cache_shrink=cache_shrink, row_panel_divisor=rp_divisor,
         timeout_s=timeout_s, max_retries=max_retries,
+        jobs=jobs, cache_dir=cache_dir,
     )
 
 

@@ -24,6 +24,7 @@ from repro.bench.harness import (
 from repro.core.instructions import Primitive
 from repro.core.modes import cpu_to_spade_cost, spade_to_cpu_cost
 from repro.memory.address import padded_row_bytes
+from repro.sweep import sweep_map
 
 K = 32
 KERNELS = ("spmm", "sddmm")
@@ -53,56 +54,58 @@ class Sec7dRow:
         return 100.0 * self.startup_ns / self.spade_mode_ns
 
 
+def _cell(env: BenchEnvironment, point) -> Sec7dRow:
+    """One (matrix, kernel) grid cell — pure and picklable for the
+    sweep orchestrator.  Cold and warm runs share the cell because the
+    warm run must reuse the cold run's cache state."""
+    name, kernel = point
+    a = suite_matrix(name, env.scale)
+    system = env.spade_system()
+    b = dense_input(a.num_cols, K)
+    b_r = dense_input(a.num_rows, K, seed=5)
+    if kernel == "spmm":
+        run_once = lambda: system.spmm(a, b, env.base_settings())
+        primitive = Primitive.SPMM
+    else:
+        run_once = lambda: system.sddmm(a, b_r, b, env.base_settings())
+        primitive = Primitive.SDDMM
+    rmatrix_bytes = a.num_rows * padded_row_bytes(K)
+    rep = run_once()
+    spade_ns = rep.result.compute_time_ns
+    to_cpu = spade_to_cpu_cost(
+        rep.result.dirty_lines_flushed, system.config
+    )
+    to_spade = cpu_to_spade_cost(primitive, rmatrix_bytes, system.config)
+    # Start-up: measured directly as (cold run) - (warm run).
+    # A second identical run starts with the L2/LLC already
+    # holding the working set, the steady state of repeatedly
+    # interleaved SPADE-mode sections.
+    warm = run_once()
+    startup = max(0.0, spade_ns - warm.result.compute_time_ns)
+    return Sec7dRow(
+        matrix=name,
+        kernel=kernel,
+        spade_mode_ns=spade_ns,
+        spade_to_cpu_ns=to_cpu,
+        cpu_to_spade_ns=to_spade,
+        startup_ns=startup,
+    )
+
+
 def run(
     env: BenchEnvironment | None = None,
     kernels: Sequence[str] = KERNELS,
     matrices: Optional[Sequence[str]] = None,
+    sweep=None,
 ) -> List[Sec7dRow]:
     env = env or get_environment()
-    rows: List[Sec7dRow] = []
-    for bench in suite_benchmarks():
-        if matrices and bench.name not in matrices:
-            continue
-        a = suite_matrix(bench.name, env.scale)
-        for kernel in kernels:
-            system = env.spade_system()
-            b = dense_input(a.num_cols, K)
-            b_r = dense_input(a.num_rows, K, seed=5)
-            if kernel == "spmm":
-                run = lambda: system.spmm(a, b, env.base_settings())
-                primitive = Primitive.SPMM
-            else:
-                run = lambda: system.sddmm(a, b_r, b, env.base_settings())
-                primitive = Primitive.SDDMM
-            rmatrix_bytes = a.num_rows * padded_row_bytes(K)
-            rep = run()
-            spade_ns = rep.result.compute_time_ns
-            to_cpu = spade_to_cpu_cost(
-                rep.result.dirty_lines_flushed, system.config
-            )
-            to_spade = cpu_to_spade_cost(
-                primitive, rmatrix_bytes, system.config
-            )
-            # Start-up: measured directly as (cold run) - (warm run).
-            # A second identical run starts with the L2/LLC already
-            # holding the working set, the steady state of repeatedly
-            # interleaved SPADE-mode sections.
-            warm = run()
-            startup = max(
-                0.0,
-                spade_ns - warm.result.compute_time_ns,
-            )
-            rows.append(
-                Sec7dRow(
-                    matrix=bench.name,
-                    kernel=kernel,
-                    spade_mode_ns=spade_ns,
-                    spade_to_cpu_ns=to_cpu,
-                    cpu_to_spade_ns=to_spade,
-                    startup_ns=startup,
-                )
-            )
-    return rows
+    points = [
+        (bench.name, kernel)
+        for bench in suite_benchmarks()
+        if not matrices or bench.name in matrices
+        for kernel in kernels
+    ]
+    return sweep_map(sweep, "sec7d", env, _cell, points)
 
 
 def format_result(rows: List[Sec7dRow]) -> str:

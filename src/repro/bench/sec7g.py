@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.config import paper_config
 from repro.power.report import SpadeAreaPower, spade_area_power
+from repro.sweep import sweep_map
 
 PAPER_AREA_MM2 = 24.64
 PAPER_POWER_W = 20.3
@@ -34,10 +35,16 @@ class Sec7gResult:
         return abs(self.modelled.power_w - PAPER_POWER_W) / PAPER_POWER_W
 
 
-def run() -> Sec7gResult:
+def _cell(env, point) -> Sec7gResult:
+    """The single Section 7.G cell — environment-free (area/power depend
+    only on the paper configuration), pure and picklable."""
+    return Sec7gResult(modelled=spade_area_power(paper_config()))
+
+
+def run(sweep=None) -> Sec7gResult:
     """Evaluate the model at the paper's full 224-PE configuration
     (area/power do not depend on the benchmark scale)."""
-    return Sec7gResult(modelled=spade_area_power(paper_config()))
+    return sweep_map(sweep, "sec7g", None, _cell, [()])[0]
 
 
 def format_result(result: Sec7gResult) -> str:

@@ -22,7 +22,8 @@ from repro.bench.harness import (
     suite_matrix,
 )
 from repro.core.accelerator import KernelSettings
-from repro.sparse.suite import RU
+from repro.sparse.suite import RU, get_benchmark
+from repro.sweep import sweep_map
 from repro.tuning.space import scaled_col_panels
 
 MEDIUM_ROW_PANEL = 256
@@ -47,49 +48,54 @@ class Table5Row:
         return 100.0 * (self.barrier_ns / self.no_barrier_ns - 1.0)
 
 
+def _cell(env: BenchEnvironment, point) -> Table5Row:
+    """One (matrix, kernel, K) grid cell — pure and picklable for the
+    sweep orchestrator."""
+    name, kernel, k = point
+    bench = get_benchmark(name)
+    a = suite_matrix(name, env.scale)
+    _, medium_cp, _ = scaled_col_panels(a.num_cols)
+    medium_rp = max(2, MEDIUM_ROW_PANEL // env.row_panel_divisor)
+    system = env.spade_system()
+    b = dense_input(a.num_cols, k)
+    b_r = dense_input(a.num_rows, k, seed=5)
+    times = {}
+    for barriers in (False, True):
+        settings = KernelSettings(
+            row_panel_size=medium_rp,
+            col_panel_size=medium_cp,
+            use_barriers=barriers,
+        )
+        if kernel == "spmm":
+            times[barriers] = system.spmm(a, b, settings).time_ns
+        else:
+            times[barriers] = system.sddmm(a, b_r, b, settings).time_ns
+    return Table5Row(
+        matrix=name,
+        ru=bench.ru,
+        kernel=kernel,
+        k=k,
+        no_barrier_ns=times[False],
+        barrier_ns=times[True],
+    )
+
+
 def run(
     env: BenchEnvironment | None = None,
     kernels: Sequence[str] = KERNELS,
     k_values: Sequence[int] = K_VALUES,
     matrices: Optional[Sequence[str]] = None,
+    sweep=None,
 ) -> List[Table5Row]:
     env = env or get_environment()
-    rows: List[Table5Row] = []
-    for bench in suite_benchmarks():
-        if matrices and bench.name not in matrices:
-            continue
-        a = suite_matrix(bench.name, env.scale)
-        _, medium_cp, _ = scaled_col_panels(a.num_cols)
-        medium_rp = max(2, MEDIUM_ROW_PANEL // env.row_panel_divisor)
-        for kernel in kernels:
-            for k in k_values:
-                system = env.spade_system()
-                b = dense_input(a.num_cols, k)
-                b_r = dense_input(a.num_rows, k, seed=5)
-                times = {}
-                for barriers in (False, True):
-                    settings = KernelSettings(
-                        row_panel_size=medium_rp,
-                        col_panel_size=medium_cp,
-                        use_barriers=barriers,
-                    )
-                    if kernel == "spmm":
-                        times[barriers] = system.spmm(a, b, settings).time_ns
-                    else:
-                        times[barriers] = system.sddmm(
-                            a, b_r, b, settings
-                        ).time_ns
-                rows.append(
-                    Table5Row(
-                        matrix=bench.name,
-                        ru=bench.ru,
-                        kernel=kernel,
-                        k=k,
-                        no_barrier_ns=times[False],
-                        barrier_ns=times[True],
-                    )
-                )
-    return rows
+    points = [
+        (bench.name, kernel, k)
+        for bench in suite_benchmarks()
+        if not matrices or bench.name in matrices
+        for kernel in kernels
+        for k in k_values
+    ]
+    return sweep_map(sweep, "table5", env, _cell, points)
 
 
 def format_result(rows: List[Table5Row]) -> str:

@@ -23,7 +23,8 @@ from repro.bench.harness import (
     suite_matrix,
 )
 from repro.core.accelerator import KernelSettings
-from repro.sparse.suite import RU
+from repro.sparse.suite import RU, get_benchmark
+from repro.sweep import sweep_map
 from repro.tuning.autotune import autotune
 from repro.tuning.space import opt_search_space, quick_search_space
 
@@ -61,45 +62,51 @@ def _no_bypass_space(env: BenchEnvironment, a, k: int):
     return [replace(s, rmatrix_bypass=False) for s in space]
 
 
+def _cell(env: BenchEnvironment, point) -> Table6Row:
+    """One (matrix, kernel, K) grid cell — pure and picklable for the
+    sweep orchestrator."""
+    name, kernel, k = point
+    bench = get_benchmark(name)
+    a = suite_matrix(name, env.scale)
+    system = env.spade_system()
+    tuned = autotune(
+        system, a, kernel, k, space=_no_bypass_space(env, a, k)
+    )
+    best = tuned.best_settings
+    b = dense_input(a.num_cols, k)
+    b_r = dense_input(a.num_rows, k, seed=5)
+    bypassed = replace(best, rmatrix_bypass=True)
+    if kernel == "spmm":
+        bypass_ns = system.spmm(a, b, bypassed).time_ns
+    else:
+        bypass_ns = system.sddmm(a, b_r, b, bypassed).time_ns
+    return Table6Row(
+        matrix=name,
+        ru=bench.ru,
+        kernel=kernel,
+        k=k,
+        best_settings=best,
+        cached_ns=tuned.best_time_ns,
+        bypassed_ns=bypass_ns,
+    )
+
+
 def run(
     env: BenchEnvironment | None = None,
     kernels: Sequence[str] = KERNELS,
     k_values: Sequence[int] = K_VALUES,
     matrices: Optional[Sequence[str]] = None,
+    sweep=None,
 ) -> List[Table6Row]:
     env = env or get_environment()
-    rows: List[Table6Row] = []
-    for bench in suite_benchmarks():
-        if matrices and bench.name not in matrices:
-            continue
-        a = suite_matrix(bench.name, env.scale)
-        for kernel in kernels:
-            for k in k_values:
-                system = env.spade_system()
-                tuned = autotune(
-                    system, a, kernel, k,
-                    space=_no_bypass_space(env, a, k),
-                )
-                best = tuned.best_settings
-                b = dense_input(a.num_cols, k)
-                b_r = dense_input(a.num_rows, k, seed=5)
-                bypassed = replace(best, rmatrix_bypass=True)
-                if kernel == "spmm":
-                    bypass_ns = system.spmm(a, b, bypassed).time_ns
-                else:
-                    bypass_ns = system.sddmm(a, b_r, b, bypassed).time_ns
-                rows.append(
-                    Table6Row(
-                        matrix=bench.name,
-                        ru=bench.ru,
-                        kernel=kernel,
-                        k=k,
-                        best_settings=best,
-                        cached_ns=tuned.best_time_ns,
-                        bypassed_ns=bypass_ns,
-                    )
-                )
-    return rows
+    points = [
+        (bench.name, kernel, k)
+        for bench in suite_benchmarks()
+        if not matrices or bench.name in matrices
+        for kernel in kernels
+        for k in k_values
+    ]
+    return sweep_map(sweep, "table6", env, _cell, points)
 
 
 def format_result(rows: List[Table6Row]) -> str:

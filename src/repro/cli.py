@@ -113,7 +113,74 @@ def _validate_run_args(args: argparse.Namespace) -> Optional[str]:
         )
     if args.resume and args.checkpoint_dir is None:
         return "--resume requires --checkpoint-dir DIR (where to find the snapshots)"
+    return _validate_sweep_args(args)
+
+
+def _validate_sweep_args(args: argparse.Namespace) -> Optional[str]:
+    """Sweep flag-combination checks; returns an error message or None."""
+    if args.jobs < 1:
+        return "--jobs must be a positive worker count"
+    if args.no_cache and args.cache_dir is not None:
+        return (
+            "--no-cache conflicts with --cache-dir DIR "
+            "(drop one of the two)"
+        )
     return None
+
+
+def _sweep_runner(args: argparse.Namespace, resilience=None):
+    """A SweepRunner from the CLI sweep flags, or None when they are
+    all at their defaults (callers then keep their serial paths)."""
+    cache_dir = None if args.no_cache else args.cache_dir
+    if args.jobs <= 1 and cache_dir is None:
+        return None
+    from repro.sweep import SweepRunner, open_cache
+
+    return SweepRunner(
+        jobs=args.jobs,
+        cache=open_cache(str(cache_dir) if cache_dir else None),
+        resilience=resilience,
+    )
+
+
+def _run_cell(env, point) -> dict:
+    """One ``repro run`` invocation as a pure sweep cell.
+
+    Returns the printed summary (plain dict, cheap to cache) rather
+    than the full execution report.  Every parameter that determines
+    the result is in the point, so ``env`` is None.
+    """
+    from repro.resilience import RunSupervisor
+
+    matrix, scale, kernel, k, pes, cache_shrink, seed = point
+    a = _load_matrix(matrix, scale)
+    cfg = scaled_config(pes, cache_shrink=cache_shrink)
+    supervisor = RunSupervisor(resilience=ResilienceConfig())
+    rng = np.random.default_rng(seed)
+    b = rng.random((a.num_cols, k), dtype=np.float32)
+    if kernel == "spmm":
+        report = supervisor.run_kernel(cfg, "spmm", a, b)
+    else:
+        b_r = rng.random((a.num_rows, k), dtype=np.float32)
+        report = supervisor.run_kernel(cfg, "sddmm", a, b_r, b)
+    return {
+        "matrix": str(a),
+        "system": cfg.name,
+        "num_pes": cfg.num_pes,
+        "time_ms": report.time_ms,
+        "dram_accesses": report.dram_accesses,
+        "bandwidth_utilization": report.bandwidth_utilization,
+        "requests_per_cycle": report.requests_per_cycle,
+        "load_imbalance": report.load_imbalance,
+        "stats_summary": report.stats.summary(),
+    }
+
+
+def _suite_cell(env, point) -> dict:
+    """Build one suite matrix — pure sweep cell for ``repro suite``."""
+    name, scale = point
+    m = get_benchmark(name).build(scale)
+    return {"rows": m.num_rows, "nnz": m.nnz}
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -121,6 +188,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if problem is not None:
         print(f"error: {problem}", file=sys.stderr)
         return 2
+    # Telemetry and resilience flags need the live execution (a cache
+    # hit would skip the simulation the trace/checkpoint observes), so
+    # the sweep/cache path only engages when none of them are set.
+    observed = (
+        args.trace or args.trace_chunks or args.metrics_out
+        or args.manifest_out or args.profile or args.checkpoint_dir
+        or args.resume or args.timeout or args.max_retries
+    )
+    sweep = None if observed else _sweep_runner(args)
+    if sweep is not None:
+        from repro.sweep import sweep_map
+
+        point = (
+            args.matrix, args.scale, args.kernel, args.k,
+            args.pes, args.cache_shrink, args.seed,
+        )
+        summary = sweep_map(sweep, "run", None, _run_cell, [point])[0]
+        print(f"matrix              : {summary['matrix']}")
+        print(f"kernel              : {args.kernel} (K={args.k})")
+        print(f"system              : {summary['system']} "
+              f"({summary['num_pes']} PEs)")
+        print(f"simulated time      : {summary['time_ms']:.4f} ms")
+        print(f"DRAM accesses       : {summary['dram_accesses']}")
+        print(f"bandwidth utilization: "
+              f"{summary['bandwidth_utilization']:.1%}")
+        print(f"requests per cycle  : "
+              f"{summary['requests_per_cycle']:.2f}")
+        print(f"load imbalance      : {summary['load_imbalance']:.2f}")
+        print(summary["stats_summary"])
+        return 0
     from repro.resilience import RunSupervisor
     from repro.telemetry import Telemetry
 
@@ -204,9 +301,31 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
 def _cmd_suite(args: argparse.Namespace) -> int:
     from repro.telemetry import EventTracer, run_manifest
 
+    problem = _validate_sweep_args(args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+    # Tracing wants to observe the builds, so it forces the serial path.
+    sweep = None if args.trace else _sweep_runner(args)
+    header = (
+        f"{'name':<6} {'full name':<26} {'domain':<24} {'RU':<7} "
+        f"{'rows':>8} {'nnz':>9}  (at --scale {args.scale})"
+    )
+    if sweep is not None:
+        from repro.sweep import sweep_map
+
+        points = [(bench.name, args.scale) for bench in SUITE]
+        dims = sweep_map(sweep, "suite", None, _suite_cell, points)
+        print(header)
+        for bench, d in zip(SUITE, dims):
+            print(
+                f"{bench.name:<6} {bench.full_name:<26} "
+                f"{bench.domain:<24} {bench.ru.value:<7} "
+                f"{d['rows']:>8} {d['nnz']:>9}"
+            )
+        return 0
     tracer = EventTracer(enabled=bool(args.trace))
-    print(f"{'name':<6} {'full name':<26} {'domain':<24} {'RU':<7} "
-          f"{'rows':>8} {'nnz':>9}  (at --scale {args.scale})")
+    print(header)
     for bench in SUITE:
         with tracer.span(
             f"build {bench.name}", cat="suite",
@@ -230,16 +349,31 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
+    problem = _validate_sweep_args(args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
     env = get_environment()
+    # CLI flags win; otherwise fall back to REPRO_JOBS/REPRO_CACHE_DIR.
+    sweep = (
+        _sweep_runner(args, resilience=env.resilience_config())
+        or env.sweep()
+    )
     for name in args.names:
         if name not in EXPERIMENTS:
             print(f"unknown experiment {name!r}; choose from "
                   f"{', '.join(EXPERIMENTS)}", file=sys.stderr)
             return 2
         module = importlib.import_module(f"repro.bench.{name}")
-        result = module.run() if name == "sec7g" else module.run(env)
+        result = (
+            module.run(sweep=sweep)
+            if name == "sec7g"
+            else module.run(env, sweep=sweep)
+        )
         print(module.format_result(result))
         print()
+    if sweep is not None and sweep.report.total:
+        print(f"sweep: {sweep.report.summary()}", file=sys.stderr)
     return 0
 
 
@@ -264,6 +398,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", default="small",
                        choices=["tiny", "small", "default", "large"])
         p.add_argument("--seed", type=int, default=0)
+
+    def sweep_flags(p):
+        grp = p.add_argument_group("parallel sweep")
+        grp.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes (default 1; parallel "
+                         "output is byte-identical to serial)")
+        grp.add_argument("--cache-dir", type=Path, default=None,
+                         metavar="DIR",
+                         help="content-addressed result cache so "
+                         "re-runs skip completed jobs")
+        grp.add_argument("--no-cache", action="store_true",
+                         help="never read or write the result cache")
 
     run_p = sub.add_parser("run", help="execute one kernel")
     run_p.add_argument("--matrix", required=True,
@@ -306,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
     res.add_argument("--max-retries", type=int, default=0, metavar="N",
                      help="retry transient failures up to N times per "
                      "execution backend (default 0)")
+    sweep_flags(run_p)
     run_p.set_defaults(func=_cmd_run)
 
     tune_p = sub.add_parser("autotune", help="SPADE Opt search")
@@ -325,12 +472,14 @@ def build_parser() -> argparse.ArgumentParser:
     suite_p.add_argument("--trace", type=Path, default=None,
                          metavar="PATH",
                          help="trace suite construction (Perfetto JSON)")
+    sweep_flags(suite_p)
     suite_p.set_defaults(func=_cmd_suite)
 
     exp_p = sub.add_parser("experiment",
                            help="run paper experiments by name")
     exp_p.add_argument("names", nargs="+",
                        help=f"one of: {', '.join(EXPERIMENTS)}")
+    sweep_flags(exp_p)
     exp_p.set_defaults(func=_cmd_experiment)
 
     cfg_p = sub.add_parser("config", help="show a system configuration")

@@ -78,3 +78,28 @@ class WatchdogTimeout(SpadeError, TimeoutError):
 
 class CheckpointError(SpadeError, RuntimeError):
     """A checkpoint could not be written, read, or trusted."""
+
+
+class SweepError(SpadeError, RuntimeError):
+    """A parallel sweep could not be orchestrated."""
+
+
+class SweepJobError(SweepError):
+    """One or more sweep jobs failed.
+
+    Carries the coordinates of every failed job so a partially-failed
+    sweep is actionable: completed jobs are already in the result cache,
+    and re-running the same sweep retries only the jobs listed here.
+    """
+
+    def __init__(self, driver: str, failures) -> None:
+        self.driver = driver
+        self.failures = list(failures)
+        lines = ", ".join(
+            f"{point!r}: {message}" for point, message in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} sweep job(s) failed in {driver!r} "
+            f"({lines}); completed jobs are cached — rerun to retry "
+            "only the failures"
+        )

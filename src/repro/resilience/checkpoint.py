@@ -35,6 +35,7 @@ import re
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import CheckpointError
+from repro.locks import exclusive_tmp_path
 from repro.telemetry import ensure
 
 CHECKPOINT_FORMAT = "spade-checkpoint"
@@ -116,13 +117,23 @@ class CheckpointManager:
             "meta": meta or {},
         }
         path = self.path_for(epoch_index)
-        tmp = path + ".tmp"
-        with open(tmp, "wb") as fh:
-            fh.write(json.dumps(header).encode() + b"\n")
-            fh.write(payload)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
+        # Writer-unique O_EXCL temp file: two workers snapshotting the
+        # same epoch into a shared directory can race on the rename but
+        # can never interleave writes into one temp file (repro.locks).
+        tmp = exclusive_tmp_path(path)
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(json.dumps(header).encode() + b"\n")
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         self._written.inc()
         if self._chaos is not None:
             self._chaos.on_checkpoint_written(path, epoch_index)

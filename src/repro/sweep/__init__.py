@@ -1,0 +1,48 @@
+"""repro.sweep: process-parallel sweep orchestration with result caching.
+
+The paper's evaluation is a pile of (workload x configuration) grids —
+14 figure/table drivers, each a nest of serial ``for`` loops.  This
+package turns any such grid into hashable jobs and fans them out:
+
+- :mod:`~repro.sweep.jobs` — grid expansion (:func:`expand_grid`) and
+  content-addressed job keys (:class:`JobSpec`) built from the PR 2
+  provenance fingerprints plus a sweep schema version;
+- :mod:`~repro.sweep.cache` — :class:`ResultCache`, a durable
+  content-addressed store so re-runs and partially-failed sweeps skip
+  completed jobs;
+- :mod:`~repro.sweep.runner` — :class:`SweepRunner`, the
+  ``multiprocessing`` fan-out with deterministic per-job seeds and
+  **grid-order merge**, so parallel output is byte-identical to serial
+  (pinned by tests/test_sweep_parity.py).
+
+Every ``repro.bench`` driver accepts ``sweep=SweepRunner(...)``; the
+CLI exposes it as ``--jobs N --cache-dir PATH`` on ``run`` / ``suite``
+/ ``experiment``.  See DESIGN.md section 9.
+"""
+
+from repro.sweep.cache import ResultCache, open_cache
+from repro.sweep.jobs import (
+    SWEEP_SCHEMA_VERSION,
+    JobSpec,
+    build_jobs,
+    canonical_blob,
+    environment_fingerprint,
+    expand_grid,
+    value_fingerprint,
+)
+from repro.sweep.runner import SweepReport, SweepRunner, sweep_map
+
+__all__ = [
+    "SWEEP_SCHEMA_VERSION",
+    "JobSpec",
+    "ResultCache",
+    "SweepReport",
+    "SweepRunner",
+    "build_jobs",
+    "canonical_blob",
+    "environment_fingerprint",
+    "expand_grid",
+    "open_cache",
+    "sweep_map",
+    "value_fingerprint",
+]

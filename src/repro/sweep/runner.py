@@ -1,0 +1,249 @@
+"""Process-parallel sweep orchestration with deterministic merge.
+
+:class:`SweepRunner` evaluates a benchmark grid — a list of hashable
+points plus one pure cell function — across a ``multiprocessing`` pool
+and merges the results back **in grid order**, so the output list (and
+any ``BENCH_*.json`` serialised from it) is byte-identical to a serial
+run.  The determinism argument (DESIGN.md section 9) rests on three
+facts:
+
+1. cells are pure functions of ``(env, point)`` — every RNG they touch
+   is explicitly seeded, and the runner additionally seeds the global
+   ``random`` / ``numpy.random`` state per job from the job key, so a
+   job computes identical bytes on any worker in any order;
+2. results are indexed by grid position and reassembled by index, so
+   pool completion order is irrelevant;
+3. cached results are the pickled bytes of a previous identical job,
+   addressed by a content hash over (schema version, driver, config
+   fingerprint, workload fingerprint) — a cache hit *is* the serial
+   result.
+
+Each worker wraps its cell in the PR 4 :class:`RunSupervisor`, so
+watchdog/retry/degradation policies apply per job; failed jobs are
+collected (not raised mid-drain) so completed work still lands in the
+cache, then surfaced as one :class:`~repro.errors.SweepJobError`.
+Progress is published through the PR 2 telemetry registry:
+``spade_sweep_jobs_{completed,cached,failed}`` counters and the
+``spade_sweep_queue_depth`` gauge.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import SweepError, SweepJobError
+from repro.sweep.cache import ResultCache
+from repro.sweep.jobs import JobSpec, build_jobs
+from repro.telemetry import ensure
+
+
+@dataclass
+class SweepReport:
+    """Job accounting for one or more ``map_grid`` calls."""
+
+    total: int = 0
+    completed: int = 0
+    cached: int = 0
+    failed: int = 0
+
+    @property
+    def executed_fraction(self) -> float:
+        return self.completed / self.total if self.total else 0.0
+
+    @property
+    def cached_fraction(self) -> float:
+        return self.cached / self.total if self.total else 0.0
+
+    def merge(self, other: "SweepReport") -> None:
+        self.total += other.total
+        self.completed += other.completed
+        self.cached += other.cached
+        self.failed += other.failed
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} jobs: {self.completed} executed, "
+            f"{self.cached} cached, {self.failed} failed"
+        )
+
+
+def _seed_job_rngs(seed: int) -> None:
+    """Pin the *global* RNGs before a cell runs.
+
+    Cells are expected to seed their own generators; this guards the
+    ones they don't own (library code reaching for module-level state),
+    making every job's RNG view a function of its key alone — identical
+    under any worker count.
+    """
+    random.seed(seed)
+    try:
+        import numpy as np
+
+        np.random.seed(seed % 2**32)
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        pass
+
+
+def _execute_job(payload) -> Tuple[int, bool, Any]:
+    """Run one job (in a worker process or inline).
+
+    Returns ``(index, ok, value_or_message)``; exceptions are folded
+    into strings so a failed job cannot poison the pool's result pipe
+    with an unpicklable traceback object.
+    """
+    index, cell, env, point, seed, resilience = payload
+    from repro.resilience import RunSupervisor
+
+    _seed_job_rngs(seed)
+    supervisor = RunSupervisor(resilience=resilience)
+    try:
+        return index, True, supervisor.call(lambda: cell(env, point))
+    except BaseException as exc:  # noqa: BLE001 - reported, then raised
+        return index, False, f"{type(exc).__name__}: {exc}"
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class SweepRunner:
+    """Fans a grid of jobs over a process pool; merges in grid order."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        telemetry=None,
+        resilience=None,
+    ) -> None:
+        if jobs < 1:
+            raise SweepError(f"sweep jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.resilience = resilience
+        self.telemetry = ensure(telemetry)
+        self.report = SweepReport()
+        metrics = self.telemetry.metrics
+        self._completed = metrics.counter(
+            "spade_sweep_jobs_completed",
+            help="sweep jobs executed by a worker",
+        )
+        self._cached = metrics.counter(
+            "spade_sweep_jobs_cached",
+            help="sweep jobs served from the result cache",
+        )
+        self._failed = metrics.counter(
+            "spade_sweep_jobs_failed",
+            help="sweep jobs that raised in a worker",
+        )
+        self._queue_depth = metrics.gauge(
+            "spade_sweep_queue_depth",
+            help="sweep jobs waiting for a worker",
+        )
+
+    # -- policy ----------------------------------------------------------
+
+    def _job_resilience(self, env):
+        """Per-job supervision policy: explicit override first, then the
+        environment's watchdog/retry knobs, then all-off."""
+        if self.resilience is not None:
+            return self.resilience
+        if hasattr(env, "resilience_config"):
+            return env.resilience_config()
+        from repro.config import ResilienceConfig
+
+        return ResilienceConfig()
+
+    # -- orchestration ---------------------------------------------------
+
+    def map_grid(
+        self,
+        driver: str,
+        env: Any,
+        cell: Callable[[Any, Tuple], Any],
+        points: Sequence[Tuple],
+    ) -> List[Any]:
+        """Evaluate ``cell(env, point)`` for every point, in parallel,
+        returning results in grid order.
+
+        ``cell`` must be a module-level function (workers import it by
+        reference) and its results must be picklable.
+        """
+        specs = build_jobs(driver, env, points)
+        report = SweepReport(total=len(specs))
+        results: dict = {}
+        pending: List[JobSpec] = []
+        for spec in specs:
+            if self.cache is not None:
+                hit, value = self.cache.get(spec.key)
+                if hit:
+                    results[spec.index] = value
+                    report.cached += 1
+                    self._cached.inc()
+                    continue
+            pending.append(spec)
+        self._queue_depth.set(len(pending))
+
+        failures: List[Tuple[Tuple, str]] = []
+        if pending:
+            resilience = self._job_resilience(env)
+            payloads = [
+                (spec.index, cell, env, spec.point, spec.seed, resilience)
+                for spec in pending
+            ]
+            by_index = {spec.index: spec for spec in pending}
+            for index, ok, value in self._drain(payloads):
+                spec = by_index[index]
+                if ok:
+                    results[index] = value
+                    report.completed += 1
+                    self._completed.inc()
+                    if self.cache is not None:
+                        self.cache.put(spec.key, value)
+                else:
+                    failures.append((spec.point, value))
+                    report.failed += 1
+                    self._failed.inc()
+                self._queue_depth.inc(-1)
+        self._queue_depth.set(0)
+
+        self.report.merge(report)
+        if failures:
+            failures.sort(key=lambda f: repr(f[0]))
+            raise SweepJobError(driver, failures)
+        return [results[i] for i in range(len(specs))]
+
+    def _drain(self, payloads):
+        """Yield ``(index, ok, value)`` for each payload, either inline
+        (1 worker / 1 job: no pool overhead, no fork) or from a
+        process pool as workers finish."""
+        if self.jobs == 1 or len(payloads) == 1:
+            for payload in payloads:
+                yield _execute_job(payload)
+            return
+        workers = min(self.jobs, len(payloads))
+        ctx = _pool_context()
+        with ctx.Pool(processes=workers) as pool:
+            for result in pool.imap_unordered(_execute_job, payloads):
+                yield result
+
+
+def sweep_map(
+    sweep: Optional[SweepRunner],
+    driver: str,
+    env: Any,
+    cell: Callable[[Any, Tuple], Any],
+    points: Sequence[Tuple],
+) -> List[Any]:
+    """Driver-side entry point: run a grid through ``sweep`` when one is
+    configured, else evaluate serially in-process (the pre-sweep code
+    path, kept for embedding and tests)."""
+    if sweep is None:
+        return [cell(env, point) for point in points]
+    return sweep.map_grid(driver, env, cell, points)

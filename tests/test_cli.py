@@ -228,6 +228,109 @@ class TestErrorPaths:
         assert issubclass(SpadeError, Exception)
 
 
+class TestSweepFlags:
+    RUN = ["run", "--matrix", "ASI", "--scale", "tiny",
+           "--pes", "2", "--k", "16"]
+
+    def test_parser_defaults(self):
+        for cmd in (self.RUN, ["suite"], ["experiment", "sec7g"]):
+            args = build_parser().parse_args(cmd)
+            assert args.jobs == 1
+            assert args.cache_dir is None
+            assert args.no_cache is False
+
+    def test_run_jobs_output_identical_to_serial(self, capsys):
+        assert main(self.RUN) == 0
+        serial = capsys.readouterr().out
+        assert main(self.RUN + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_run_cache_dir_warm_rerun_identical(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(self.RUN + ["--cache-dir", cache]) == 0
+        cold = capsys.readouterr().out
+        assert main(self.RUN + ["--cache-dir", cache]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+        # The cache really holds the result on disk.
+        from repro.sweep import ResultCache
+
+        assert len(ResultCache(cache)) == 1
+
+    def test_run_no_cache_accepted_alone(self, capsys):
+        assert main(self.RUN + ["--no-cache", "--jobs", "2"]) == 0
+        assert "simulated time" in capsys.readouterr().out
+
+    def test_suite_jobs_output_identical_to_serial(self, capsys):
+        assert main(["suite", "--scale", "tiny"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["suite", "--scale", "tiny", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_experiment_jobs_and_cache(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        monkeypatch.setenv("REPRO_PES", "2")
+        cache = str(tmp_path / "cache")
+        argv = ["experiment", "fig14", "--jobs", "2",
+                "--cache-dir", cache]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "0 cached" in first.err
+        assert "0 executed" in second.err
+
+    def test_telemetry_flags_force_live_run(self, tmp_path, capsys):
+        """A cache hit would skip the simulation the trace observes, so
+        telemetry flags bypass the sweep path."""
+        import json
+
+        cache = str(tmp_path / "cache")
+        trace = tmp_path / "run.trace.json"
+        assert main(self.RUN + [
+            "--cache-dir", cache, "--trace", str(trace),
+        ]) == 0
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+        from repro.sweep import ResultCache
+
+        assert len(ResultCache(cache)) == 0
+
+
+class TestSweepFlagErrors:
+    RUN = ["run", "--matrix", "ASI", "--scale", "tiny",
+           "--pes", "2", "--k", "16"]
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run", "--matrix", "ASI", "--scale", "tiny", "--pes", "2"],
+            ["suite", "--scale", "tiny"],
+            ["experiment", "sec7g"],
+        ],
+        ids=["run", "suite", "experiment"],
+    )
+    def test_no_cache_conflicts_with_cache_dir(self, argv, tmp_path, capsys):
+        code = main(argv + [
+            "--no-cache", "--cache-dir", str(tmp_path / "c"),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--no-cache conflicts with --cache-dir" in err
+
+    @pytest.mark.parametrize("jobs", ["0", "-3"])
+    def test_nonpositive_jobs_rejected(self, jobs, capsys):
+        assert main(self.RUN + ["--jobs", jobs]) == 2
+        assert "--jobs must be a positive" in capsys.readouterr().err
+
+    def test_resume_validation_still_wins(self, tmp_path, capsys):
+        """Sweep checks compose with the existing run validations."""
+        code = main(self.RUN + ["--resume", "--jobs", "2"])
+        assert code == 2
+        assert "--resume requires" in capsys.readouterr().err
+
+
 class TestResilienceFlags:
     RUN = ["run", "--matrix", "ASI", "--scale", "tiny",
            "--pes", "2", "--k", "16"]
