@@ -44,9 +44,10 @@ from repro.core.engine import DEFAULT_CHUNK_NNZ
 from repro.sparse.generators import banded, rmat_graph, uniform_random
 
 
-def run_once(cfg, execution: str, a, b, c, kernel: str):
+def run_once(cfg, execution: str, a, b, c, kernel: str,
+             chunk_nnz: int = DEFAULT_CHUNK_NNZ):
     """One timed end-to-end engine run; returns (seconds, report)."""
-    system = SpadeSystem(cfg, execution=execution)
+    system = SpadeSystem(cfg, chunk_nnz=chunk_nnz, execution=execution)
     t0 = time.perf_counter()
     if kernel == "spmm":
         report = system.spmm(a, b)
@@ -71,7 +72,8 @@ def assert_parity(name: str, oracle, candidate, mode: str) -> None:
         raise AssertionError(f"{name}: {mode} PECounters diverged")
 
 
-def bench_one(cfg, name: str, gen, k: int, kernel: str, reps: int) -> dict:
+def bench_one(cfg, name: str, gen, k: int, kernel: str, reps: int,
+              chunk_nnz: int = DEFAULT_CHUNK_NNZ) -> dict:
     a = gen()
     rng = np.random.default_rng(7)
     if kernel == "spmm":
@@ -86,7 +88,7 @@ def bench_one(cfg, name: str, gen, k: int, kernel: str, reps: int) -> dict:
     for mode in EXECUTION_MODES:
         mode_times = []
         for _ in range(reps):
-            dt, report = run_once(cfg, mode, a, b, c, kernel)
+            dt, report = run_once(cfg, mode, a, b, c, kernel, chunk_nnz)
             mode_times.append(dt)
         # Median of reps: robust to one-off scheduler noise in either
         # direction, unlike min (best case only) or mean.
@@ -113,26 +115,32 @@ def bench_one(cfg, name: str, gen, k: int, kernel: str, reps: int) -> dict:
     return row
 
 
-def workloads(smoke: bool) -> List[Tuple[str, Callable, int, str]]:
+def workloads(smoke: bool) -> List[Tuple[str, Callable, int, str, int]]:
     if smoke:
         return [
             ("smoke-unif-sddmm",
              lambda: uniform_random(512, 256, nnz=20_000, seed=11),
-             16, "sddmm"),
+             16, "sddmm", DEFAULT_CHUNK_NNZ),
             ("smoke-rmat-spmm",
-             lambda: rmat_graph(9, edge_factor=8, seed=5), 16, "spmm"),
+             lambda: rmat_graph(9, edge_factor=8, seed=5),
+             16, "spmm", DEFAULT_CHUNK_NNZ),
         ]
     return [
-        # Headline: the same >= 1M-access SDDMM as BENCH_replay.json,
-        # so generation- and replay-stage gains are tracked on one
-        # workload across PRs.
+        # Headline: the same >= 1M-access SDDMM (and replay window) as
+        # BENCH_replay.json, so generation- and replay-stage gains are
+        # tracked on one workload across PRs.
         ("unif-sddmm-1m",
+         lambda: uniform_random(8192, 256, nnz=1_000_000, seed=11),
+         16, "sddmm", 32768),
+        ("unif-sddmm-1m-wide",
          lambda: uniform_random(8192, 1024, nnz=900_000, seed=11),
-         16, "sddmm"),
+         16, "sddmm", DEFAULT_CHUNK_NNZ),
         ("rmat13-spmm-k64",
-         lambda: rmat_graph(13, edge_factor=16, seed=5), 64, "spmm"),
+         lambda: rmat_graph(13, edge_factor=16, seed=5),
+         64, "spmm", DEFAULT_CHUNK_NNZ),
         ("banded64k-sddmm-k16",
-         lambda: banded(65_536, bandwidth=24, seed=3), 16, "sddmm"),
+         lambda: banded(65_536, bandwidth=24, seed=3),
+         16, "sddmm", DEFAULT_CHUNK_NNZ),
     ]
 
 
@@ -161,12 +169,15 @@ def main(argv=None) -> int:
         args.out = Path(__file__).resolve().parent.parent / name
     reps = 1 if args.smoke else max(1, args.reps)
 
-    # Benchmark the batched replay path (the PR 1 default); the scalar
-    # column is then exactly the PR 1 engine baseline.
-    cfg = dataclasses.replace(scaled_config(args.pes), replay="batched")
+    # Benchmark under the array replay backend: batched replay was the
+    # Amdahl bottleneck of the vectorized engine (the ~1.9x cap this
+    # headline used to sit at), so the end-to-end speedups now track
+    # generation gains with replay off the critical path.
+    cfg = dataclasses.replace(scaled_config(args.pes), replay="array")
     results = []
-    for name, gen, k, kernel in workloads(args.smoke):
-        row = bench_one(cfg, name, gen, k, kernel, reps)
+    for name, gen, k, kernel, chunk_nnz in workloads(args.smoke):
+        row = bench_one(cfg, name, gen, k, kernel, reps, chunk_nnz)
+        row["chunk_nnz"] = chunk_nnz
         results.append(row)
         print(
             f"{row['name']:22s} requests={row['requests']:>9,d}  "
@@ -183,7 +194,7 @@ def main(argv=None) -> int:
         "config": {
             "pes": args.pes,
             "reps": reps,
-            "chunk_nnz": DEFAULT_CHUNK_NNZ,
+            "chunk_nnz": [r["chunk_nnz"] for r in results],
             "execution": list(EXECUTION_MODES),
             "replay": cfg.replay,
             "pipeline": {
@@ -201,7 +212,7 @@ def main(argv=None) -> int:
         workload={
             "benchmark": "gen_speed",
             "mode": payload["mode"],
-            "workloads": [name for name, _, _, _ in workloads(args.smoke)],
+            "workloads": [w[0] for w in workloads(args.smoke)],
         },
         extra={"argv": argv if argv is not None else sys.argv[1:]},
     )

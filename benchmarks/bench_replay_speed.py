@@ -1,25 +1,31 @@
-"""Replay-speed benchmark: scalar oracle vs batched trace replay.
+"""Replay-speed benchmark: scalar oracle vs batched vs array replay.
 
 Captures the exact post-VRF memory trace of seeded SpMM/SDDMM runs
 (the trace is mode-independent — the PE pipeline is deterministic),
-then replays it through two fresh :class:`MemorySystem` instances:
+then replays it through fresh :class:`MemorySystem` instances, one per
+replay backend:
 
 * **scalar** — one :meth:`dense_access`/:meth:`stream_access` call per
   access plus the per-access service-level counter tally, exactly as
   ``ProcessingElement`` does in ``replay="scalar"`` mode;
 * **batched** — one :meth:`replay_trace` call per PE chunk plus the
   ``np.bincount`` tally, exactly as ``ProcessingElement.flush_trace``
-  does in ``replay="batched"`` mode.
+  does in ``replay="batched"`` mode;
+* **array** — the same call shape under ``replay="array"``: whole-
+  partition stack-distance replay (see ``memory/replay_array.py`` and
+  DESIGN.md section 10).
 
-Every run asserts bit-identical counters, per-level LRU/dirty state,
-and per-level tallies between the two paths before timing is reported,
-so the benchmark doubles as an end-to-end parity check.  Results land
-in ``BENCH_replay.json`` (see README) to track the perf trajectory.
+Every run asserts bit-identical per-level tallies, AccessStats, and
+per-level LRU/dirty state across all three backends before timing is
+reported, so the benchmark doubles as an end-to-end parity check.
+Results land in ``BENCH_replay.json`` (see README) to track the perf
+trajectory; the headline is the array backend's replay-only speedup
+over the scalar oracle on the >= 1M-access workload.
 
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/bench_replay_speed.py
-    PYTHONPATH=src python benchmarks/bench_replay_speed.py --smoke
+    PYTHONPATH=src python benchmarks/bench_replay_speed.py --quick
 
 This is a standalone script, not a pytest-benchmark module (the
 ``bench_*`` siblings are run via ``pytest benchmarks``).
@@ -59,11 +65,19 @@ _R_SPARSE = TRACE_REGIONS.index("sparse")
 Chunk = Tuple[int, np.ndarray, np.ndarray]
 Tally = Tuple[List[int], List[int], List[int]]
 
+#: (name, matrix generator, k, kernel, replay chunk_nnz).  The chunk
+#: size is a replay-window knob, not a workload property: all backends
+#: replay the identical chunk sequence, so parity is unaffected, but
+#: larger windows amortize the array solver's per-call costs.
+Workload = Tuple[str, Callable, int, str, int]
 
-def capture_trace(cfg, a, k: int, kernel: str) -> List[Chunk]:
+
+def capture_trace(
+    cfg, a, k: int, kernel: str, chunk_nnz: int = DEFAULT_CHUNK_NNZ
+) -> List[Chunk]:
     """Run the full system once and capture every per-chunk trace the
     engine hands to ``MemorySystem.replay_trace``."""
-    system = SpadeSystem(cfg)
+    system = SpadeSystem(cfg, chunk_nnz=chunk_nnz)
     rng = np.random.default_rng(7)
     chunks: List[Chunk] = []
     orig = MemorySystem.replay_trace
@@ -116,8 +130,9 @@ def run_scalar(ms: MemorySystem, chunks: List[Chunk]) -> Tally:
 
 
 def run_batched(ms: MemorySystem, chunks: List[Chunk]) -> Tally:
-    """Batched-mode replay: one replay_trace call per chunk + bincount
-    tally (mirrors ``ProcessingElement.flush_trace``)."""
+    """Chunked replay: one replay_trace call per chunk + bincount tally
+    (mirrors ``ProcessingElement.flush_trace``).  The backend actually
+    used is whatever ``ms`` was configured with (batched or array)."""
     stores = [0] * _NUM_LEVELS
     sparse = [0] * _NUM_LEVELS
     dense_r = [0] * _NUM_LEVELS
@@ -149,75 +164,101 @@ def lru_state(ms: MemorySystem):
     )
 
 
-def bench_one(cfg, name: str, chunks: List[Chunk], reps: int) -> dict:
+def bench_one(
+    cfg_batched, cfg_array, name: str, chunks: List[Chunk], reps: int
+) -> dict:
     accesses = sum(len(lines) for _, lines, _ in chunks)
-    scalar_times: List[float] = []
-    batched_times: List[float] = []
-    ms_s = ms_b = None
-    tally_s = tally_b = None
+    times = {"scalar": [], "batched": [], "array": []}
+    systems = {}
+    tallies = {}
     for _ in range(reps):
-        ms_s = MemorySystem(cfg)
-        t0 = time.perf_counter()
-        tally_s = run_scalar(ms_s, chunks)
-        scalar_times.append(time.perf_counter() - t0)
-        ms_b = MemorySystem(cfg)
-        t0 = time.perf_counter()
-        tally_b = run_batched(ms_b, chunks)
-        batched_times.append(time.perf_counter() - t0)
+        for mode, cfg, runner in (
+            ("scalar", cfg_batched, run_scalar),
+            ("batched", cfg_batched, run_batched),
+            ("array", cfg_array, run_batched),
+        ):
+            ms = MemorySystem(cfg)
+            t0 = time.perf_counter()
+            tallies[mode] = runner(ms, chunks)
+            times[mode].append(time.perf_counter() - t0)
+            systems[mode] = ms
 
-    stats_s = dataclasses.asdict(ms_s.collect_stats())
-    stats_b = dataclasses.asdict(ms_b.collect_stats())
-    assert tally_s == tally_b, f"{name}: per-level tallies diverged"
-    assert stats_s == stats_b, f"{name}: AccessStats diverged"
-    assert lru_state(ms_s) == lru_state(ms_b), f"{name}: LRU state diverged"
+    stats = {
+        m: dataclasses.asdict(systems[m].collect_stats())
+        for m in systems
+    }
+    states = {m: lru_state(systems[m]) for m in systems}
+    for mode in ("batched", "array"):
+        assert tallies[mode] == tallies["scalar"], (
+            f"{name}: {mode} per-level tallies diverged"
+        )
+        assert stats[mode] == stats["scalar"], (
+            f"{name}: {mode} AccessStats diverged"
+        )
+        assert states[mode] == states["scalar"], (
+            f"{name}: {mode} LRU state diverged"
+        )
 
-    st = ms_b.collect_stats()
+    st = systems["array"].collect_stats()
     # Median of reps: robust to one-off scheduler noise in either
     # direction, unlike min (best case only) or mean (outlier-skewed).
-    scalar_s = statistics.median(scalar_times)
-    batched_s = statistics.median(batched_times)
+    med = {m: statistics.median(times[m]) for m in times}
     return {
         "name": name,
         "accesses": accesses,
         "chunks": len(chunks),
-        "scalar_s": round(scalar_s, 4),
-        "batched_s": round(batched_s, 4),
-        "speedup": round(scalar_s / batched_s, 2),
-        "scalar_us_per_access": round(scalar_s / accesses * 1e6, 3),
-        "batched_us_per_access": round(batched_s / accesses * 1e6, 3),
+        "scalar_s": round(med["scalar"], 4),
+        "batched_s": round(med["batched"], 4),
+        "array_s": round(med["array"], 4),
+        "speedup_batched": round(med["scalar"] / med["batched"], 2),
+        "speedup_array": round(med["scalar"] / med["array"], 2),
+        "scalar_us_per_access": round(med["scalar"] / accesses * 1e6, 3),
+        "batched_us_per_access": round(med["batched"] / accesses * 1e6, 3),
+        "array_us_per_access": round(med["array"] / accesses * 1e6, 3),
         "l1_hit_rate": round(st.l1.hit_rate, 4),
         "l2_hit_rate": round(st.l2.hit_rate, 4),
         "parity": True,
     }
 
 
-def workloads(smoke: bool) -> List[Tuple[str, Callable, int, str]]:
-    if smoke:
+def workloads(quick: bool) -> List[Workload]:
+    if quick:
         return [
             ("smoke-unif-sddmm",
              lambda: uniform_random(512, 256, nnz=20_000, seed=11),
-             16, "sddmm"),
+             16, "sddmm", DEFAULT_CHUNK_NNZ),
             ("smoke-rmat-spmm",
-             lambda: rmat_graph(9, edge_factor=8, seed=5), 16, "spmm"),
+             lambda: rmat_graph(9, edge_factor=8, seed=5),
+             16, "spmm", DEFAULT_CHUNK_NNZ),
         ]
     return [
         # Headline: >= 1M-access SDDMM whose dense working set is
-        # L2-resident — the regime SPADE targets and where batching
-        # pays most (see DESIGN.md on replay paths).
+        # L1-resident per set — the high-reuse regime SPADE targets,
+        # and the one where the array solver's small-footprint fast
+        # path pays most.  The 32k replay window amortizes the
+        # solver's per-call costs (identical chunks are replayed by
+        # every backend, so parity is chunk-size independent).
         ("unif-sddmm-1m",
+         lambda: uniform_random(8192, 256, nnz=1_000_000, seed=11),
+         16, "sddmm", 32768),
+        # The former headline: wide dense operand whose working set is
+        # only L2-resident, so the L1 miss cascade stays hot.
+        ("unif-sddmm-1m-wide",
          lambda: uniform_random(8192, 1024, nnz=900_000, seed=11),
-         16, "sddmm"),
+         16, "sddmm", DEFAULT_CHUNK_NNZ),
         ("rmat13-spmm-k64",
-         lambda: rmat_graph(13, edge_factor=16, seed=5), 64, "spmm"),
+         lambda: rmat_graph(13, edge_factor=16, seed=5),
+         64, "spmm", DEFAULT_CHUNK_NNZ),
         ("banded64k-sddmm-k16",
-         lambda: banded(65_536, bandwidth=24, seed=3), 16, "sddmm"),
+         lambda: banded(65_536, bandwidth=24, seed=3),
+         16, "sddmm", DEFAULT_CHUNK_NNZ),
     ]
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--smoke", action="store_true",
+        "--quick", "--smoke", dest="quick", action="store_true",
         help="tiny traces, 1 rep: CI-sized parity + plumbing check",
     )
     parser.add_argument(
@@ -227,7 +268,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", type=Path, default=None,
         help="output JSON path (default: repo-root BENCH_replay.json, "
-        "or BENCH_replay_smoke.json in --smoke mode so smoke runs "
+        "or BENCH_replay_smoke.json in --quick mode so quick runs "
         "never clobber the tracked full-mode results)",
     )
     parser.add_argument(
@@ -235,42 +276,47 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     if args.out is None:
-        name = "BENCH_replay_smoke.json" if args.smoke else "BENCH_replay.json"
+        name = "BENCH_replay_smoke.json" if args.quick else "BENCH_replay.json"
         args.out = Path(__file__).resolve().parent.parent / name
-    reps = 1 if args.smoke else max(1, args.reps)
+    reps = 1 if args.quick else max(1, args.reps)
 
-    cfg = dataclasses.replace(scaled_config(args.pes), replay="batched")
+    cfg_batched = dataclasses.replace(scaled_config(args.pes), replay="batched")
+    cfg_array = dataclasses.replace(scaled_config(args.pes), replay="array")
     results = []
-    for name, gen, k, kernel in workloads(args.smoke):
-        chunks = capture_trace(cfg, gen(), k, kernel)
-        row = bench_one(cfg, name, chunks, reps)
+    rows = workloads(args.quick)
+    for name, gen, k, kernel, chunk_nnz in rows:
+        chunks = capture_trace(cfg_batched, gen(), k, kernel, chunk_nnz)
+        row = bench_one(cfg_batched, cfg_array, name, chunks, reps)
+        row["chunk_nnz"] = chunk_nnz
         results.append(row)
         print(
             f"{row['name']:22s} accesses={row['accesses']:>9,d}  "
-            f"scalar {row['scalar_s']:.3f}s  batched {row['batched_s']:.3f}s  "
-            f"speedup {row['speedup']:.2f}x  parity=OK"
+            f"scalar {row['scalar_s']:.3f}s  batched {row['batched_s']:.3f}s "
+            f"({row['speedup_batched']:.2f}x)  array {row['array_s']:.3f}s "
+            f"({row['speedup_array']:.2f}x)  parity=OK"
         )
 
     payload = {
         "benchmark": "replay_speed",
-        "mode": "smoke" if args.smoke else "full",
+        "mode": "smoke" if args.quick else "full",
         "config": {
             "pes": args.pes,
             "reps": reps,
-            "chunk_nnz": DEFAULT_CHUNK_NNZ,
-            "execution": cfg.execution,
-            "replay": cfg.replay,
+            "chunk_nnz": [r["chunk_nnz"] for r in results],
+            "execution": cfg_batched.execution,
+            "replay": ["scalar", "batched", "array"],
         },
         "workloads": results,
-        "headline_speedup": results[0]["speedup"],
+        "headline_speedup": results[0]["speedup_array"],
+        "headline_speedup_batched": results[0]["speedup_batched"],
     }
     write_bench_json(
         args.out, payload,
-        config=cfg,
+        config=cfg_array,
         workload={
             "benchmark": "replay_speed",
             "mode": payload["mode"],
-            "workloads": [name for name, _, _, _ in workloads(args.smoke)],
+            "workloads": [w[0] for w in rows],
         },
         extra={"argv": argv if argv is not None else sys.argv[1:]},
     )

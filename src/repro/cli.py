@@ -29,6 +29,7 @@ from repro.config import (
     ResilienceConfig,
     TelemetryConfig,
     config_summary,
+    replay_modes,
     scaled_config,
 )
 from repro.core.accelerator import SpadeSystem
@@ -152,9 +153,11 @@ def _run_cell(env, point) -> dict:
     """
     from repro.resilience import RunSupervisor
 
-    matrix, scale, kernel, k, pes, cache_shrink, seed = point
+    matrix, scale, kernel, k, pes, cache_shrink, seed, replay = point
     a = _load_matrix(matrix, scale)
     cfg = scaled_config(pes, cache_shrink=cache_shrink)
+    if replay is not None:
+        cfg = dataclasses.replace(cfg, replay=replay)
     supervisor = RunSupervisor(resilience=ResilienceConfig())
     rng = np.random.default_rng(seed)
     b = rng.random((a.num_cols, k), dtype=np.float32)
@@ -202,7 +205,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         point = (
             args.matrix, args.scale, args.kernel, args.k,
-            args.pes, args.cache_shrink, args.seed,
+            args.pes, args.cache_shrink, args.seed, args.replay,
         )
         summary = sweep_map(sweep, "run", None, _run_cell, [point])[0]
         print(f"matrix              : {summary['matrix']}")
@@ -236,6 +239,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         telemetry=_telemetry_config(args),
         resilience=resilience,
     )
+    if args.replay is not None:
+        cfg = dataclasses.replace(cfg, replay=args.replay)
     telemetry = Telemetry(cfg.telemetry)
     supervisor = RunSupervisor(resilience=resilience, telemetry=telemetry)
     rng = np.random.default_rng(args.seed)
@@ -256,8 +261,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"requests per cycle  : {report.requests_per_cycle:.2f}")
     print(f"load imbalance      : {report.load_imbalance:.2f}")
     if outcome is not None and (outcome.degraded or outcome.retries):
-        print(f"backend             : {outcome.backend} "
-              f"(requested {outcome.requested_backend}, "
+        print(f"backend             : {outcome.backend}/{outcome.replay} "
+              f"(requested {outcome.requested_backend}/"
+              f"{outcome.requested_replay}, "
               f"{outcome.retries} retries, "
               f"{outcome.degradations} degradations)")
     print(report.stats.summary())
@@ -273,9 +279,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_autotune(args: argparse.Namespace) -> int:
     a = _load_matrix(args.matrix, args.scale)
-    system = SpadeSystem(
-        scaled_config(args.pes, cache_shrink=args.cache_shrink)
-    )
+    cfg = scaled_config(args.pes, cache_shrink=args.cache_shrink)
+    if args.replay is not None:
+        cfg = dataclasses.replace(cfg, replay=args.replay)
+    system = SpadeSystem(cfg)
     result = autotune(
         system, a, args.kernel, args.k,
         quick=not args.full, row_panel_divisor=args.rp_divisor,
@@ -398,6 +405,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", default="small",
                        choices=["tiny", "small", "default", "large"])
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--replay", choices=replay_modes(), default=None,
+                       help="trace-replay backend (default: the config "
+                       "default; all modes are bit-identical, they "
+                       "differ only in host speed)")
 
     def sweep_flags(p):
         grp = p.add_argument_group("parallel sweep")

@@ -20,7 +20,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.config import SpadeConfig
+from repro.config import SpadeConfig, replay_backend_spec
 from repro.core.bypass import BypassPolicy
 from repro.core.cpe import Schedule
 from repro.core.instructions import InitializationInstruction, Primitive
@@ -154,14 +154,16 @@ class Engine:
                 telemetry=self.telemetry,
                 chaos=chaos,
             )
-        # Replay mode: "batched" buffers each PE chunk's trace and
-        # replays it in one vectorized call per chunk; "scalar" is the
-        # per-access reference oracle (bit-identical results).
+        # Replay mode: non-direct backends ("batched", "array") buffer
+        # each PE chunk's trace and replay it in one call per chunk;
+        # "scalar" is the per-access reference oracle (bit-identical
+        # results).  Which backends exist is the registry's business
+        # (repro.config), not ours.
         # Execution mode: "scalar" walks every nonzero in Python;
         # "vectorized" derives the chunk trace with NumPy + a reduced
         # tight loop; "pipelined" additionally overlaps generation with
-        # replay (bit-identical results in all six combinations).
-        self.batched_replay = config.replay == "batched"
+        # replay (bit-identical results in all combinations).
+        self.batched_replay = not replay_backend_spec(config.replay).direct
         self.execution = config.execution
         self.buffered = self.batched_replay or self.execution != "scalar"
         self.pes = [

@@ -38,13 +38,18 @@ class Cache:
 
     __slots__ = (
         "name", "num_sets", "ways", "_sets", "hits", "misses",
-        "writebacks", "fills", "flush_writebacks",
+        "writebacks", "fills", "flush_writebacks", "replay_fast_hint",
     )
 
     def __init__(self, config: CacheConfig, name: str = "cache") -> None:
         self.name = name
         self.num_sets = config.num_sets
         self.ways = config.associativity
+        # Perf hint for the array replay backend: whether the last
+        # array solve on this cache found every set's distinct stream
+        # footprint within the associativity (see replay_array.py).
+        # Starts optimistic; never affects simulated behaviour.
+        self.replay_fast_hint = True
         # One insertion-ordered dict per set: {line: dirty_flag};
         # first key = LRU, last key = MRU.
         self._sets: List[Dict[int, bool]] = [

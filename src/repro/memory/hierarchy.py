@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.config import CacheConfig, SpadeConfig
+from repro.config import CacheConfig, SpadeConfig, resolve_replay_backend
 from repro.memory.bbf import BypassBuffer
 from repro.memory.cache import NO_LINE, Cache, rle_starts
 from repro.memory.dram import DRAMModel
@@ -102,6 +102,10 @@ class MemorySystem:
         self.llc = Cache(llc_cfg, name="llc")
         self.dram = DRAMModel.from_config(config.memory)
         self._region_traffic: dict = {}
+        # Trace-replay backend, resolved once from the registry (see
+        # repro.config.register_replay_backend); replay_trace dispatches
+        # through it so call sites are backend-agnostic.
+        self._replay_backend = resolve_replay_backend(config.replay)
 
     # -- helpers ----------------------------------------------------------
 
@@ -569,6 +573,20 @@ class MemorySystem:
         ops: np.ndarray,
         region_names: Sequence[Optional[str]] = TRACE_REGIONS,
     ) -> np.ndarray:
+        """Replay one PE's interleaved access trace in a single call,
+        dispatching to the backend named by ``config.replay`` (see the
+        registry in :mod:`repro.config`).  All backends are
+        bit-identical on counters, per-access service levels, and cache
+        state; they differ only in speed."""
+        return self._replay_backend(self, pe_id, lines, ops, region_names)
+
+    def replay_trace_batched(
+        self,
+        pe_id: int,
+        lines: np.ndarray,
+        ops: np.ndarray,
+        region_names: Sequence[Optional[str]] = TRACE_REGIONS,
+    ) -> np.ndarray:
         """Replay one PE's interleaved access trace in a single call.
 
         ``ops`` carries per-access path/write/region (see
@@ -836,3 +854,33 @@ class MemorySystem:
             stlb.reset_stats()
         self.dram.reset_stats()
         self._region_traffic.clear()
+
+
+# -- registry-facing backend entry points ----------------------------------
+#
+# The replay registry in repro.config references these by dotted path;
+# they exist so backends are plain callables with one uniform signature
+# (memory_system, pe_id, lines, ops, region_names) regardless of where
+# the implementation lives (methods here, modules elsewhere).
+
+
+def replay_backend_scalar(
+    ms: "MemorySystem",
+    pe_id: int,
+    lines: np.ndarray,
+    ops: np.ndarray,
+    region_names: Sequence[Optional[str]] = TRACE_REGIONS,
+) -> np.ndarray:
+    """``replay="scalar"``: the per-access reference oracle."""
+    return ms.replay_trace_scalar(pe_id, lines, ops, region_names)
+
+
+def replay_backend_batched(
+    ms: "MemorySystem",
+    pe_id: int,
+    lines: np.ndarray,
+    ops: np.ndarray,
+    region_names: Sequence[Optional[str]] = TRACE_REGIONS,
+) -> np.ndarray:
+    """``replay="batched"``: the fused per-set dict-walk fast path."""
+    return ms.replay_trace_batched(pe_id, lines, ops, region_names)

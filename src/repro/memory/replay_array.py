@@ -1,0 +1,753 @@
+"""Array-native trace replay: the ``replay="array"`` backend.
+
+The batched backend walks every access through per-set Python dicts; at
+~0.2 us per dict transaction that loop dominates million-access traces
+(the ~1.9x end-to-end Amdahl cap in BENCH_gen.json).  This module
+replaces the per-access walk with whole-partition NumPy analysis built
+on the classic LRU *stack property*: an access to line ``x`` hits a
+``W``-way set iff fewer than ``W`` distinct lines of that set were
+touched since the previous access to ``x`` (the reuse/stack distance).
+DESIGN.md section 10 carries the full exactness argument; the shape of
+the computation per cache level is:
+
+1. Prepend each touched set's resident lines as *virtual accesses* in
+   LRU order (write flag = dirty bit): the real stream then replays as
+   if from a cold cache, so the stack property applies verbatim.
+2. Group the combined stream by set with one stable argsort; compute
+   each access's previous-occurrence position ``P`` with a second
+   stable argsort by line.
+3. Stack distance via a dominance count: ``sd[i] = C[i] - P[i] - 1``
+   where ``C[i] = #{j < i in the set : P[j] <= P[i]}``, computed for
+   all sets at once by a blocked position/value histogram (one
+   ``bincount``, two strided prefix sums, and a narrow in-block
+   comparison).  ``hit[i] = (P[i] >= 0) & (sd[i] < W)``.
+4. Misses partition into *residency periods* (one per fill, plus one
+   per initially resident line).  Victims of capacity misses pair 1:1,
+   in time order, with the evicted periods sorted by last-access
+   position; survivors (the top ``min(W, occupancy)`` periods by last
+   access) rebuild the per-set dicts in exact LRU order, dirty bits
+   OR-ed over each period's writes.
+5. Dirty victims (writes) and miss fills (reads) merge — victims
+   first within one access — into the next level's event stream, so
+   the L1 -> L2 -> LLC -> DRAM cascade is three applications of the
+   same level solver on geometrically shrinking streams.  Every event
+   carries the dedup index of the original access that triggered it,
+   which resolves both DRAM region attribution and per-access service
+   levels (assigned top-down: an access's level is the deepest level
+   its fill had to reach).
+
+Every step is bit-identical to the scalar oracle: same counters, same
+per-access service levels, same LRU/dirty state (the differential and
+Hypothesis suites in tests/test_replay_array_parity.py and
+tests/test_replay_array_properties.py pin this).  Small or set-diluted
+streams fall back to an equivalent per-set dict walk — NumPy's fixed
+per-op cost would otherwise swamp the win — chosen per level by the
+``ARRAY_MIN_EVENTS`` floor and the calibrated cost model below.
+
+The bypass-buffer and stream partitions reuse the batched fast paths
+(``_dense_bypass_many`` / ``_stream_many``), which are already
+vectorized and parity-pinned; STLB translation and flush accounting are
+shared with the other backends, so those behaviours are reproduced
+exactly by construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.memory.cache import Cache, rle_starts
+from repro.memory.hierarchy import (
+    OP_DENSE,
+    OP_DENSE_BYPASS,
+    OP_PATH_MASK,
+    OP_REGION_SHIFT,
+    OP_STREAM,
+    OP_WRITE,
+    TRACE_REGIONS,
+    MemorySystem,
+    ServiceLevel,
+)
+
+ARRAY_MIN_EVENTS = 192
+"""Streams shorter than this always take the dict-walk fallback: the
+array solver's fixed NumPy op costs outweigh walking the trace."""
+
+DOMINANCE_BLOCK = 8
+"""Smallest candidate block width (positions per histogram block) in
+the dominance kernel; the planner doubles from here."""
+
+# Cost-model coefficients for the array-vs-dict dispatch, calibrated
+# on the bench_replay_speed workloads (values are microseconds; only
+# their ratios matter).  The dict-walk side is miss-rate dependent —
+# a hit is one dict transaction, a miss walks the whole cascade — so
+# its per-event cost interpolates between the two coefficients using
+# the level's running hit counters.  The array side mirrors the
+# solver's structure: ~linear NumPy passes over the combined stream,
+# a per-touched-set dict extract/rebuild, and the dominance kernel's
+# histogram volume plus its per-accumulate-step overhead (the term
+# that blows up on skewed segment shapes, where the dict walk must
+# win the dispatch).
+_PY_HIT_US = 0.16       # dict-walk cost per hitting event
+_PY_MISS_EXTRA_US = 0.44  # extra dict transactions a missing event pays
+_ARRAY_ELEM_US = 0.17   # array solver linear cost per stream element
+_ARRAY_FAST_ELEM_US = 0.12  # same, when the small-footprint path holds
+_ARRAY_SET_US = 2.5     # per-set extract + rebuild cost
+_DOM_TOUCH_US = 0.0015  # per histogram element touch / shifted compare
+_DOM_STEP_US = 1.0      # per accumulate step / shift pass overhead
+
+DOMINANCE_HIST_CAP = 1 << 22
+"""Histogram size cap (elements) above which the dominance count falls
+back to the pow2-bucketed iterative-doubling merge count (pathological
+shapes only: one enormous set segment)."""
+
+# One level's output: the next level's event stream in stream order —
+# (line, write, is_fill, trigger) where trigger is the dedup index of
+# the original access responsible for the event.
+LevelEvents = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_BOOL = np.empty(0, dtype=bool)
+_EMPTY_EVENTS: LevelEvents = (_EMPTY_I64, _EMPTY_BOOL, _EMPTY_BOOL, _EMPTY_I64)
+
+
+# -- stack-distance machinery ----------------------------------------------
+
+
+def _ragged_arange(lengths: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(n) for n in lengths])`` without the loop."""
+    total = int(lengths.sum())
+    out = np.arange(total, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    out -= np.repeat(ends - lengths, lengths)
+    return out
+
+
+def _radix_argsort(keys: np.ndarray) -> np.ndarray:
+    """Stable argsort for non-negative integer keys.
+
+    NumPy's ``kind="stable"`` is a radix sort only for <= 16-bit
+    integers; wider dtypes take a comparison sort that is ~10x slower
+    on the few-thousand-element keys this module sorts.  Keys under
+    2**16 sort in one 16-bit pass, keys under 2**31 in two (low then
+    high half, composed stably); anything wider falls back to NumPy.
+    """
+    n = keys.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    m = int(keys.max())
+    if m < (1 << 16):
+        return np.argsort(keys.astype(np.uint16), kind="stable")
+    if m < (1 << 31):
+        o1 = np.argsort((keys & 0xFFFF).astype(np.uint16), kind="stable")
+        hi = (keys[o1] >> 16).astype(np.uint16)
+        return o1[np.argsort(hi, kind="stable")]
+    return np.argsort(keys, kind="stable")
+
+
+def _dominance_plan(B: int, R: int, n: int) -> Tuple[int, float]:
+    """Pick the histogram block width for a dominance problem with max
+    segment length ``B``, ``R`` segments and ``n`` elements; returns
+    ``(blk_w, estimated_us)``.
+
+    Block width trades histogram volume (``~B^2 * R / blk_w``, touched
+    three times: bincount, two prefix axes) against ``blk_w - 1``
+    in-block shift passes over the stream; both also pay a per-step
+    call overhead, including the ``B + 1`` value-prefix steps that make
+    skewed segment shapes expensive no matter the width.
+    """
+    nval = B + 1
+    blk_w, best = DOMINANCE_BLOCK, float("inf")
+    w = DOMINANCE_BLOCK
+    while True:
+        nblk = (B + w - 1) // w
+        cost = (
+            _DOM_TOUCH_US * (3 * (nblk + 1) * nval * R + 2 * w * n)
+            + _DOM_STEP_US * (nval + nblk + w)
+        )
+        if cost < best:
+            blk_w, best = w, cost
+        if w >= B:
+            break
+        w *= 2
+    return blk_w, best
+
+
+def _dominance_matrix(M: np.ndarray) -> np.ndarray:
+    """Per-row dominance counts ``C[r, i] = #{j < i : M[r, j] <= M[r, i]}``.
+
+    ``M`` is ``(R, B)`` with ``B`` a power of two and values in
+    ``[-1, B]`` (``B`` is the pad value).  Iterative doubling: at block
+    width ``w``, each right-half element counts the left-half elements
+    that are <= it, via one global ``searchsorted`` over the row-offset
+    flattened sorted left halves; every ordered pair is counted at
+    exactly one width, so the per-width counts sum to ``C``.
+    """
+    R, B = M.shape
+    C = np.zeros((R, B), dtype=np.int64)
+    Ms = M + 1  # values now in [0, B + 1]
+    stride = B + 2
+    w = 1
+    while w < B:
+        m2 = Ms.reshape(-1, 2 * w)
+        rows = m2.shape[0]
+        offs = np.arange(rows, dtype=np.int64) * stride
+        left = np.sort(m2[:, :w], axis=1) + offs[:, None]
+        q = m2[:, w:] + offs[:, None]
+        cnt = np.searchsorted(left.ravel(), q.ravel(), side="right")
+        cnt -= np.repeat(np.arange(rows, dtype=np.int64) * w, w)
+        C.reshape(-1, 2 * w)[:, w:] += cnt.reshape(rows, w)
+        w *= 2
+    return C
+
+
+def _dominance_doubling(
+    P: np.ndarray, seg_start: np.ndarray, seg_len: np.ndarray
+) -> np.ndarray:
+    """``C[i] = #{j < i in i's segment : P[j] <= P[i]}`` via per-bucket
+    iterative doubling — the O(n log^2 n) fallback for segment shapes
+    too large for the blocked histogram.
+
+    Segments are bucketed by ceil-power-of-two length so each bucket
+    packs into one rectangular matrix (total padded size <= 2 * len(P))
+    for :func:`_dominance_matrix`.
+    """
+    C = np.zeros(P.shape[0], dtype=np.int64)
+    if P.shape[0] == 0:
+        return C
+    blen = np.ones_like(seg_len)
+    while True:
+        under = blen < seg_len
+        if not under.any():
+            break
+        blen[under] *= 2
+    for bucket in np.unique(blen).tolist():
+        if bucket == 1:
+            continue  # single-element segments: no j < i, C stays 0
+        sel = np.flatnonzero(blen == bucket)
+        lens = seg_len[sel]
+        R = sel.shape[0]
+        cols = _ragged_arange(lens)
+        rows = np.repeat(np.arange(R, dtype=np.int64), lens)
+        src = np.repeat(seg_start[sel], lens) + cols
+        M = np.full((R, bucket), bucket, dtype=np.int64)
+        M[rows, cols] = P[src]
+        C[src] = _dominance_matrix(M)[rows, cols]
+    return C
+
+
+def _segmented_dominance(
+    P: np.ndarray,
+    seg_id: np.ndarray,
+    lpos: np.ndarray,
+    seg_start: np.ndarray,
+    seg_len: np.ndarray,
+) -> np.ndarray:
+    """``C[i] = #{j < i in i's segment : P[j] <= P[i]}`` for a
+    segment-partitioned array (segments = contiguous runs); ``P`` holds
+    segment-local previous positions in ``[-1, max_len - 1]``.
+
+    Blocked histogram formulation, O(n) in the stream with a handful of
+    heavy NumPy calls: bucket every element into (position block,
+    value) per segment with one ``bincount``, prefix-sum over blocks
+    then values (both along non-trailing axes, which NumPy vectorizes
+    across the trailing dimension), then resolve each element's own
+    block with a direct ``DOMINANCE_BLOCK``-wide comparison against its
+    block mates.
+    """
+    n = P.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    R = seg_len.shape[0]
+    B = int(seg_len.max())
+    nval = B + 1  # values -1..B-1 shift to bins 0..B
+
+    blk_w, _ = _dominance_plan(B, R, n)
+    nblk = (B + blk_w - 1) // blk_w
+    if (nblk + 1) * nval * R > DOMINANCE_HIST_CAP:
+        return _dominance_doubling(P, seg_start, seg_len)
+
+    val = P + 1
+    blk = lpos // blk_w
+    # hist[b + 1, v, s] = #elements of segment s in block b with value
+    # v; the leading zero block makes the block prefix exclusive.
+    key = ((blk + 1) * nval + val) * R + seg_id
+    hist = np.bincount(key, minlength=(nblk + 1) * nval * R)
+    hist = hist.reshape(nblk + 1, nval, R)
+    for b in range(nblk):  # over position blocks; contiguous slice
+        hist[b + 1] += hist[b]  # adds beat one strided accumulate
+    np.add.accumulate(hist, axis=1, out=hist)   # over values
+    C = hist[blk, val, seg_id]  # blocks fully before mine, value <= mine
+
+    # Own block: elements i-k (k < blk_w) share i's block exactly when
+    # lane[i] >= k, because layout positions are contiguous per segment
+    # and blocks never straddle segments — so the correction is blk_w-1
+    # shifted compares, no 2-D scratch.
+    lane = lpos - blk * blk_w
+    mask = np.empty(n, dtype=bool)
+    for k in range(1, min(blk_w, n)):
+        np.less_equal(val[:-k], val[k:], out=mask[k:])
+        mask[k:] &= lane[k:] >= k
+        C[k:] += mask[k:]
+    return C
+
+
+# -- one cache level, array-native -----------------------------------------
+
+
+def _replay_level_array(
+    cache: Cache,
+    line: np.ndarray,
+    write: np.ndarray,
+    isfill: Optional[np.ndarray],
+    trig: np.ndarray,
+    set_id: np.ndarray,
+    touched: np.ndarray,
+) -> LevelEvents:
+    """Replay one level's event stream through ``cache`` wholesale.
+
+    Counters, final per-set LRU/dirty state, and the emitted next-level
+    event stream are bit-identical to :func:`_replay_level_python`
+    (which is itself the scalar walk restricted to one level).
+    """
+    sets = cache._sets
+    ways = cache.ways
+    n = line.shape[0]
+
+    # 1. Virtual accesses: every touched set's residents in LRU order.
+    v_lines: List[int] = []
+    v_sets: List[int] = []
+    v_dirty: List[bool] = []
+    for s in touched.tolist():
+        d = sets[s]
+        if d:
+            v_lines += d.keys()
+            v_dirty += d.values()
+            v_sets += [s] * len(d)
+    nv = len(v_lines)
+    # Virtuals are never misses, so their isfill is never consulted;
+    # when the stream is all fills (the L1 entry stream always is) the
+    # fill mask collapses to the miss mask and is skipped entirely.
+    fills_all = isfill is None or bool(isfill.all())
+    if nv:
+        all_line = np.concatenate([np.array(v_lines, np.int64), line])
+        all_set = np.concatenate([np.array(v_sets, np.int64), set_id])
+        all_write = np.concatenate([np.array(v_dirty, bool), write])
+        all_trig = np.concatenate([np.full(nv, -1, np.int64), trig])
+        all_isfill = (
+            None if fills_all
+            else np.concatenate([np.zeros(nv, bool), isfill])
+        )
+    else:
+        all_line, all_set, all_write = line, set_id, write
+        all_trig = trig
+        all_isfill = None if fills_all else isfill
+    total = nv + n
+
+    # 2. Layout: group by set (stable keeps virtuals first, then stream
+    # order), then chain same-line occurrences for prev pointers.
+    order = _radix_argsort(all_set)
+    lay_line = all_line[order]
+    lay_set = all_set[order]
+    lay_isfill = None if all_isfill is None else all_isfill[order]
+    lay_sidx = order - nv  # >= 0 exactly for real (stream) accesses
+
+    seg_first = np.empty(total, dtype=bool)
+    seg_first[0] = True
+    np.not_equal(lay_set[1:], lay_set[:-1], out=seg_first[1:])
+    seg_start = np.flatnonzero(seg_first)
+    nseg = seg_start.shape[0]
+    seg_id = np.cumsum(seg_first) - 1
+    seg_len = np.diff(np.append(seg_start, total))
+    my_start = seg_start[seg_id]
+    lpos = np.arange(total, dtype=np.int64) - my_start
+
+    ch = _radix_argsort(lay_line)
+    ch_line = lay_line[ch]
+    same = np.empty(total, dtype=bool)
+    same[0] = False
+    np.equal(ch_line[1:], ch_line[:-1], out=same[1:])
+    prev = np.full(total, -1, dtype=np.int64)
+    tail = same[1:]
+    prev[ch[1:][tail]] = ch[:-1][tail]
+
+    # 3. Stack distances and hit mask (segment-local positions).
+    P = np.where(prev >= 0, prev - my_start, -1)
+    real = lay_sidx >= 0
+    c0_seg = np.bincount(seg_id[~real], minlength=nseg)
+    # Fast case: when each set's *distinct stream lines* fit in the
+    # set, an access whose previous occurrence is a real access always
+    # hits — at most distinct-1 < ways lines can intervene, and by the
+    # same bound no line is ever evicted between two of its accesses.
+    # Only the "boundary" accesses (first stream touch of a resident
+    # line, at most `ways` per set) need a stack distance, and it has
+    # a closed form: the residents stacked above it in LRU order, plus
+    # the distinct stream lines seen earlier in the segment, minus the
+    # residents among them (already counted once).
+    has_prev = prev >= 0
+    prev_virtual = np.zeros(total, dtype=bool)
+    prev_virtual[has_prev] = lay_sidx[prev[has_prev]] < 0
+    first_stream = real & (~has_prev | prev_virtual)
+    ds_seg = np.bincount(seg_id[first_stream], minlength=nseg)
+    fast = int(ds_seg.max()) <= ways
+    was_optimistic = cache.replay_fast_hint
+    cache.replay_fast_hint = fast
+    if not fast and was_optimistic:
+        # The planner skipped the dominance estimate on the strength
+        # of the hint; re-run the dispatch with it before committing.
+        # Nothing has been mutated yet, so the dict walk can take over.
+        _, dom_us = _dominance_plan(int(seg_len.max()), nseg, total)
+        hits, misses = cache.hits, cache.misses
+        mr = (misses + 64.0) / (hits + misses + 128.0)
+        py_us = (_PY_HIT_US + mr * _PY_MISS_EXTRA_US) * n
+        if py_us < _ARRAY_ELEM_US * total + _ARRAY_SET_US * nseg + dom_us:
+            return _replay_level_python(cache, line, write, isfill, trig)
+    if fast:
+        hit = real & has_prev
+        b = np.flatnonzero(first_stream & has_prev)
+        if b.size:
+            fs_ex = np.cumsum(first_stream) - first_stream
+            rank_d = fs_ex[b] - fs_ex[my_start[b]]
+            lru_j = lpos[prev[b]]  # virtuals head the segment in LRU order
+            b_seg = seg_id[b]
+            overlap = np.zeros(b.size, dtype=np.int64)
+            for k in range(1, min(ways, b.size)):
+                mk = (b_seg[k:] == b_seg[:-k]) & (lru_j[:-k] > lru_j[k:])
+                overlap[k:] += mk
+            sd_b = c0_seg[b_seg] - 1 - lru_j + rank_d - overlap
+            hit[b] = sd_b < ways
+    else:
+        C = _segmented_dominance(P, seg_id, lpos, seg_start, seg_len)
+        sd = C - P - 1
+        hit = (P >= 0) & (sd < ways)
+    miss = real & ~hit
+    n_miss = int(miss.sum())
+    n_hit = int(real.sum()) - n_miss
+
+    # 4. Residency periods.  A period's elements are contiguous in
+    # chain order with ascending layout positions (every chain head is
+    # a begin), so period ids are a plain cumsum over chain order and
+    # period ends are the run boundaries there.
+    begins = ~hit
+    begins_ch = begins[ch]
+    pord_ch = np.cumsum(begins_ch) - 1
+    st_ch = ch[begins_ch]  # period start layout positions, chain order
+    nper = st_ch.shape[0]
+
+    p_line = lay_line[st_ch]
+    p_set = lay_set[st_ch]
+    p_dirty = np.bincount(
+        pord_ch[all_write[order[ch]]], minlength=nper
+    ) > 0
+    run_end = np.empty(total, dtype=bool)
+    run_end[-1] = True
+    np.not_equal(pord_ch[1:], pord_ch[:-1], out=run_end[:-1])
+    p_end = ch[run_end]  # pord_ch is nondecreasing, so already ordered
+
+    # 5. Capacity misses and their victims.  Within a set, victims'
+    # last-access positions strictly increase across evictions and
+    # survivors hold the largest ends, so the k-th capacity miss pairs
+    # with the k-th smallest end among the evicted periods.
+    miss_seg = np.bincount(seg_id[miss], minlength=nseg)
+    nper_seg = c0_seg + miss_seg
+    occ_seg = np.minimum(ways, nper_seg)
+    nevict_seg = nper_seg - occ_seg
+
+    if int(nevict_seg.max()) == 0:
+        cap_idx = _EMPTY_I64
+    else:
+        mcum = np.cumsum(miss)
+        ordinal = mcum - mcum[my_start] + miss[my_start]
+        thresh = np.maximum(0, ways - c0_seg)
+        cap = miss & (ordinal > thresh[seg_id])
+        cap_idx = np.flatnonzero(cap)
+
+    # (set, end) sort as one composite key: ends are < total + 1, so
+    # the key is collision-free and radix-sortable.
+    p_order = _radix_argsort(p_set * (total + 1) + p_end)
+    pblk = np.repeat(np.arange(nseg, dtype=np.int64), nper_seg)
+    pblk_start = np.concatenate(([0], np.cumsum(nper_seg)[:-1]))
+    prank = np.arange(nper, dtype=np.int64) - pblk_start[pblk]
+    ev_mask = prank < nevict_seg[pblk]
+    evict_p = p_order[ev_mask]
+    surv_p = p_order[~ev_mask]
+
+    vict_dirty = p_dirty[evict_p]
+    n_wb = int(vict_dirty.sum())
+
+    cache.hits += n_hit
+    cache.misses += n_miss
+    cache.fills += n_miss
+    cache.writebacks += n_wb
+
+    # 6. Next-level events: dirty victims (writes) before the same
+    # access's own fill read, globally in stream order.
+    dv_cap = cap_idx[vict_dirty]
+    v_sidx = lay_sidx[dv_cap]
+    v_line = p_line[evict_p[vict_dirty]]
+    f_idx = np.flatnonzero(
+        miss if lay_isfill is None else miss & lay_isfill
+    )
+    f_sidx = lay_sidx[f_idx]
+    ne_v = v_sidx.shape[0]
+    key = np.concatenate([v_sidx * 2, f_sidx * 2 + 1])
+    eorder = _radix_argsort(key)
+    e_line = np.concatenate([v_line, lay_line[f_idx]])[eorder]
+    e_write = np.zeros(key.shape[0], dtype=bool)
+    e_write[:ne_v] = True
+    e_write = e_write[eorder]
+    e_isfill = ~e_write
+    e_trig = np.concatenate(
+        [all_trig[order[dv_cap]], all_trig[order[f_idx]]]
+    )[eorder]
+
+    # 7. Rebuild the touched sets: survivors by ascending last access
+    # IS the LRU insertion order; .tolist() yields plain int/bool so
+    # state snapshots stay type-identical to the scalar path.
+    surv_lines = p_line[surv_p].tolist()
+    surv_dirty = p_dirty[surv_p].tolist()
+    off = 0
+    for s, cnt in zip(lay_set[seg_start].tolist(), occ_seg.tolist()):
+        sets[s] = dict(
+            zip(surv_lines[off:off + cnt], surv_dirty[off:off + cnt])
+        )
+        off += cnt
+    return e_line, e_write, e_isfill, e_trig
+
+
+def _replay_level_python(
+    cache: Cache,
+    line: np.ndarray,
+    write: np.ndarray,
+    isfill: Optional[np.ndarray],
+    trig: np.ndarray,
+) -> LevelEvents:
+    """Dict-walk twin of :func:`_replay_level_array` for short or
+    set-diluted streams: one pass in stream order, per-set LRU dicts,
+    identical counters, state, and emitted events."""
+    sets = cache._sets
+    ns = cache.num_sets
+    ways = cache.ways
+    hits = misses = wb = 0
+    e_line: List[int] = []
+    e_write: List[bool] = []
+    e_trig: List[int] = []
+    isf_list = (
+        [True] * line.shape[0] if isfill is None else isfill.tolist()
+    )
+    for ln, w, isf, tg in zip(
+        line.tolist(), write.tolist(), isf_list, trig.tolist()
+    ):
+        s = sets[ln % ns]
+        d = s.pop(ln, None)
+        if d is not None:
+            s[ln] = d or w
+            hits += 1
+            continue
+        misses += 1
+        if len(s) >= ways:
+            victim = next(iter(s))
+            if s.pop(victim):
+                wb += 1
+                e_line.append(victim)
+                e_write.append(True)
+                e_trig.append(tg)
+        s[ln] = w
+        if isf:
+            e_line.append(ln)
+            e_write.append(False)
+            e_trig.append(tg)
+    cache.hits += hits
+    cache.misses += misses
+    cache.fills += misses
+    cache.writebacks += wb
+    ew = np.array(e_write, dtype=bool)
+    return (np.array(e_line, np.int64), ew, ~ew, np.array(e_trig, np.int64))
+
+
+def _replay_level(
+    cache: Cache,
+    line: np.ndarray,
+    write: np.ndarray,
+    isfill: Optional[np.ndarray],
+    trig: np.ndarray,
+) -> LevelEvents:
+    """Replay one level, choosing between the array solver and the
+    dict walk by the calibrated cost model: the array path wins on
+    long, set-dense, evenly segmented streams; short, diluted, or
+    skewed ones (where the dominance histogram degenerates) walk."""
+    n = line.shape[0]
+    if n == 0:
+        return _EMPTY_EVENTS
+    plan = _plan_level(cache, line)
+    if plan is None:
+        return _replay_level_python(cache, line, write, isfill, trig)
+    return _replay_level_array(
+        cache, line, write, isfill, trig, plan[0], plan[1]
+    )
+
+
+def _plan_level(
+    cache: Cache, line: np.ndarray
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Cost-model dispatch for one level: ``(set_id, touched)`` when
+    the array solver should run, ``None`` when the dict walk wins."""
+    n = line.shape[0]
+    if n < ARRAY_MIN_EVENTS:
+        return None
+    set_id = line % cache.num_sets
+    if cache.num_sets <= (n << 2):
+        counts = np.bincount(set_id, minlength=cache.num_sets)
+        touched = np.flatnonzero(counts)
+        max_count = int(counts.max())
+    else:
+        touched, t_counts = np.unique(set_id, return_counts=True)
+        max_count = int(t_counts.max())
+    ways = cache.ways
+    # Estimated solver inputs: every touched set contributes up to
+    # `ways` resident virtual accesses, and the longest segment is at
+    # most its event count plus its residents.
+    ntot = n + touched.shape[0] * ways
+    if cache.replay_fast_hint:
+        # Last solve found every set's stream footprint within the
+        # associativity, so the dominance kernel is expected to be
+        # skipped; one mispredicted solve flips the hint back.
+        array_us = (
+            _ARRAY_FAST_ELEM_US * ntot + _ARRAY_SET_US * touched.shape[0]
+        )
+    else:
+        _, dom_us = _dominance_plan(
+            max_count + ways, touched.shape[0], ntot
+        )
+        array_us = (
+            _ARRAY_ELEM_US * ntot
+            + _ARRAY_SET_US * touched.shape[0]
+            + dom_us
+        )
+    # Miss-rate estimate from the level's running counters, smoothed
+    # towards 50% so a cold cache (no history) assumes a mixed stream.
+    hits, misses = cache.hits, cache.misses
+    miss_rate = (misses + 64.0) / (hits + misses + 128.0)
+    py_us = (_PY_HIT_US + miss_rate * _PY_MISS_EXTRA_US) * n
+    if py_us < array_us:
+        return None
+    return set_id, touched
+
+
+# -- the dense-cached cascade ----------------------------------------------
+
+
+def dense_cached_array(
+    ms: MemorySystem,
+    pe_id: int,
+    group: int,
+    lines: np.ndarray,
+    writes,
+    region_ids: np.ndarray,
+    table: Sequence[Optional[str]],
+) -> np.ndarray:
+    """L1 -> L2 -> LLC -> DRAM for a dense-cached trace partition
+    (STLB already consulted), as three level solves over cascading
+    event streams.  Array twin of ``MemorySystem._dense_cached_many``.
+
+    Service levels are assigned top-down: every access starts at L1,
+    and each level's fill misses push their triggering accesses one
+    level deeper; whatever reaches past the LLC is DRAM traffic.
+    """
+    n = lines.shape[0]
+    levels = np.full(n, int(ServiceLevel.L1), dtype=np.uint8)
+    if n == 0:
+        return levels
+    starts = rle_starts(lines)
+    m = starts.shape[0]
+    u_lines = lines if m == n else lines[starts]
+
+    l1 = ms.l1s[pe_id]
+    plan = _plan_level(l1, u_lines)
+    if plan is None:
+        # When the L1 level would take the dict walk anyway, hand the
+        # whole partition to the batched backend's fused cascade — one
+        # pass over the deduped trace beats walking three per-level
+        # event streams through the same dicts.
+        return ms._dense_cached_many(
+            pe_id, group, lines, writes, region_ids, table
+        )
+
+    if np.ndim(writes) == 0:
+        u_writes = np.full(m, bool(writes))
+    else:
+        w = np.asarray(writes, dtype=bool)
+        u_writes = w if m == n else np.logical_or.reduceat(w, starts)
+    u_regions = region_ids if m == n else region_ids[starts]
+
+    l2 = ms.l2s[group]
+    llc = ms.llc
+
+    ev = _replay_level_array(
+        l1, u_lines, u_writes, None,
+        np.arange(m, dtype=np.int64), plan[0], plan[1],
+    )
+    l1.hits += n - m  # run-length repeats are guaranteed MRU hits
+    if ev[2].any():
+        levels[starts[ev[3][ev[2]]]] = int(ServiceLevel.L2)
+
+    ev = _replay_level(l2, *ev)
+    if ev[2].any():
+        levels[starts[ev[3][ev[2]]]] = int(ServiceLevel.LLC)
+
+    e_line, e_write, e_isfill, e_trig = _replay_level(llc, *ev)
+    if e_isfill.any():
+        fill_trig = e_trig[e_isfill]
+        levels[starts[fill_trig]] = int(ServiceLevel.DRAM)
+        ms._dram_read_many(u_regions[fill_trig], table)
+    if not e_isfill.all():
+        ms._dram_write_many(u_regions[e_trig[~e_isfill]], table)
+    return levels
+
+
+def replay_trace_array(
+    ms: MemorySystem,
+    pe_id: int,
+    lines: np.ndarray,
+    ops: np.ndarray,
+    region_names: Sequence[Optional[str]] = TRACE_REGIONS,
+) -> np.ndarray:
+    """``replay="array"`` backend entry point (see the registry in
+    :mod:`repro.config`): STLB translation and path split exactly as
+    the batched backend, with the dense-cached partition solved by the
+    stack-distance cascade; the bypass and stream partitions reuse the
+    parity-pinned batched fast paths."""
+    lines = np.ascontiguousarray(lines, dtype=np.int64)
+    ops = np.ascontiguousarray(ops, dtype=np.int64)
+    n = lines.shape[0]
+    levels = np.empty(n, dtype=np.uint8)
+    if n == 0:
+        return levels
+    group = ms._group_of(pe_id)
+    ms.stlbs[group].translate_many(lines)
+    path = ops & OP_PATH_MASK
+    writes = (ops & OP_WRITE) != 0
+    region_ids = ops >> OP_REGION_SHIFT
+    for p in (OP_DENSE, OP_DENSE_BYPASS, OP_STREAM):
+        mask = path == p
+        if not mask.any():
+            continue
+        sub_lines = lines[mask]
+        sub_writes = writes[mask]
+        sub_rids = region_ids[mask]
+        if p == OP_DENSE:
+            sub_levels = dense_cached_array(
+                ms, pe_id, group, sub_lines, sub_writes, sub_rids,
+                region_names,
+            )
+        elif p == OP_DENSE_BYPASS:
+            sub_levels = ms._dense_bypass_many(
+                pe_id, sub_lines, sub_writes, sub_rids, region_names
+            )
+        else:
+            sub_levels = ms._stream_many(
+                pe_id, sub_lines, sub_writes, sub_rids, region_names
+            )
+        levels[mask] = sub_levels
+    return levels

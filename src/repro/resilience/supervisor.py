@@ -3,11 +3,13 @@
 :class:`RunSupervisor` wraps a kernel invocation in three layers of
 protection, outermost first:
 
-1. **Degradation ladder** — if the requested execution backend keeps
-   failing, step down pipelined → vectorized → scalar.  All backends
-   are bit-identical, so degrading changes wall-clock time but never
-   results; each step is recorded in the ``spade_backend_degradations``
-   telemetry counter.
+1. **Degradation ladder** — if the requested backends keep failing,
+   step down the execution ladder (pipelined → vectorized → scalar)
+   and the replay ladder (array → batched → scalar, from the config
+   registry) in lock-step, each from its requested rung.  All backend
+   combinations are bit-identical, so degrading changes wall-clock
+   time but never results; each step is recorded in the
+   ``spade_backend_degradations`` telemetry counter.
 2. **Bounded retry** — transient failures (worker exceptions, watchdog
    timeouts, I/O hiccups) are retried on the same rung up to
    ``max_retries`` times with exponential backoff.  When a checkpoint
@@ -53,10 +55,17 @@ class RunOutcome:
     attempts: int
     retries: int
     degradations: int
+    # Replay-mode rung walked alongside the execution rung.  Defaults
+    # keep older call sites (and pickled outcomes) constructible.
+    replay: str = ""
+    requested_replay: str = ""
 
     @property
     def degraded(self) -> bool:
-        return self.backend != self.requested_backend
+        return (
+            self.backend != self.requested_backend
+            or self.replay != self.requested_replay
+        )
 
 
 class RunSupervisor:
@@ -162,14 +171,34 @@ class RunSupervisor:
 
     # -- kernel supervision ----------------------------------------------
 
-    def _ladder(self, requested: str) -> Tuple[str, ...]:
+    def _ladder(
+        self, requested: str, requested_replay: str
+    ) -> Tuple[Tuple[str, str], ...]:
+        """Combined (execution, replay) rungs, fastest-first.
+
+        Each ladder starts at its requested rung; the shorter one is
+        padded with its last (most conservative) entry so both bottom
+        out together.  Unknown modes pin their ladder to one rung.
+        """
+        from repro.config import replay_degradation_ladder
+
         if requested in DEGRADATION_LADDER:
-            ladder = DEGRADATION_LADDER[DEGRADATION_LADDER.index(requested):]
+            exe = DEGRADATION_LADDER[DEGRADATION_LADDER.index(requested):]
         else:
-            ladder = (requested,)
+            exe = (requested,)
+        replay_full = replay_degradation_ladder()
+        if requested_replay in replay_full:
+            rep = replay_full[replay_full.index(requested_replay):]
+        else:
+            rep = (requested_replay,)
+        depth = max(len(exe), len(rep))
+        rungs = tuple(
+            (exe[min(i, len(exe) - 1)], rep[min(i, len(rep) - 1)])
+            for i in range(depth)
+        )
         if not self.resilience.degrade:
-            ladder = ladder[:1]
-        return ladder
+            rungs = rungs[:1]
+        return rungs
 
     def run_kernel(
         self,
@@ -201,13 +230,14 @@ class RunSupervisor:
             )
         res = self.resilience
         requested = config.execution
-        ladder = self._ladder(requested)
+        requested_replay = config.replay
+        ladder = self._ladder(requested, requested_replay)
         total_attempts = 0
         retries = 0
         degradations = 0
         last_exc: Optional[BaseException] = None
 
-        for rung, backend in enumerate(ladder):
+        for rung, (backend, replay_mode) in enumerate(ladder):
             if rung > 0:
                 degradations += 1
                 self._degradations.inc()
@@ -218,6 +248,7 @@ class RunSupervisor:
                 attempt_config = replace(
                     config,
                     execution=backend,
+                    replay=replay_mode,
                     resilience=replace(res, resume=resume),
                 )
                 total_attempts += 1
@@ -255,15 +286,19 @@ class RunSupervisor:
                     attempts=total_attempts,
                     retries=retries,
                     degradations=degradations,
+                    replay=replay_mode,
+                    requested_replay=requested_replay,
                 )
                 return report
 
         assert last_exc is not None
         self.last_outcome = RunOutcome(
-            backend=ladder[-1],
+            backend=ladder[-1][0],
             requested_backend=requested,
             attempts=total_attempts,
             retries=retries,
             degradations=degradations,
+            replay=ladder[-1][1],
+            requested_replay=requested_replay,
         )
         raise last_exc

@@ -360,3 +360,72 @@ class TestResilienceFlags:
             "--timeout", "300", "--max-retries", "2",
         ]) == 0
         assert "simulated time" in capsys.readouterr().out
+
+
+class TestReplayFlag:
+    """``--replay`` selects the trace-replay backend end to end."""
+
+    RUN = ["run", "--matrix", "ASI", "--scale", "tiny",
+           "--pes", "2", "--k", "16"]
+
+    def test_parser_accepts_registry_modes(self):
+        from repro.config import replay_modes
+
+        assert build_parser().parse_args(self.RUN).replay is None
+        for mode in replay_modes():
+            args = build_parser().parse_args(
+                self.RUN + ["--replay", mode]
+            )
+            assert args.replay == mode
+
+    def test_unknown_mode_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(self.RUN + ["--replay", "bogus"])
+        assert "--replay" in capsys.readouterr().err
+
+    def test_run_output_identical_across_modes(self, capsys):
+        """All backends are bit-identical, so the printed report must
+        not change when the replay mode does."""
+        assert main(self.RUN + ["--replay", "scalar"]) == 0
+        want = capsys.readouterr().out
+        for mode in ("batched", "array"):
+            assert main(self.RUN + ["--replay", mode]) == 0
+            assert capsys.readouterr().out == want
+
+    def test_sweep_and_cached_rerun_round_trip(self, tmp_path, capsys):
+        """The replay mode survives the sweep cell path: live run,
+        cold cached run, and warm cache hit all print the same report."""
+        assert main(self.RUN + ["--replay", "array"]) == 0
+        live = capsys.readouterr().out
+        cache = str(tmp_path / "cache")
+        argv = self.RUN + ["--replay", "array", "--cache-dir", cache]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert cold == live
+        assert warm == live
+        from repro.sweep import ResultCache
+
+        assert len(ResultCache(cache)) == 1
+
+    def test_replay_mode_is_part_of_the_cache_key(self, tmp_path, capsys):
+        """Different --replay values must not collide in the result
+        cache even though their results are identical."""
+        cache = str(tmp_path / "cache")
+        for mode in ("scalar", "array"):
+            assert main(
+                self.RUN + ["--replay", mode, "--cache-dir", cache]
+            ) == 0
+        capsys.readouterr()
+        from repro.sweep import ResultCache
+
+        assert len(ResultCache(cache)) == 2
+
+    def test_autotune_accepts_replay(self, capsys):
+        code = main([
+            "autotune", "--matrix", "ASI", "--scale", "tiny",
+            "--pes", "2", "--k", "16", "--replay", "array",
+        ])
+        assert code == 0
+        assert "best" in capsys.readouterr().out

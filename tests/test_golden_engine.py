@@ -2,14 +2,15 @@
 
 Small seeded SpMM and SDDMM runs on three generator domains are frozen
 as JSON under ``tests/golden/``: ``time_ns``, ``dram_bytes``, per-level
-hit/miss counts, and ``dirty_lines_flushed``.  Any silent drift in
-either replay path — scalar oracle or batched fast path — fails loudly
-here, and because ONE golden file serves BOTH replay modes, these tests
-also pin the bit-identical equivalence guarantee end to end.  A second
-fixture family (``fingerprint_*.json``) freezes the full EngineResult
-surface — simulated time, epoch count, merged PECounters and an output
-digest — and holds ALL THREE execution backends (scalar, vectorized,
-pipelined) to it.
+hit/miss counts, and ``dirty_lines_flushed``.  Any silent drift in any
+replay path — scalar oracle, batched fast path, or the array-native
+stack-distance solver — fails loudly here, and because ONE golden file
+serves ALL replay modes, these tests also pin the bit-identical
+equivalence guarantee end to end.  A second fixture family
+(``fingerprint_*.json``) freezes the full EngineResult surface —
+simulated time, epoch count, merged PECounters and an output digest —
+and holds ALL THREE execution backends (scalar, vectorized, pipelined)
+crossed with ALL THREE replay backends to it.
 
 Regenerate after an intentional model change (from the repo root)::
 
@@ -42,7 +43,7 @@ DOMAINS = {
     "uniform": lambda: uniform_random(num_rows=256, num_cols=192, nnz=3000, seed=21),
 }
 KERNELS = ("spmm", "sddmm")
-REPLAY_MODES = ("scalar", "batched")
+REPLAY_MODES = ("scalar", "batched", "array")
 K = 16
 
 
@@ -165,12 +166,13 @@ def test_engine_matches_golden(domain, kernel, replay):
     assert_matches_golden(got, want, f"{kernel}/{domain}[{replay}]")
 
 
+@pytest.mark.parametrize("replay", REPLAY_MODES)
 @pytest.mark.parametrize("execution", EXECUTION_MODES)
 @pytest.mark.parametrize("case", sorted(FINGERPRINT_CASES))
-def test_engine_fingerprint_matches_golden(case, execution):
+def test_engine_fingerprint_matches_golden(case, execution, replay):
     """ONE pinned fingerprint per workload holds ALL execution backends
-    to the same simulated time, epoch count, stats, counters and output
-    bits."""
+    crossed with ALL replay backends to the same simulated time, epoch
+    count, stats, counters and output bits."""
     path = fingerprint_path(case)
     assert path.exists(), (
         f"missing golden fixture {path}; regenerate with "
@@ -179,18 +181,21 @@ def test_engine_fingerprint_matches_golden(case, execution):
     want = json.loads(path.read_text())
     domain, kernel, settings = FINGERPRINT_CASES[case]
     got = fingerprint(
-        run_case(domain, kernel, "batched", execution, settings)
+        run_case(domain, kernel, replay, execution, settings)
     )
-    assert_matches_golden(got, want, f"fingerprint/{case}[{execution}]")
+    assert_matches_golden(
+        got, want, f"fingerprint/{case}[{execution}+{replay}]"
+    )
 
 
 def test_replay_modes_agree_on_numerics():
     """Beyond the counters: the numeric kernel output is identical."""
     scalar = run_case("uniform", "spmm", "scalar")
-    batched = run_case("uniform", "spmm", "batched")
-    np.testing.assert_array_equal(
-        scalar.result.output_dense, batched.result.output_dense
-    )
+    for replay in ("batched", "array"):
+        other = run_case("uniform", "spmm", replay)
+        np.testing.assert_array_equal(
+            scalar.result.output_dense, other.result.output_dense
+        )
 
 
 def regenerate() -> None:

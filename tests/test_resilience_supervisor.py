@@ -339,3 +339,85 @@ class TestErrorTaxonomy:
             ResilienceConfig(checkpoint_interval=0)
         with pytest.raises(ValueError):
             ResilienceConfig(resume=True)  # resume without a directory
+
+
+class TestCombinedReplayLadder:
+    """Execution and replay ladders degrade in lock-step."""
+
+    def test_rungs_from_the_top(self):
+        sup = make_supervisor()
+        assert sup._ladder("pipelined", "array") == (
+            ("pipelined", "array"),
+            ("vectorized", "batched"),
+            ("scalar", "scalar"),
+        )
+
+    def test_rungs_from_the_middle(self):
+        sup = make_supervisor()
+        assert sup._ladder("vectorized", "batched") == (
+            ("vectorized", "batched"),
+            ("scalar", "scalar"),
+        )
+
+    def test_shorter_ladder_is_padded_with_its_last_rung(self):
+        sup = make_supervisor()
+        assert sup._ladder("scalar", "array") == (
+            ("scalar", "array"),
+            ("scalar", "batched"),
+            ("scalar", "scalar"),
+        )
+        assert sup._ladder("pipelined", "scalar") == (
+            ("pipelined", "scalar"),
+            ("vectorized", "scalar"),
+            ("scalar", "scalar"),
+        )
+
+    def test_degrade_disabled_keeps_one_rung(self):
+        sup = make_supervisor(degrade=False)
+        assert sup._ladder("pipelined", "array") == (
+            ("pipelined", "array"),
+        )
+
+    def test_outcome_degraded_when_only_replay_stepped(self):
+        from repro.resilience import RunOutcome
+
+        outcome = RunOutcome(
+            backend="scalar", requested_backend="scalar",
+            attempts=2, retries=0, degradations=1,
+            replay="batched", requested_replay="array",
+        )
+        assert outcome.degraded
+
+    def test_faulty_rung_steps_replay_mode_too(
+        self, workload, base_config, scalar_oracle
+    ):
+        a, b = workload
+        monkey = ChaosMonkey(
+            ChaosConfig(worker_fault_rate=1.0, fault_backends=("pipelined",))
+        )
+        sup = make_supervisor(chaos=monkey, backoff_base_s=0.0)
+        cfg = dataclasses.replace(
+            base_config, execution="pipelined", replay="array"
+        )
+        report = sup.run_kernel(cfg, "spmm", a, b)
+        outcome = sup.last_outcome
+        assert outcome.backend == "vectorized"
+        assert outcome.replay == "batched"
+        assert outcome.requested_replay == "array"
+        assert outcome.degraded
+        # Degrading never changes results.
+        np.testing.assert_array_equal(report.output, scalar_oracle.output)
+        assert report.time_ns == scalar_oracle.time_ns
+
+    def test_successful_run_records_requested_replay(
+        self, workload, base_config, scalar_oracle
+    ):
+        a, b = workload
+        sup = make_supervisor()
+        cfg = dataclasses.replace(base_config, replay="array")
+        report = sup.run_kernel(cfg, "spmm", a, b)
+        outcome = sup.last_outcome
+        assert outcome.replay == "array"
+        assert outcome.requested_replay == "array"
+        assert not outcome.degraded
+        np.testing.assert_array_equal(report.output, scalar_oracle.output)
