@@ -210,19 +210,28 @@ def write_bench_json(
     config=None,
     workload: Optional[dict] = None,
     extra: Optional[dict] = None,
+    ledger=None,
 ) -> dict:
     """Stamp ``payload`` with a provenance manifest and write it as JSON.
 
     Every benchmark result that lands on disk goes through here so the
     ``BENCH_*.json`` trajectory stays comparable across PRs: the
-    manifest records schema version, config fingerprint, git SHA, and
-    host.  The measured numbers in ``payload`` pass through unchanged.
+    manifest records schema version, config fingerprint, git SHA, host,
+    and the process's peak RSS; pass ``ledger`` to cross-link the run's
+    flight-recorder file (path, run id, event count, content digest).
+    The measured numbers in ``payload`` pass through unchanged.
     Returns the stamped payload.
     """
+    from repro.obs.ledger import peak_rss_bytes
     from repro.telemetry.provenance import stamp
 
+    extra = dict(extra) if extra else {}
+    rss = peak_rss_bytes()
+    if rss is not None and "peak_rss_bytes" not in extra:
+        extra["peak_rss_bytes"] = rss
     stamped = stamp(
-        payload, config=config, workload=workload, extra=extra
+        payload, config=config, workload=workload,
+        extra=extra or None, ledger=ledger,
     )
     Path(path).write_text(json.dumps(stamped, indent=2) + "\n")
     return stamped

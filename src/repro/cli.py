@@ -26,6 +26,8 @@ import dataclasses
 
 from repro.bench.harness import get_environment
 from repro.config import (
+    EXECUTION_MODES,
+    ObsConfig,
     ResilienceConfig,
     TelemetryConfig,
     config_summary,
@@ -72,7 +74,9 @@ def _telemetry_config(args: argparse.Namespace) -> TelemetryConfig:
     )
 
 
-def _write_telemetry(args: argparse.Namespace, config, telemetry, workload) -> None:
+def _write_telemetry(
+    args: argparse.Namespace, config, telemetry, workload, ledger=None
+) -> None:
     """Write the trace / metrics / manifest files requested by flags."""
     from repro.telemetry import run_manifest, write_metrics
 
@@ -81,6 +85,7 @@ def _write_telemetry(args: argparse.Namespace, config, telemetry, workload) -> N
         workload=workload,
         seed=getattr(args, "seed", None),
         argv=sys.argv[1:],
+        ledger=ledger,
     )
     if args.trace:
         path = telemetry.tracer.write(
@@ -129,11 +134,29 @@ def _validate_sweep_args(args: argparse.Namespace) -> Optional[str]:
     return None
 
 
+def _open_ledger(args: argparse.Namespace):
+    """The run ledger requested by ``--ledger DIR`` (run id derived
+    from the command line), or the shared null writer."""
+    ledger_dir = getattr(args, "ledger", None)
+    obs = ObsConfig(ledger_dir=str(ledger_dir) if ledger_dir else None)
+    return obs.make_ledger(*sys.argv[1:])
+
+
+def _close_ledger(ledger) -> None:
+    if ledger is not None and ledger.enabled:
+        ledger.close()
+        print(
+            f"ledger written      : {ledger.path} "
+            f"({ledger.events_recorded} events)"
+        )
+
+
 def _sweep_runner(args: argparse.Namespace, resilience=None):
     """A SweepRunner from the CLI sweep flags, or None when they are
     all at their defaults (callers then keep their serial paths)."""
     cache_dir = None if args.no_cache else args.cache_dir
-    if args.jobs <= 1 and cache_dir is None:
+    ledger_dir = getattr(args, "ledger", None)
+    if args.jobs <= 1 and cache_dir is None and ledger_dir is None:
         return None
     from repro.sweep import SweepRunner, open_cache
 
@@ -141,6 +164,7 @@ def _sweep_runner(args: argparse.Namespace, resilience=None):
         jobs=args.jobs,
         cache=open_cache(str(cache_dir) if cache_dir else None),
         resilience=resilience,
+        ledger=_open_ledger(args),
     )
 
 
@@ -153,11 +177,16 @@ def _run_cell(env, point) -> dict:
     """
     from repro.resilience import RunSupervisor
 
-    matrix, scale, kernel, k, pes, cache_shrink, seed, replay = point
+    (
+        matrix, scale, kernel, k, pes, cache_shrink, seed, replay,
+        execution,
+    ) = point
     a = _load_matrix(matrix, scale)
     cfg = scaled_config(pes, cache_shrink=cache_shrink)
     if replay is not None:
         cfg = dataclasses.replace(cfg, replay=replay)
+    if execution is not None:
+        cfg = dataclasses.replace(cfg, execution=execution)
     supervisor = RunSupervisor(resilience=ResilienceConfig())
     rng = np.random.default_rng(seed)
     b = rng.random((a.num_cols, k), dtype=np.float32)
@@ -198,6 +227,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.trace or args.trace_chunks or args.metrics_out
         or args.manifest_out or args.profile or args.checkpoint_dir
         or args.resume or args.timeout or args.max_retries
+        or args.ledger  # the flight recorder must see the live run
     )
     sweep = None if observed else _sweep_runner(args)
     if sweep is not None:
@@ -206,6 +236,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         point = (
             args.matrix, args.scale, args.kernel, args.k,
             args.pes, args.cache_shrink, args.seed, args.replay,
+            args.execution,
         )
         summary = sweep_map(sweep, "run", None, _run_cell, [point])[0]
         print(f"matrix              : {summary['matrix']}")
@@ -241,8 +272,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if args.replay is not None:
         cfg = dataclasses.replace(cfg, replay=args.replay)
+    if args.execution is not None:
+        cfg = dataclasses.replace(cfg, execution=args.execution)
     telemetry = Telemetry(cfg.telemetry)
-    supervisor = RunSupervisor(resilience=resilience, telemetry=telemetry)
+    ledger = _open_ledger(args)
+    supervisor = RunSupervisor(
+        resilience=resilience, telemetry=telemetry, ledger=ledger
+    )
     rng = np.random.default_rng(args.seed)
     b = rng.random((a.num_cols, args.k), dtype=np.float32)
     if args.kernel == "spmm":
@@ -273,7 +309,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "matrix": args.matrix, "scale": args.scale,
             "kernel": args.kernel, "k": args.k, "pes": args.pes,
         },
+        ledger=ledger if ledger.enabled else None,
     )
+    _close_ledger(ledger)
     return 0
 
 
@@ -282,6 +320,8 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
     cfg = scaled_config(args.pes, cache_shrink=args.cache_shrink)
     if args.replay is not None:
         cfg = dataclasses.replace(cfg, replay=args.replay)
+    if args.execution is not None:
+        cfg = dataclasses.replace(cfg, execution=args.execution)
     system = SpadeSystem(cfg)
     result = autotune(
         system, a, args.kernel, args.k,
@@ -330,6 +370,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
                 f"{bench.domain:<24} {bench.ru.value:<7} "
                 f"{d['rows']:>8} {d['nnz']:>9}"
             )
+        _close_ledger(sweep.ledger)
         return 0
     tracer = EventTracer(enabled=bool(args.trace))
     print(header)
@@ -381,12 +422,59 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print()
     if sweep is not None and sweep.report.total:
         print(f"sweep: {sweep.report.summary()}", file=sys.stderr)
+    if sweep is not None:
+        _close_ledger(sweep.ledger)
     return 0
 
 
 def _cmd_config(args: argparse.Namespace) -> int:
     cfg = scaled_config(args.pes, cache_shrink=args.cache_shrink)
     print(config_summary(cfg))
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs import aggregate, format_report
+
+    agg = aggregate(args.paths)
+    if not agg["files"]:
+        print("error: no ledger files found", file=sys.stderr)
+        return 2
+    if args.json:
+        text = json.dumps(agg, indent=2, sort_keys=True) + "\n"
+    else:
+        text = format_report(agg, top=args.top) + "\n"
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"report written      : {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_obs_validate(args: argparse.Namespace) -> int:
+    from repro.obs import validate_ledgers
+
+    try:
+        info = validate_ledgers(
+            args.paths, require_dispatch=args.require_dispatch
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"validated {info['events']} events "
+        f"across {info['files']} ledger file(s)"
+    )
+    for etype, count in sorted(info["by_type"].items()):
+        print(f"  {etype:<12} {count}")
+    return 0
+
+
+def _cmd_obs_schema(args: argparse.Namespace) -> int:
+    from repro.obs import as_json_schema
+
+    print(json.dumps(as_json_schema(), indent=2))
     return 0
 
 
@@ -409,6 +497,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace-replay backend (default: the config "
                        "default; all modes are bit-identical, they "
                        "differ only in host speed)")
+        p.add_argument("--execution", choices=EXECUTION_MODES,
+                       default=None,
+                       help="PE execution backend (default: the config "
+                       "default; all modes are bit-identical)")
 
     def sweep_flags(p):
         grp = p.add_argument_group("parallel sweep")
@@ -421,6 +513,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "re-runs skip completed jobs")
         grp.add_argument("--no-cache", action="store_true",
                          help="never read or write the result cache")
+        grp.add_argument("--ledger", type=Path, default=None,
+                         metavar="DIR",
+                         help="record a run-ledger flight recording "
+                         "into DIR (JSONL lifecycle events plus the "
+                         "replay dispatch audit; see 'repro obs')")
 
     run_p = sub.add_parser("run", help="execute one kernel")
     run_p.add_argument("--matrix", required=True,
@@ -497,6 +594,36 @@ def build_parser() -> argparse.ArgumentParser:
     cfg_p.add_argument("--pes", type=int, default=224)
     cfg_p.add_argument("--cache-shrink", type=float, default=1.0)
     cfg_p.set_defaults(func=_cmd_config)
+
+    obs_p = sub.add_parser(
+        "obs", help="inspect run-ledger flight recordings"
+    )
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+    rep_p = obs_sub.add_parser(
+        "report", help="aggregate ledgers into a rollup"
+    )
+    rep_p.add_argument("paths", nargs="+", type=Path,
+                       help="ledger files or directories of *.jsonl")
+    rep_p.add_argument("--json", action="store_true",
+                       help="emit the raw aggregate as JSON")
+    rep_p.add_argument("--top", type=int, default=10,
+                       help="rows per table (default 10)")
+    rep_p.add_argument("--out", type=Path, default=None, metavar="PATH",
+                       help="write the report here instead of stdout")
+    rep_p.set_defaults(func=_cmd_obs_report)
+    val_p = obs_sub.add_parser(
+        "validate", help="schema-validate every ledger event"
+    )
+    val_p.add_argument("paths", nargs="+", type=Path,
+                       help="ledger files or directories of *.jsonl")
+    val_p.add_argument("--require-dispatch", action="store_true",
+                       help="fail unless at least one replay dispatch "
+                       "audit event is present")
+    val_p.set_defaults(func=_cmd_obs_validate)
+    schema_p = obs_sub.add_parser(
+        "schema", help="print the ledger event JSON schema"
+    )
+    schema_p.set_defaults(func=_cmd_obs_schema)
     return parser
 
 

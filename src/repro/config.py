@@ -162,6 +162,49 @@ class TelemetryConfig:
         return self.metrics or self.trace
 
 
+@dataclass(frozen=True)
+class ObsConfig:
+    """Run-ledger (flight recorder) session settings.
+
+    Deliberately **not** a field of :class:`SpadeConfig`: the ledger is
+    a host-side observability channel, and where it lands on disk must
+    not perturb config fingerprints, checkpoint identity, or sweep
+    cache keys.  Drivers build one from flags/env and call
+    :meth:`make_ledger`; with no directory configured that returns the
+    shared zero-cost null writer, so the default path records nothing
+    and pays one attribute read per instrumented site.
+    """
+
+    ledger_dir: Optional[str] = None
+    validate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ledger_dir is not None and not str(self.ledger_dir):
+            raise ConfigError("ledger_dir must be a non-empty path")
+
+    @property
+    def enabled(self) -> bool:
+        return self.ledger_dir is not None
+
+    def make_ledger(self, *run_id_parts: str):
+        """An open :class:`~repro.obs.ledger.RunLedger` in
+        ``ledger_dir`` (run id derived from ``run_id_parts`` when
+        given), or ``NULL_LEDGER`` when no directory is configured."""
+        from repro.obs.ledger import (
+            NULL_LEDGER,
+            derive_run_id,
+            open_run_ledger,
+        )
+
+        if self.ledger_dir is None:
+            return NULL_LEDGER
+        return open_run_ledger(
+            self.ledger_dir,
+            run_id=derive_run_id(*run_id_parts) if run_id_parts else None,
+            validate=self.validate,
+        )
+
+
 # -- trace-replay backend registry ----------------------------------------
 #
 # Replay backends are registered by name with a lazily resolved loader

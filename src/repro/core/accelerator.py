@@ -157,6 +157,7 @@ class SpadeSystem:
         execution: Optional[str] = None,
         telemetry: Optional[Telemetry] = None,
         chaos=None,
+        ledger=None,
     ) -> None:
         self.config = config or paper_config()
         if execution is not None and execution != self.config.execution:
@@ -175,6 +176,10 @@ class SpadeSystem:
             else Telemetry(self.config.telemetry)
         )
         self.chaos = chaos
+        # Run ledger (off by default): forwarded to the engine so the
+        # flight recorder and replay dispatch audit see every kernel
+        # this system executes.
+        self.ledger = ledger
 
     @classmethod
     def scaled(cls, num_pes: int = 28, **kwargs) -> "SpadeSystem":
@@ -244,6 +249,7 @@ class SpadeSystem:
             engine = Engine(
                 self.config, tiled, init, amap, policy, self.chunk_nnz,
                 telemetry=self.telemetry, chaos=self.chaos,
+                ledger=self.ledger,
             )
             engine.bind_schedule(schedule)
             result = engine.run_spmm(schedule, b_dense)
@@ -318,6 +324,7 @@ class SpadeSystem:
             engine = Engine(
                 self.config, tiled, init, amap, policy, self.chunk_nnz,
                 telemetry=self.telemetry, chaos=self.chaos,
+                ledger=self.ledger,
             )
             engine.bind_schedule(schedule)
             result = engine.run_sddmm(schedule, b_dense, c_dense)

@@ -31,9 +31,11 @@ from repro.kernels.reference import sddmm_chunk_vals, spmm_chunk_update
 from repro.memory.address import AddressMap
 from repro.memory.hierarchy import MemorySystem
 from repro.memory.stats import AccessStats
+from repro.obs.ledger import NULL_LEDGER
 from repro.resilience.checkpoint import CheckpointManager, checkpoint_fingerprint
 from repro.sparse.tiled import TiledMatrix, TileInfo
 from repro.telemetry import Telemetry
+from repro.telemetry.tracer import NULL_SPAN
 
 DEFAULT_CHUNK_NNZ = 4096
 """Interleaving granularity across PEs inside an epoch."""
@@ -125,6 +127,7 @@ class Engine:
         chunk_nnz: int = DEFAULT_CHUNK_NNZ,
         telemetry: Optional[Telemetry] = None,
         chaos=None,
+        ledger=None,
     ) -> None:
         self.config = config
         self.tiled = tiled
@@ -133,6 +136,11 @@ class Engine:
         self.policy = policy
         self.chunk_nnz = max(1, chunk_nnz)
         self.memory = MemorySystem(config)
+        # Run-ledger session (off by default): attached to the memory
+        # system so the replay dispatch audit and the per-epoch phase
+        # timers below record into one correlated event stream.
+        self.ledger = ledger if ledger is not None else NULL_LEDGER
+        self.memory.ledger = self.ledger
         # Telemetry session: a caller-provided one (SpadeSystem shares
         # its session across runs) or a fresh one from the config.
         self.telemetry = (
@@ -330,17 +338,23 @@ class Engine:
                 cursors = [
                     _ChunkCursor(tiles, self.chunk_nnz) for tiles in epoch
                 ]
+                # Host-side phase split (gen / merge / replay seconds)
+                # accumulated by the epoch drivers when a ledger is
+                # attached; None keeps the hot loops on their original
+                # paths.
+                phase = [0.0, 0.0, 0.0] if self.ledger.enabled else None
                 with self.telemetry.tracer.span(
                     f"epoch[{epoch_idx}]", cat="epoch",
                     args={"epoch": epoch_idx},
                 ):
                     if pipelined:
                         self._run_epoch_pipelined(
-                            executor, cursors, gen_chunk, apply_chunk
+                            executor, cursors, gen_chunk, apply_chunk,
+                            phase,
                         )
                     else:
                         self._run_epoch_serial(
-                            cursors, gen_chunk, apply_chunk
+                            cursors, gen_chunk, apply_chunk, phase
                         )
                 per_pe = [pe.counters for pe in self.pes]
                 self._epoch_counters.append(per_pe)
@@ -352,9 +366,21 @@ class Engine:
                 for i, t in enumerate(timing.pe_times_ns):
                     per_pe_total[i] += t
                 self._record_epoch_telemetry(epoch_idx, timing, dram_lines)
+                if phase is not None:
+                    self.ledger.emit(
+                        "epoch",
+                        epoch=epoch_idx,
+                        gen_s=phase[0],
+                        merge_s=phase[1],
+                        replay_s=phase[2],
+                        epoch_time_ns=float(timing.epoch_time_ns),
+                        dram_lines=int(dram_lines),
+                        critical_pe=int(timing.critical_pe),
+                    )
                 if self._ckpt is not None and self._ckpt.should_write(
                     epoch_idx
                 ):
+                    ckpt_t0 = time.perf_counter()
                     self._ckpt.write(
                         epoch_idx,
                         self._snapshot(
@@ -363,6 +389,12 @@ class Engine:
                         ),
                         meta=self._ckpt_meta(primitive),
                     )
+                    if phase is not None:
+                        self.ledger.emit(
+                            "checkpoint",
+                            epoch=epoch_idx,
+                            wall_s=time.perf_counter() - ckpt_t0,
+                        )
                 if self._chaos is not None:
                     self._chaos.after_epoch(epoch_idx)
         finally:
@@ -449,9 +481,16 @@ class Engine:
 
     # -- epoch drivers ---------------------------------------------------
 
-    def _run_epoch_serial(self, cursors, gen_chunk, apply_chunk) -> None:
+    def _run_epoch_serial(
+        self, cursors, gen_chunk, apply_chunk, phase=None
+    ) -> None:
         """Round-robin chunk interleave with generation and replay in
-        line (the scalar and vectorized execution modes)."""
+        line (the scalar and vectorized execution modes).
+
+        ``phase`` (ledger runs only) accumulates host seconds as
+        ``[gen, merge, replay]``; the un-timed loop is untouched when
+        it is None.
+        """
         tracer = self.telemetry.tracer
         trace_chunks = tracer.enabled and self.config.telemetry.trace_chunks
         buffered = self.buffered
@@ -475,6 +514,27 @@ class Engine:
                             pe.pe_id, chunk_idx, backend=execution
                         )
                         chaos.replay_delay()
+                    if phase is not None:
+                        span = (
+                            tracer.span(
+                                "chunk", cat="replay", tid=pe.pe_id + 1,
+                                args={"nnz": hi - lo},
+                            )
+                            if trace_chunks else NULL_SPAN
+                        )
+                        with span:
+                            t0 = time.perf_counter()
+                            gen_chunk(pe, tile, lo, hi)
+                            t1 = time.perf_counter()
+                            apply_chunk(tile, lo, hi)
+                            t2 = time.perf_counter()
+                            if buffered:
+                                pe.flush_trace()
+                            t3 = time.perf_counter()
+                        phase[0] += t1 - t0
+                        phase[1] += t2 - t1
+                        phase[2] += t3 - t2
+                        continue
                     if trace_chunks:
                         with tracer.span(
                             "chunk", cat="replay", tid=pe.pe_id + 1,
@@ -502,7 +562,7 @@ class Engine:
                     ) from exc
 
     def _run_epoch_pipelined(
-        self, executor, cursors, gen_chunk, apply_chunk
+        self, executor, cursors, gen_chunk, apply_chunk, phase=None
     ) -> None:
         """Overlapped generate/replay epoch driver.
 
@@ -621,6 +681,27 @@ class Engine:
                 gen_hist.observe(gen_s)
                 if chaos is not None:
                     chaos.replay_delay()
+                if phase is not None:
+                    # gen_s is producer-thread wall time (overlapped
+                    # with replay), so the phase split attributes cost,
+                    # not critical-path latency.
+                    phase[0] += gen_s
+                    span = (
+                        tracer.span(
+                            "chunk", cat="replay", tid=pe.pe_id + 1,
+                            args={"nnz": hi - lo},
+                        )
+                        if trace_chunks else NULL_SPAN
+                    )
+                    with span:
+                        t1 = time.perf_counter()
+                        apply_chunk(tile, lo, hi)
+                        t2 = time.perf_counter()
+                        pe.replay_segment(lines, ops)
+                        t3 = time.perf_counter()
+                    phase[1] += t2 - t1
+                    phase[2] += t3 - t2
+                    continue
                 if trace_chunks:
                     with tracer.span(
                         "chunk", cat="replay", tid=pe.pe_id + 1,

@@ -105,7 +105,10 @@ class FileLock:
         if self.stale_s is None:
             return
         try:
-            age = time.time() - os.stat(self.path).st_mtime
+            # Clamp: a future mtime (clock skew, touched file) must read
+            # as a fresh lock, not a negative age that can wrap weirdly
+            # in comparisons downstream.
+            age = max(0.0, time.time() - os.stat(self.path).st_mtime)
         except OSError:
             return  # already released
         if age > self.stale_s:

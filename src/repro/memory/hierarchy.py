@@ -29,6 +29,7 @@ from repro.memory.cache import NO_LINE, Cache, rle_starts
 from repro.memory.dram import DRAMModel
 from repro.memory.stats import AccessStats, LevelStats
 from repro.memory.tlb import STLB
+from repro.obs.ledger import NULL_LEDGER
 
 
 class ServiceLevel(IntEnum):
@@ -102,6 +103,10 @@ class MemorySystem:
         self.llc = Cache(llc_cfg, name="llc")
         self.dram = DRAMModel.from_config(config.memory)
         self._region_traffic: dict = {}
+        # Run-ledger attachment point: the engine swaps in its session
+        # ledger so the array backend's dispatch audit has somewhere to
+        # record; the shared null object keeps unattached systems free.
+        self.ledger = NULL_LEDGER
         # Trace-replay backend, resolved once from the registry (see
         # repro.config.register_replay_backend); replay_trace dispatches
         # through it so call sites are backend-agnostic.

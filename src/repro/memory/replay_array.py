@@ -53,11 +53,13 @@ exactly by construction.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.memory.cache import Cache, rle_starts
+from repro.obs.ledger import NULL_LEDGER
 from repro.memory.hierarchy import (
     OP_DENSE,
     OP_DENSE_BYPASS,
@@ -304,6 +306,7 @@ def _replay_level_array(
     trig: np.ndarray,
     set_id: np.ndarray,
     touched: np.ndarray,
+    audit: Optional[dict] = None,
 ) -> LevelEvents:
     """Replay one level's event stream through ``cache`` wholesale.
 
@@ -401,7 +404,12 @@ def _replay_level_array(
         hits, misses = cache.hits, cache.misses
         mr = (misses + 64.0) / (hits + misses + 128.0)
         py_us = (_PY_HIT_US + mr * _PY_MISS_EXTRA_US) * n
-        if py_us < _ARRAY_ELEM_US * total + _ARRAY_SET_US * nseg + dom_us:
+        arr_us = _ARRAY_ELEM_US * total + _ARRAY_SET_US * nseg + dom_us
+        if py_us < arr_us:
+            if audit is not None:
+                audit["bailed"] = True
+                audit["predicted_py_us"] = py_us
+                audit["predicted_array_us"] = arr_us
             return _replay_level_python(cache, line, write, isfill, trig)
     if fast:
         hit = real & has_prev
@@ -572,29 +580,72 @@ def _replay_level(
     write: np.ndarray,
     isfill: Optional[np.ndarray],
     trig: np.ndarray,
+    ledger=NULL_LEDGER,
+    level: str = "",
 ) -> LevelEvents:
     """Replay one level, choosing between the array solver and the
     dict walk by the calibrated cost model: the array path wins on
     long, set-dense, evenly segmented streams; short, diluted, or
-    skewed ones (where the dominance histogram degenerates) walk."""
+    skewed ones (where the dominance histogram degenerates) walk.
+
+    With a ledger attached, every dispatch decision is recorded as a
+    ``dispatch`` audit event: cost-model inputs, predicted costs,
+    chosen backend, measured wall time.  The disabled path is the
+    pre-audit code verbatim behind one ``ledger.enabled`` check.
+    """
     n = line.shape[0]
     if n == 0:
         return _EMPTY_EVENTS
-    plan = _plan_level(cache, line)
+    if not ledger.enabled:
+        plan = _plan_level(cache, line)
+        if plan is None:
+            return _replay_level_python(cache, line, write, isfill, trig)
+        return _replay_level_array(
+            cache, line, write, isfill, trig, plan[0], plan[1]
+        )
+    audit: dict = {}
+    plan = _plan_level(cache, line, audit)
+    t0 = perf_counter()
     if plan is None:
-        return _replay_level_python(cache, line, write, isfill, trig)
-    return _replay_level_array(
-        cache, line, write, isfill, trig, plan[0], plan[1]
-    )
+        out = _replay_level_python(cache, line, write, isfill, trig)
+        chosen = "dict"
+    else:
+        out = _replay_level_array(
+            cache, line, write, isfill, trig, plan[0], plan[1],
+            audit=audit,
+        )
+        chosen = "dict" if audit.get("bailed") else "array"
+    audit["measured_us"] = (perf_counter() - t0) * 1e6
+    ledger.emit("dispatch", level=level, chosen=chosen, **audit)
+    return out
 
 
 def _plan_level(
-    cache: Cache, line: np.ndarray
+    cache: Cache, line: np.ndarray, audit: Optional[dict] = None
 ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
     """Cost-model dispatch for one level: ``(set_id, touched)`` when
-    the array solver should run, ``None`` when the dict walk wins."""
+    the array solver should run, ``None`` when the dict walk wins.
+
+    When ``audit`` is given (dispatch audit enabled) it is filled with
+    the model's inputs and predictions; the audited path recomputes
+    nothing the plain path needs, so disabled runs are unchanged.
+    """
     n = line.shape[0]
     if n < ARRAY_MIN_EVENTS:
+        if audit is not None:
+            hits, misses = cache.hits, cache.misses
+            miss_rate = (misses + 64.0) / (hits + misses + 128.0)
+            audit.update(
+                cache=cache.name,
+                events=int(n),
+                miss_rate=miss_rate,
+                hint=bool(cache.replay_fast_hint),
+                predicted_py_us=(
+                    (_PY_HIT_US + miss_rate * _PY_MISS_EXTRA_US) * n
+                ),
+                predicted_array_us=None,
+                reason="min_events",
+            )
         return None
     set_id = line % cache.num_sets
     if cache.num_sets <= (n << 2):
@@ -630,6 +681,17 @@ def _plan_level(
     hits, misses = cache.hits, cache.misses
     miss_rate = (misses + 64.0) / (hits + misses + 128.0)
     py_us = (_PY_HIT_US + miss_rate * _PY_MISS_EXTRA_US) * n
+    if audit is not None:
+        audit.update(
+            cache=cache.name,
+            events=int(n),
+            sets=int(touched.shape[0]),
+            miss_rate=miss_rate,
+            hint=bool(cache.replay_fast_hint),
+            predicted_py_us=py_us,
+            predicted_array_us=array_us,
+            reason="cost_model",
+        )
     if py_us < array_us:
         return None
     return set_id, touched
@@ -664,15 +726,28 @@ def dense_cached_array(
     u_lines = lines if m == n else lines[starts]
 
     l1 = ms.l1s[pe_id]
-    plan = _plan_level(l1, u_lines)
+    ledger = ms.ledger
+    audit: Optional[dict] = {} if ledger.enabled else None
+    plan = _plan_level(l1, u_lines, audit)
     if plan is None:
         # When the L1 level would take the dict walk anyway, hand the
         # whole partition to the batched backend's fused cascade — one
         # pass over the deduped trace beats walking three per-level
         # event streams through the same dicts.
-        return ms._dense_cached_many(
+        if audit is None:
+            return ms._dense_cached_many(
+                pe_id, group, lines, writes, region_ids, table
+            )
+        t0 = perf_counter()
+        out = ms._dense_cached_many(
             pe_id, group, lines, writes, region_ids, table
         )
+        # The measured time covers the whole fused L1->DRAM cascade,
+        # not just the L1 level the prediction priced; the audit keeps
+        # the asymmetry visible via chosen="batched".
+        audit["measured_us"] = (perf_counter() - t0) * 1e6
+        ledger.emit("dispatch", level="l1", chosen="batched", **audit)
+        return out
 
     if np.ndim(writes) == 0:
         u_writes = np.full(m, bool(writes))
@@ -684,19 +759,32 @@ def dense_cached_array(
     l2 = ms.l2s[group]
     llc = ms.llc
 
-    ev = _replay_level_array(
-        l1, u_lines, u_writes, None,
-        np.arange(m, dtype=np.int64), plan[0], plan[1],
-    )
+    if audit is None:
+        ev = _replay_level_array(
+            l1, u_lines, u_writes, None,
+            np.arange(m, dtype=np.int64), plan[0], plan[1],
+        )
+    else:
+        t0 = perf_counter()
+        ev = _replay_level_array(
+            l1, u_lines, u_writes, None,
+            np.arange(m, dtype=np.int64), plan[0], plan[1],
+            audit=audit,
+        )
+        chosen = "dict" if audit.get("bailed") else "array"
+        audit["measured_us"] = (perf_counter() - t0) * 1e6
+        ledger.emit("dispatch", level="l1", chosen=chosen, **audit)
     l1.hits += n - m  # run-length repeats are guaranteed MRU hits
     if ev[2].any():
         levels[starts[ev[3][ev[2]]]] = int(ServiceLevel.L2)
 
-    ev = _replay_level(l2, *ev)
+    ev = _replay_level(l2, *ev, ledger=ledger, level="l2")
     if ev[2].any():
         levels[starts[ev[3][ev[2]]]] = int(ServiceLevel.LLC)
 
-    e_line, e_write, e_isfill, e_trig = _replay_level(llc, *ev)
+    e_line, e_write, e_isfill, e_trig = _replay_level(
+        llc, *ev, ledger=ledger, level="llc"
+    )
     if e_isfill.any():
         fill_trig = e_trig[e_isfill]
         levels[starts[fill_trig]] = int(ServiceLevel.DRAM)

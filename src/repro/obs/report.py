@@ -1,0 +1,330 @@
+"""Ledger aggregation: ``repro obs report``.
+
+Folds one or many ledger files (run ledgers, merged sweep ledgers, or
+whole directories of either) into a single rollup:
+
+- **phase hotspots** — host seconds per engine phase (generation,
+  merge, replay) summed over every epoch event, plus checkpoint and
+  whole-run wall time;
+- **cost-model accuracy** — per cache level: partitions considered,
+  backend chosen, the misprediction rate (the chosen path measured
+  slower than the model's estimate for the alternative), and the mean
+  relative error of the chosen path's own prediction;
+- **cache/sweep hit rates** — result-cache hits vs executed jobs;
+- **retry/degradation timeline** — every supervisor transition with
+  its cause, in recorded order.
+
+The JSON form is the aggregate dict verbatim; the text form renders
+the same numbers as aligned tables for terminals.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.obs.ledger import iter_ledger_files, read_events
+
+_PHASES = ("gen", "merge", "replay")
+
+
+def _level_bucket() -> Dict[str, Any]:
+    return {
+        "considered": 0,
+        "chosen": {"array": 0, "dict": 0, "batched": 0},
+        "events": 0,
+        "measured_us": 0.0,
+        "comparable": 0,        # both-sides prediction available
+        "mispredictions": 0,
+        "rel_error_sum": 0.0,
+        "rel_error_n": 0,
+        "bailed": 0,
+    }
+
+
+def aggregate(paths) -> Dict[str, Any]:
+    """Fold ledger files/directories into one rollup dict."""
+    files = iter_ledger_files(paths)
+    agg: Dict[str, Any] = {
+        "files": [str(f) for f in files],
+        "events": 0,
+        "events_by_type": {},
+        "runs": {"started": 0, "ok": 0, "failed": 0},
+        "phases": {p: {"seconds": 0.0, "epochs": 0} for p in _PHASES},
+        "checkpoints": {"count": 0, "seconds": 0.0},
+        "run_wall_s": 0.0,
+        "sim_time_ns": 0.0,
+        "dispatch": {"total": 0, "by_level": {}},
+        "sweep": {
+            "jobs": 0, "completed": 0, "failed": 0, "cache_hits": 0,
+        },
+        "retries": 0,
+        "degradations": 0,
+        "timeline": [],
+    }
+    by_type = agg["events_by_type"]
+    levels: Dict[str, Dict[str, Any]] = agg["dispatch"]["by_level"]
+    for path in files:
+        for ev in read_events(path):
+            agg["events"] += 1
+            etype = ev.get("e", "?")
+            by_type[etype] = by_type.get(etype, 0) + 1
+            if etype == "epoch":
+                for p in _PHASES:
+                    agg["phases"][p]["seconds"] += ev.get(f"{p}_s", 0.0)
+                    agg["phases"][p]["epochs"] += 1
+            elif etype == "checkpoint":
+                agg["checkpoints"]["count"] += 1
+                agg["checkpoints"]["seconds"] += ev.get("wall_s", 0.0)
+            elif etype == "run_start":
+                agg["runs"]["started"] += 1
+            elif etype == "run_end":
+                status = ev.get("status", "failed")
+                agg["runs"]["ok" if status == "ok" else "failed"] += 1
+                agg["run_wall_s"] += ev.get("wall_s", 0.0)
+                agg["sim_time_ns"] += ev.get("time_ns") or 0.0
+                if status != "ok":
+                    agg["timeline"].append(_timeline_row(ev, path))
+            elif etype == "dispatch":
+                _fold_dispatch(agg, levels, ev)
+            elif etype == "sweep_job":
+                status = ev.get("status")
+                if status == "started":
+                    agg["sweep"]["jobs"] += 1
+                elif status == "completed":
+                    agg["sweep"]["completed"] += 1
+                elif status == "failed":
+                    agg["sweep"]["failed"] += 1
+                    agg["timeline"].append(_timeline_row(ev, path))
+            elif etype == "cache_hit":
+                agg["sweep"]["cache_hits"] += 1
+            elif etype == "retry":
+                agg["retries"] += 1
+                agg["timeline"].append(_timeline_row(ev, path))
+            elif etype == "degradation":
+                agg["degradations"] += 1
+                agg["timeline"].append(_timeline_row(ev, path))
+    _finalise(agg, levels)
+    return agg
+
+
+def _timeline_row(ev: Dict[str, Any], path: Path) -> Dict[str, Any]:
+    etype = ev["e"]
+    if etype == "retry":
+        desc = (
+            f"retry attempt {ev.get('attempt')} on "
+            f"{ev.get('execution')}/{ev.get('replay')}: "
+            f"{ev.get('cause')}"
+        )
+    elif etype == "degradation":
+        desc = (
+            f"degraded {ev.get('from_execution')}/{ev.get('from_replay')}"
+            f" -> {ev.get('to_execution')}/{ev.get('to_replay')}: "
+            f"{ev.get('cause')}"
+        )
+    elif etype == "sweep_job":
+        desc = f"job {ev.get('index')} failed: {ev.get('error')}"
+    else:  # run_end failure
+        desc = f"run failed: {ev.get('error')}"
+    return {
+        "t": ev.get("t"),
+        "run": ev.get("run"),
+        "event": etype,
+        "description": desc,
+        "file": path.name,
+    }
+
+
+def _fold_dispatch(
+    agg: Dict[str, Any],
+    levels: Dict[str, Dict[str, Any]],
+    ev: Dict[str, Any],
+) -> None:
+    agg["dispatch"]["total"] += 1
+    bucket = levels.setdefault(ev.get("level", "?"), _level_bucket())
+    bucket["considered"] += 1
+    chosen = ev.get("chosen", "?")
+    if chosen in bucket["chosen"]:
+        bucket["chosen"][chosen] += 1
+    bucket["events"] += ev.get("events", 0)
+    measured = ev.get("measured_us", 0.0)
+    bucket["measured_us"] += measured
+    if ev.get("bailed"):
+        bucket["bailed"] += 1
+    pred_py = ev.get("predicted_py_us")
+    pred_arr = ev.get("predicted_array_us")
+    # Misprediction: the chosen path measured slower than the model's
+    # estimate for the *alternative* — i.e. the model's own numbers say
+    # the other path would have been the better pick in hindsight.
+    own = pred_arr if chosen == "array" else pred_py
+    alt = pred_py if chosen == "array" else pred_arr
+    if alt is not None:
+        bucket["comparable"] += 1
+        if measured > alt:
+            bucket["mispredictions"] += 1
+    if own is not None and measured > 0:
+        bucket["rel_error_sum"] += abs(measured - own) / measured
+        bucket["rel_error_n"] += 1
+
+
+def _finalise(
+    agg: Dict[str, Any], levels: Dict[str, Dict[str, Any]]
+) -> None:
+    total_comparable = 0
+    total_mispredicted = 0
+    for bucket in levels.values():
+        comp = bucket["comparable"]
+        total_comparable += comp
+        total_mispredicted += bucket["mispredictions"]
+        bucket["misprediction_rate"] = (
+            bucket["mispredictions"] / comp if comp else 0.0
+        )
+        n = bucket.pop("rel_error_n")
+        s = bucket.pop("rel_error_sum")
+        bucket["mean_rel_error"] = s / n if n else 0.0
+    agg["dispatch"]["comparable"] = total_comparable
+    agg["dispatch"]["mispredictions"] = total_mispredicted
+    agg["dispatch"]["misprediction_rate"] = (
+        total_mispredicted / total_comparable if total_comparable else 0.0
+    )
+    sweep = agg["sweep"]
+    total_jobs = sweep["jobs"] + sweep["cache_hits"]
+    sweep["hit_rate"] = (
+        sweep["cache_hits"] / total_jobs if total_jobs else 0.0
+    )
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def _table(headers, rows) -> str:
+    from repro.bench.harness import format_table
+
+    return format_table(headers, rows)
+
+
+def format_report(agg: Dict[str, Any], top: int = 10) -> str:
+    """The aggregate as aligned terminal text."""
+    lines: List[str] = []
+    runs = agg["runs"]
+    lines.append(
+        f"ledger files : {len(agg['files'])}  "
+        f"events {agg['events']}  "
+        f"runs {runs['started']} started / {runs['ok']} ok / "
+        f"{runs['failed']} failed"
+    )
+    by_type = ", ".join(
+        f"{k}={v}" for k, v in sorted(agg["events_by_type"].items())
+    )
+    lines.append(f"event types  : {by_type or '(none)'}")
+    lines.append("")
+
+    lines.append("phase hotspots (host seconds over all epochs)")
+    phase_rows = sorted(
+        (
+            (p, d["seconds"], d["epochs"])
+            for p, d in agg["phases"].items()
+        ),
+        key=lambda r: -r[1],
+    )
+    rows = [
+        (p, f"{s:.4f}", n) for p, s, n in phase_rows
+    ] + [
+        (
+            "checkpoint",
+            f"{agg['checkpoints']['seconds']:.4f}",
+            agg["checkpoints"]["count"],
+        )
+    ]
+    lines.append(_table(("phase", "seconds", "samples"), rows))
+    lines.append("")
+
+    disp = agg["dispatch"]
+    lines.append(
+        f"replay dispatch audit: {disp['total']} partitions considered, "
+        f"misprediction rate "
+        f"{disp['misprediction_rate']:.1%} "
+        f"({disp['mispredictions']}/{disp['comparable']} comparable)"
+    )
+    if disp["by_level"]:
+        rows = []
+        for level in sorted(disp["by_level"]):
+            b = disp["by_level"][level]
+            c = b["chosen"]
+            rows.append((
+                level, b["considered"],
+                c["array"], c["dict"], c["batched"], b["bailed"],
+                f"{b['misprediction_rate']:.1%}",
+                f"{b['mean_rel_error']:.2f}",
+                f"{b['measured_us'] / 1e3:.2f}",
+            ))
+        lines.append(_table(
+            ("level", "considered", "array", "dict", "batched",
+             "bailed", "mispredict", "rel err", "total ms"),
+            rows,
+        ))
+    lines.append("")
+
+    sweep = agg["sweep"]
+    if sweep["jobs"] or sweep["cache_hits"]:
+        lines.append(
+            f"sweep: {sweep['jobs']} executed "
+            f"({sweep['completed']} completed, {sweep['failed']} failed), "
+            f"{sweep['cache_hits']} cache hits "
+            f"(hit rate {sweep['hit_rate']:.1%})"
+        )
+        lines.append("")
+
+    lines.append(
+        f"resilience: {agg['retries']} retries, "
+        f"{agg['degradations']} degradations"
+    )
+    timeline = agg["timeline"]
+    if timeline:
+        lines.append("timeline (recorded order)")
+        rows = [
+            (
+                f"{row['t']:.3f}" if row["t"] is not None else "?",
+                row["run"], row["event"], row["description"],
+            )
+            for row in timeline[:top]
+        ]
+        lines.append(_table(("t (s)", "run", "event", "what"), rows))
+        if len(timeline) > top:
+            lines.append(f"... {len(timeline) - top} more")
+    return "\n".join(lines)
+
+
+def validate_ledgers(
+    paths, require_dispatch: bool = False
+) -> Dict[str, Any]:
+    """Validate every event in ``paths`` against the schema; returns
+    counts.  Raises :class:`~repro.obs.schema.LedgerSchemaError` on the
+    first violation (with file and line context) and :class:`ValueError`
+    when ``require_dispatch`` finds no dispatch events."""
+    from repro.obs.schema import LedgerSchemaError, validate_event
+
+    files = iter_ledger_files(paths)
+    if not files:
+        raise ValueError(
+            f"no ledger files found under {[str(p) for p in paths]}"
+        )
+    counts: Dict[str, int] = {}
+    total = 0
+    for path in files:
+        for lineno, ev in enumerate(read_events(path), start=1):
+            try:
+                validate_event(ev)
+            except LedgerSchemaError as exc:
+                raise LedgerSchemaError(
+                    f"{path}:{lineno}: {exc}"
+                ) from exc
+            counts[ev["e"]] = counts.get(ev["e"], 0) + 1
+            total += 1
+    if require_dispatch and not counts.get("dispatch"):
+        raise ValueError(
+            f"no dispatch events found across {len(files)} ledger "
+            f"file(s) ({total} events) — the replay dispatch audit "
+            f"is empty"
+        )
+    return {"files": len(files), "events": total, "by_type": counts}

@@ -1,0 +1,222 @@
+"""Ledger event taxonomy and schema validation.
+
+Every line of a run ledger is one JSON object with three envelope
+fields — ``e`` (event type), ``t`` (monotonic seconds since the ledger
+opened), ``run`` (correlation id) — plus the type's own payload.  The
+taxonomy below is the contract ``repro obs report`` aggregates against
+and the CI ``obs-smoke`` job validates against; extending it means
+adding a spec here, not sprinkling ad-hoc dicts at emit sites.
+
+Validation is dependency-free on purpose (no ``jsonschema`` in the
+container): each event type carries a field table of ``(type, required)``
+pairs checked by :func:`validate_event`.  :func:`as_json_schema`
+renders the same tables as a draft-07-style JSON Schema document so
+external tooling can consume the contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Tuple
+
+LEDGER_SCHEMA_VERSION = 1
+"""Bump when envelope fields or event payloads change meaning."""
+
+_NUM = (int, float)
+_STR = (str,)
+_INT = (int,)
+_BOOL = (bool,)
+_OPT_NUM = (int, float, type(None))
+
+
+class LedgerSchemaError(ValueError):
+    """An event does not conform to the ledger taxonomy."""
+
+
+# Field tables: name -> (accepted types, required).  The envelope
+# (e / t / run) is checked for every event before its table applies;
+# unknown extra fields are rejected so the taxonomy stays closed.
+EVENT_TYPES: Dict[str, Dict[str, Tuple[tuple, bool]]] = {
+    # One per supervised run (or per attempt's outer envelope).
+    "run_start": {
+        "kernel": (_STR, True),
+        "execution": (_STR, True),
+        "replay": (_STR, True),
+        "config_fingerprint": (_STR, True),
+        "pid": (_INT, True),
+    },
+    "run_end": {
+        "status": (_STR, True),        # "ok" | "failed"
+        "wall_s": (_NUM, True),
+        "time_ns": (_OPT_NUM, False),  # simulated time, ok runs only
+        "error": (_STR, False),
+    },
+    # One per barrier epoch: host-side phase split + simulated facts.
+    "epoch": {
+        "epoch": (_INT, True),
+        "gen_s": (_NUM, True),
+        "merge_s": (_NUM, True),
+        "replay_s": (_NUM, True),
+        "epoch_time_ns": (_NUM, True),
+        "dram_lines": (_INT, True),
+        "critical_pe": (_INT, True),
+    },
+    "checkpoint": {
+        "epoch": (_INT, True),
+        "wall_s": (_NUM, True),
+    },
+    # Supervisor lifecycle: bounded retry and ladder transitions.
+    "retry": {
+        "attempt": (_INT, True),
+        "execution": (_STR, True),
+        "replay": (_STR, True),
+        "cause": (_STR, True),
+        "backoff_s": (_NUM, True),
+    },
+    "degradation": {
+        "from_execution": (_STR, True),
+        "from_replay": (_STR, True),
+        "to_execution": (_STR, True),
+        "to_replay": (_STR, True),
+        "cause": (_STR, True),
+    },
+    # Sweep lifecycle: one started/finished pair per executed job
+    # (written by the worker into its shard), one cache_hit per job
+    # served from the result cache (written by the parent).
+    "sweep_job": {
+        "index": (_INT, True),
+        "status": (_STR, True),        # "started" | "completed" | "failed"
+        "key": (_STR, True),
+        "driver": (_STR, True),
+        "wall_s": (_NUM, False),       # completed / failed only
+        "error": (_STR, False),
+        "pid": (_INT, False),
+    },
+    "cache_hit": {
+        "index": (_INT, True),
+        "key": (_STR, True),
+        "driver": (_STR, True),
+    },
+    # The replay dispatch audit: one event per partition the array
+    # backend considered, at every cache level.  "chosen" is the code
+    # path actually taken: "array" (stack-distance solver), "dict"
+    # (per-level Python walk), or "batched" (whole-partition fused
+    # cascade fallback when L1 planning rejects the solver).
+    "dispatch": {
+        "cache": (_STR, True),         # e.g. "l1[3]", "l2[0]", "llc"
+        "level": (_STR, True),         # "l1" | "l2" | "llc"
+        "events": (_INT, True),        # partition event count (n)
+        "miss_rate": (_NUM, True),     # smoothed running estimate
+        "hint": (_BOOL, True),         # hysteresis fast-hint state
+        "predicted_py_us": (_NUM, True),
+        "predicted_array_us": (_OPT_NUM, True),  # None below min-events
+        "chosen": (_STR, True),        # "array" | "dict" | "batched"
+        "measured_us": (_NUM, True),
+        "sets": (_INT, False),         # touched sets, when planned
+        "reason": (_STR, False),       # "min_events" | "cost_model" | ...
+        "bailed": (_BOOL, False),      # mid-solve hint bail re-dispatch
+    },
+}
+
+_CHOSEN = ("array", "dict", "batched")
+_RUN_STATUS = ("ok", "failed")
+_JOB_STATUS = ("started", "completed", "failed")
+_LEVELS = ("l1", "l2", "llc")
+
+
+def validate_event(event: Mapping[str, Any]) -> None:
+    """Raise :class:`LedgerSchemaError` unless ``event`` conforms."""
+    etype = event.get("e")
+    if etype not in EVENT_TYPES:
+        raise LedgerSchemaError(f"unknown event type {etype!r}")
+    t = event.get("t")
+    if not isinstance(t, _NUM) or isinstance(t, bool) or t < 0:
+        raise LedgerSchemaError(
+            f"{etype}: 't' must be a non-negative number, got {t!r}"
+        )
+    run = event.get("run")
+    if not isinstance(run, str) or not run:
+        raise LedgerSchemaError(
+            f"{etype}: 'run' must be a non-empty string, got {run!r}"
+        )
+    fields = EVENT_TYPES[etype]
+    for name, (types, required) in fields.items():
+        if name not in event:
+            if required:
+                raise LedgerSchemaError(
+                    f"{etype}: missing required field {name!r}"
+                )
+            continue
+        value = event[name]
+        if isinstance(value, bool) and bool not in types:
+            raise LedgerSchemaError(
+                f"{etype}: field {name!r} has bool value {value!r}, "
+                f"expected {tuple(t.__name__ for t in types)}"
+            )
+        if not isinstance(value, types):
+            raise LedgerSchemaError(
+                f"{etype}: field {name!r} is {type(value).__name__}, "
+                f"expected {tuple(t.__name__ for t in types)}"
+            )
+    extras = set(event) - set(fields) - {"e", "t", "run"}
+    if extras:
+        raise LedgerSchemaError(
+            f"{etype}: unknown fields {sorted(extras)}"
+        )
+    # Enum constraints ride on top of the type tables.
+    if etype == "dispatch" and event["chosen"] not in _CHOSEN:
+        raise LedgerSchemaError(
+            f"dispatch: chosen must be one of {_CHOSEN}, "
+            f"got {event['chosen']!r}"
+        )
+    if etype == "dispatch" and event["level"] not in _LEVELS:
+        raise LedgerSchemaError(
+            f"dispatch: level must be one of {_LEVELS}, "
+            f"got {event['level']!r}"
+        )
+    if etype == "run_end" and event["status"] not in _RUN_STATUS:
+        raise LedgerSchemaError(
+            f"run_end: status must be one of {_RUN_STATUS}, "
+            f"got {event['status']!r}"
+        )
+    if etype == "sweep_job" and event["status"] not in _JOB_STATUS:
+        raise LedgerSchemaError(
+            f"sweep_job: status must be one of {_JOB_STATUS}, "
+            f"got {event['status']!r}"
+        )
+
+
+def as_json_schema() -> Dict[str, Any]:
+    """The taxonomy rendered as a draft-07-style JSON Schema (one
+    ``oneOf`` branch per event type), for external validators."""
+    def type_name(t: type) -> str:
+        return {
+            int: "integer", float: "number", str: "string",
+            bool: "boolean", type(None): "null",
+        }[t]
+
+    branches = []
+    for etype, fields in sorted(EVENT_TYPES.items()):
+        props: Dict[str, Any] = {
+            "e": {"const": etype},
+            "t": {"type": "number", "minimum": 0},
+            "run": {"type": "string", "minLength": 1},
+        }
+        required = ["e", "t", "run"]
+        for name, (types, req) in fields.items():
+            names = sorted({type_name(t) for t in types})
+            props[name] = {
+                "type": names[0] if len(names) == 1 else names
+            }
+            if req:
+                required.append(name)
+        branches.append({
+            "type": "object",
+            "properties": props,
+            "required": required,
+            "additionalProperties": False,
+        })
+    return {
+        "$schema": "http://json-schema.org/draft-07/schema#",
+        "title": f"repro run ledger v{LEDGER_SCHEMA_VERSION}",
+        "oneOf": branches,
+    }

@@ -28,6 +28,7 @@ be salvaged in place, but checkpoints make that cheap.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, replace
@@ -40,6 +41,7 @@ from repro.errors import (
     WatchdogTimeout,
     WorkloadError,
 )
+from repro.obs.ledger import NULL_LEDGER
 from repro.telemetry import ensure
 
 DEGRADATION_LADDER: Tuple[str, ...] = ("pipelined", "vectorized", "scalar")
@@ -85,6 +87,7 @@ class RunSupervisor:
         telemetry=None,
         chaos=None,
         sleep: Callable[[float], None] = time.sleep,
+        ledger=None,
     ) -> None:
         # Deferred import: config pulls in nothing heavy, but keeping it
         # local to __init__ mirrors the SpadeSystem lazy import below.
@@ -93,6 +96,7 @@ class RunSupervisor:
         self.resilience = resilience or ResilienceConfig()
         self.telemetry = ensure(telemetry)
         self.chaos = chaos
+        self.ledger = ledger if ledger is not None else NULL_LEDGER
         self._sleep = sleep
         metrics = self.telemetry.metrics
         self._retries = metrics.counter(
@@ -159,15 +163,23 @@ class RunSupervisor:
                 if attempt == res.max_retries:
                     break
                 self._retries.inc()
-                self._backoff(attempt)
+                self.ledger.emit(
+                    "retry",
+                    attempt=attempt + 1,
+                    execution="",
+                    replay="",
+                    cause=repr(exc),
+                    backoff_s=self._backoff(attempt),
+                )
         assert last_exc is not None
         raise last_exc
 
-    def _backoff(self, attempt: int) -> None:
+    def _backoff(self, attempt: int) -> float:
         res = self.resilience
         delay = res.backoff_base_s * (res.backoff_factor ** attempt)
         if delay > 0:
             self._sleep(delay)
+        return float(delay)
 
     # -- kernel supervision ----------------------------------------------
 
@@ -237,10 +249,31 @@ class RunSupervisor:
         degradations = 0
         last_exc: Optional[BaseException] = None
 
+        if self.ledger.enabled:
+            from repro.telemetry.provenance import config_fingerprint
+
+            self.ledger.emit(
+                "run_start",
+                kernel=kernel,
+                execution=requested,
+                replay=requested_replay,
+                config_fingerprint=config_fingerprint(config),
+                pid=os.getpid(),
+            )
+        run_t0 = time.perf_counter()
+
         for rung, (backend, replay_mode) in enumerate(ladder):
             if rung > 0:
                 degradations += 1
                 self._degradations.inc()
+                self.ledger.emit(
+                    "degradation",
+                    from_execution=ladder[rung - 1][0],
+                    from_replay=ladder[rung - 1][1],
+                    to_execution=backend,
+                    to_replay=replay_mode,
+                    cause=repr(last_exc) if last_exc is not None else "",
+                )
             for attempt in range(res.max_retries + 1):
                 resume = res.resume or (
                     total_attempts > 0 and res.checkpoint_dir is not None
@@ -261,6 +294,7 @@ class RunSupervisor:
                         config=cfg,
                         telemetry=self.telemetry,
                         chaos=self.chaos,
+                        ledger=self.ledger,
                         **kwargs,
                     )
                     fn = getattr(system, kernel)
@@ -278,7 +312,15 @@ class RunSupervisor:
                         break  # next rung
                     retries += 1
                     self._retries.inc()
-                    self._backoff(attempt)
+                    backoff_s = self._backoff(attempt)
+                    self.ledger.emit(
+                        "retry",
+                        attempt=attempt + 1,
+                        execution=backend,
+                        replay=replay_mode,
+                        cause=repr(exc),
+                        backoff_s=backoff_s,
+                    )
                     continue
                 self.last_outcome = RunOutcome(
                     backend=backend,
@@ -289,6 +331,13 @@ class RunSupervisor:
                     replay=replay_mode,
                     requested_replay=requested_replay,
                 )
+                if self.ledger.enabled:
+                    self.ledger.emit(
+                        "run_end",
+                        status="ok",
+                        wall_s=time.perf_counter() - run_t0,
+                        time_ns=float(report.time_ns),
+                    )
                 return report
 
         assert last_exc is not None
@@ -301,4 +350,11 @@ class RunSupervisor:
             replay=ladder[-1][1],
             requested_replay=requested_replay,
         )
+        if self.ledger.enabled:
+            self.ledger.emit(
+                "run_end",
+                status="failed",
+                wall_s=time.perf_counter() - run_t0,
+                error=repr(last_exc),
+            )
         raise last_exc

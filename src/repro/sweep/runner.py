@@ -30,11 +30,19 @@ Progress is published through the PR 2 telemetry registry:
 from __future__ import annotations
 
 import multiprocessing
+import os
 import random
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import SweepError, SweepJobError
+from repro.obs.ledger import (
+    NULL_LEDGER,
+    RunLedger,
+    merge_shards,
+    shard_path,
+)
 from repro.sweep.cache import ResultCache
 from repro.sweep.jobs import JobSpec, build_jobs
 from repro.telemetry import ensure
@@ -87,22 +95,63 @@ def _seed_job_rngs(seed: int) -> None:
         pass
 
 
-def _execute_job(payload) -> Tuple[int, bool, Any]:
+def _execute_job(payload) -> Tuple[int, bool, Any, int]:
     """Run one job (in a worker process or inline).
 
-    Returns ``(index, ok, value_or_message)``; exceptions are folded
-    into strings so a failed job cannot poison the pool's result pipe
-    with an unpicklable traceback object.
+    Returns ``(index, ok, value_or_message, pid)``; exceptions are
+    folded into strings so a failed job cannot poison the pool's result
+    pipe with an unpicklable traceback object.  When the sweep carries a
+    ledger, each job writes its lifecycle events to a private shard file
+    (one writer per file — no cross-process lock needed); the parent
+    merges shards back in grid order after the drain.
     """
-    index, cell, env, point, seed, resilience = payload
+    index, cell, env, point, seed, resilience, shard = payload
     from repro.resilience import RunSupervisor
 
     _seed_job_rngs(seed)
-    supervisor = RunSupervisor(resilience=resilience)
+    pid = os.getpid()
+    ledger = NULL_LEDGER
+    if shard is not None:
+        shard_dir, key, driver = shard
+        ledger = RunLedger(
+            shard_path(shard_dir, index, key), run_id=key[:16]
+        )
+        ledger.emit(
+            "sweep_job",
+            index=index,
+            status="started",
+            key=key,
+            driver=driver,
+            pid=pid,
+        )
+    supervisor = RunSupervisor(resilience=resilience, ledger=ledger)
+    t0 = time.perf_counter()
     try:
-        return index, True, supervisor.call(lambda: cell(env, point))
+        value = supervisor.call(lambda: cell(env, point))
     except BaseException as exc:  # noqa: BLE001 - reported, then raised
-        return index, False, f"{type(exc).__name__}: {exc}"
+        if ledger.enabled:
+            ledger.emit(
+                "sweep_job",
+                index=index,
+                status="failed",
+                key=key,
+                driver=driver,
+                wall_s=time.perf_counter() - t0,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            ledger.close()
+        return index, False, f"{type(exc).__name__}: {exc}", pid
+    if ledger.enabled:
+        ledger.emit(
+            "sweep_job",
+            index=index,
+            status="completed",
+            key=key,
+            driver=driver,
+            wall_s=time.perf_counter() - t0,
+        )
+        ledger.close()
+    return index, True, value, pid
 
 
 def _pool_context():
@@ -121,12 +170,14 @@ class SweepRunner:
         cache: Optional[ResultCache] = None,
         telemetry=None,
         resilience=None,
+        ledger=None,
     ) -> None:
         if jobs < 1:
             raise SweepError(f"sweep jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
         self.resilience = resilience
+        self.ledger = ledger if ledger is not None else NULL_LEDGER
         self.telemetry = ensure(telemetry)
         self.report = SweepReport()
         metrics = self.telemetry.metrics
@@ -186,6 +237,12 @@ class SweepRunner:
                     results[spec.index] = value
                     report.cached += 1
                     self._cached.inc()
+                    self.ledger.emit(
+                        "cache_hit",
+                        index=spec.index,
+                        key=spec.key,
+                        driver=driver,
+                    )
                     continue
             pending.append(spec)
         self._queue_depth.set(len(pending))
@@ -193,13 +250,24 @@ class SweepRunner:
         failures: List[Tuple[Tuple, str]] = []
         if pending:
             resilience = self._job_resilience(env)
+            shard_dir = (
+                str(self.ledger.path.parent)
+                if self.ledger.enabled else None
+            )
             payloads = [
-                (spec.index, cell, env, spec.point, spec.seed, resilience)
+                (
+                    spec.index, cell, env, spec.point, spec.seed,
+                    resilience,
+                    None if shard_dir is None
+                    else (shard_dir, spec.key, driver),
+                )
                 for spec in pending
             ]
             by_index = {spec.index: spec for spec in pending}
-            for index, ok, value in self._drain(payloads):
+            worker_pids: dict = {}
+            for index, ok, value, pid in self._drain(payloads):
                 spec = by_index[index]
+                worker_pids.setdefault(pid, index)
                 if ok:
                     results[index] = value
                     report.completed += 1
@@ -211,6 +279,16 @@ class SweepRunner:
                     report.failed += 1
                     self._failed.inc()
                 self._queue_depth.inc(-1)
+            tracer = getattr(self.telemetry, "tracer", None)
+            if tracer is not None:
+                for sort_index, pid in enumerate(sorted(worker_pids)):
+                    tracer.set_process_name(
+                        pid,
+                        f"sweep worker {pid}",
+                        sort_index=sort_index + 1,
+                    )
+            if self.ledger.enabled:
+                merge_shards(self.ledger.path.parent, self.ledger)
         self._queue_depth.set(0)
 
         self.report.merge(report)

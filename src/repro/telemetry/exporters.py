@@ -49,6 +49,17 @@ def to_csv(registry: MetricsRegistry) -> str:
     return buf.getvalue()
 
 
+def _prom_escape(value) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double-quote, and newline must be backslash-escaped."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: dict, extra: Optional[dict] = None) -> str:
     merged = dict(labels)
     if extra:
@@ -56,7 +67,7 @@ def _prom_labels(labels: dict, extra: Optional[dict] = None) -> str:
     if not merged:
         return ""
     inner = ",".join(
-        f'{k}="{v}"' for k, v in sorted(merged.items())
+        f'{k}="{_prom_escape(v)}"' for k, v in sorted(merged.items())
     )
     return "{" + inner + "}"
 

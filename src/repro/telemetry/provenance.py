@@ -83,12 +83,16 @@ def run_manifest(
     seed: Optional[int] = None,
     argv: Optional[list] = None,
     extra: Optional[Dict[str, Any]] = None,
+    ledger=None,
 ) -> Dict[str, Any]:
     """Build one provenance manifest.
 
     ``config`` is a SpadeConfig (or plain dict); ``workload`` is a
     free-form spec of what ran (matrix generator + parameters, kernel,
-    K); ``extra`` lands under ``"extra"`` untouched.
+    K); ``extra`` lands under ``"extra"`` untouched.  ``ledger`` is a
+    run ledger whose :meth:`summary` (path, run id, event count, file
+    digest) cross-links the flight recording that this record came
+    from; disabled/null ledgers contribute nothing.
     """
     manifest: Dict[str, Any] = {
         "schema_version": MANIFEST_SCHEMA_VERSION,
@@ -115,6 +119,10 @@ def run_manifest(
         manifest["argv"] = list(argv)
     if extra:
         manifest["extra"] = dict(extra)
+    if ledger is not None:
+        summary = ledger.summary()
+        if summary is not None:
+            manifest["ledger"] = summary
     return manifest
 
 

@@ -106,6 +106,7 @@ class EventTracer:
         self._t0 = clock() if enabled else 0.0
         self._events: List[dict] = []
         self._thread_names: Dict[int, str] = {}
+        self._process_meta: Dict[int, Tuple[str, Optional[int]]] = {}
 
     def _now_us(self) -> float:
         return (self._clock() - self._t0) * 1e6
@@ -145,6 +146,17 @@ class EventTracer:
         if self.enabled:
             self._thread_names[tid] = name
 
+    def set_process_name(
+        self, pid: int, name: str, sort_index: Optional[int] = None
+    ) -> None:
+        """Label a trace process row (e.g. one sweep worker).
+
+        ``sort_index`` pins the row's position in the Perfetto process
+        list; unnamed processes sort after named ones by pid.
+        """
+        if self.enabled:
+            self._process_meta[pid] = (name, sort_index)
+
     @property
     def events(self) -> List[dict]:
         return list(self._events)
@@ -153,7 +165,23 @@ class EventTracer:
 
     def to_chrome(self, metadata: Optional[dict] = None) -> dict:
         """The full Trace Event Format object."""
-        meta_events = [
+        meta_events = []
+        for pid, (name, sort_index) in sorted(self._process_meta.items()):
+            meta_events.append(
+                {
+                    "name": "process_name", "ph": "M", "pid": pid,
+                    "tid": 0, "args": {"name": name},
+                }
+            )
+            if sort_index is not None:
+                meta_events.append(
+                    {
+                        "name": "process_sort_index", "ph": "M",
+                        "pid": pid, "tid": 0,
+                        "args": {"sort_index": sort_index},
+                    }
+                )
+        meta_events += [
             {
                 "name": "thread_name", "ph": "M", "pid": self.pid,
                 "tid": tid, "args": {"name": name},

@@ -1,0 +1,390 @@
+"""Integration tests: the run ledger wired through the supervisor,
+engine, replay dispatch, sweep shards, CLI, and provenance."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.config import ObsConfig, ResilienceConfig, scaled_config
+from repro.errors import EngineExecutionError
+from repro.obs import NULL_LEDGER, RunLedger, open_run_ledger, read_events
+from repro.resilience import ChaosConfig, ChaosMonkey, RunSupervisor
+from repro.sparse.generators import uniform_random
+from repro.sweep import SweepRunner, open_cache
+from repro.telemetry import Telemetry
+from repro.telemetry.provenance import run_manifest
+
+
+@pytest.fixture(scope="module")
+def workload():
+    a = uniform_random(256, 256, nnz=4000, seed=3)
+    b = np.random.default_rng(0).random((a.num_cols, 8), dtype=np.float32)
+    return a, b
+
+
+def array_config(**overrides):
+    cfg = scaled_config(4)
+    return dataclasses.replace(cfg, replay="array", **overrides)
+
+
+def run_with_ledger(tmp_path, workload, **cfg_overrides):
+    a, b = workload
+    ledger = open_run_ledger(tmp_path, run_id="itest", validate=True)
+    sup = RunSupervisor(ledger=ledger)
+    report = sup.run_kernel(array_config(**cfg_overrides), "spmm", a, b)
+    ledger.close()
+    return report, read_events(ledger.path)
+
+
+class TestDispatchAudit:
+    def test_every_considered_partition_is_audited(
+        self, tmp_path, workload
+    ):
+        _, events = run_with_ledger(tmp_path, workload)
+        dispatch = [e for e in events if e["e"] == "dispatch"]
+        assert dispatch, "array replay must consider partitions"
+        for ev in dispatch:
+            assert ev["level"] in ("l1", "l2", "llc")
+            assert ev["chosen"] in ("array", "dict", "batched")
+            assert ev["events"] >= 0
+            assert 0.0 <= ev["miss_rate"] <= 1.0
+            assert ev["predicted_py_us"] >= 0
+            assert ev["measured_us"] >= 0
+            # Cost-model decisions carry both predictions; min-events
+            # floor decisions never computed the array cost.
+            if ev.get("reason") == "cost_model":
+                assert ev["predicted_array_us"] is not None
+
+    def test_results_identical_with_ledger_on_and_off(
+        self, tmp_path, workload
+    ):
+        a, b = workload
+        baseline = RunSupervisor().run_kernel(array_config(), "spmm", a, b)
+        report, _ = run_with_ledger(tmp_path, workload)
+        np.testing.assert_array_equal(report.output, baseline.output)
+        assert report.time_ns == baseline.time_ns
+        assert report.dram_accesses == baseline.dram_accesses
+
+    def test_disabled_ledger_records_nothing(self, tmp_path, workload):
+        a, b = workload
+        sup = RunSupervisor()  # NULL_LEDGER by default
+        assert sup.ledger is NULL_LEDGER
+        sup.run_kernel(array_config(), "spmm", a, b)
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestRunLifecycle:
+    def test_run_start_epoch_end_sequence(self, tmp_path, workload):
+        report, events = run_with_ledger(tmp_path, workload)
+        kinds = [e["e"] for e in events]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_end"
+        start = events[0]
+        assert start["kernel"] == "spmm"
+        assert start["replay"] == "array"
+        assert len(start["config_fingerprint"]) == 64
+        end = events[-1]
+        assert end["status"] == "ok"
+        assert end["wall_s"] > 0
+        assert end["time_ns"] == pytest.approx(float(report.time_ns))
+        epochs = [e for e in events if e["e"] == "epoch"]
+        assert epochs
+        for ev in epochs:
+            assert ev["gen_s"] >= 0 and ev["replay_s"] >= 0
+            assert ev["epoch_time_ns"] > 0
+
+    def test_checkpoint_events(self, tmp_path, workload):
+        a, b = workload
+        ledger = open_run_ledger(
+            tmp_path / "led", run_id="ck", validate=True
+        )
+        res = ResilienceConfig(
+            checkpoint_dir=str(tmp_path / "snaps"), checkpoint_interval=1
+        )
+        sup = RunSupervisor(resilience=res, ledger=ledger)
+        sup.run_kernel(array_config(resilience=res), "spmm", a, b)
+        ledger.close()
+        events = read_events(ledger.path)
+        ckpts = [e for e in events if e["e"] == "checkpoint"]
+        assert ckpts
+        assert all(e["wall_s"] >= 0 for e in ckpts)
+
+    def test_pipelined_run_audits_and_times_phases(
+        self, tmp_path, workload
+    ):
+        _, events = run_with_ledger(
+            tmp_path, workload, execution="pipelined"
+        )
+        assert any(e["e"] == "dispatch" for e in events)
+        epochs = [e for e in events if e["e"] == "epoch"]
+        assert epochs and all(e["replay_s"] >= 0 for e in epochs)
+
+
+class TestResilienceEvents:
+    def test_call_retries_are_recorded(self, tmp_path):
+        ledger = RunLedger(tmp_path / "r.jsonl", validate=True)
+        sup = RunSupervisor(
+            resilience=ResilienceConfig(
+                max_retries=2, backoff_base_s=0.0
+            ),
+            sleep=lambda s: None,
+            ledger=ledger,
+        )
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise EngineExecutionError("boom")
+            return "ok"
+
+        assert sup.call(flaky) == "ok"
+        ledger.close()
+        retries = [
+            e for e in read_events(ledger.path) if e["e"] == "retry"
+        ]
+        assert [e["attempt"] for e in retries] == [1, 2]
+        assert all("boom" in e["cause"] for e in retries)
+
+    def test_degradation_records_rung_transition(
+        self, tmp_path, workload
+    ):
+        a, b = workload
+        ledger = RunLedger(tmp_path / "d.jsonl", validate=True)
+        monkey = ChaosMonkey(
+            ChaosConfig(
+                worker_fault_rate=1.0, fault_backends=("pipelined",)
+            )
+        )
+        sup = RunSupervisor(
+            resilience=ResilienceConfig(backoff_base_s=0.0),
+            chaos=monkey,
+            sleep=lambda s: None,
+            ledger=ledger,
+        )
+        cfg = array_config(execution="pipelined")
+        sup.run_kernel(cfg, "spmm", a, b)
+        ledger.close()
+        events = read_events(ledger.path)
+        degr = [e for e in events if e["e"] == "degradation"]
+        assert len(degr) == 1
+        assert degr[0]["from_execution"] == "pipelined"
+        assert degr[0]["to_execution"] == "vectorized"
+        assert "fault" in degr[0]["cause"] or degr[0]["cause"]
+        end = [e for e in events if e["e"] == "run_end"][-1]
+        assert end["status"] == "ok"
+
+    def test_failed_run_ends_with_error(self, tmp_path, workload):
+        a, b = workload
+        ledger = RunLedger(tmp_path / "f.jsonl", validate=True)
+        monkey = ChaosMonkey(
+            ChaosConfig(
+                worker_fault_rate=1.0, fault_backends=("vectorized",)
+            )
+        )
+        sup = RunSupervisor(
+            resilience=ResilienceConfig(
+                backoff_base_s=0.0, degrade=False
+            ),
+            chaos=monkey,
+            sleep=lambda s: None,
+            ledger=ledger,
+        )
+        with pytest.raises(EngineExecutionError):
+            sup.run_kernel(array_config(), "spmm", a, b)
+        ledger.close()
+        end = read_events(ledger.path)[-1]
+        assert end["e"] == "run_end"
+        assert end["status"] == "failed"
+        assert end["error"]
+
+
+def _sweep_cell(env, point):
+    """Module-level so pool workers can import it."""
+    (x,) = point
+    if x < 0:
+        raise ValueError(f"negative point {x}")
+    return {"square": x * x}
+
+
+class TestSweepLedger:
+    def test_shards_merge_in_grid_order(self, tmp_path):
+        ledger = RunLedger(tmp_path / "run-p.jsonl", run_id="parent")
+        runner = SweepRunner(jobs=2, ledger=ledger)
+        out = runner.map_grid(
+            "t", None, _sweep_cell, [(1,), (2,), (3,), (4,)]
+        )
+        ledger.close()
+        assert [r["square"] for r in out] == [1, 4, 9, 16]
+        events = read_events(ledger.path)
+        started = [
+            e["index"] for e in events
+            if e["e"] == "sweep_job" and e["status"] == "started"
+        ]
+        assert started == [0, 1, 2, 3]  # deterministic shard order
+        completed = [
+            e for e in events
+            if e["e"] == "sweep_job" and e["status"] == "completed"
+        ]
+        assert len(completed) == 4
+        assert all(e["wall_s"] >= 0 for e in completed)
+        # Each job's events carry its own key-derived run id.
+        assert len({e["run"] for e in events}) == 4
+        assert not list(tmp_path.glob("shard-*.jsonl"))
+
+    def test_cache_hits_recorded_by_parent(self, tmp_path):
+        cache = open_cache(tmp_path / "cache")
+        first = SweepRunner(jobs=1, cache=cache)
+        first.map_grid("t", None, _sweep_cell, [(5,), (6,)])
+        ledger = RunLedger(tmp_path / "run-w.jsonl", run_id="warm")
+        warm = SweepRunner(
+            jobs=1, cache=open_cache(tmp_path / "cache"), ledger=ledger
+        )
+        warm.map_grid("t", None, _sweep_cell, [(5,), (6,)])
+        ledger.close()
+        events = read_events(ledger.path)
+        hits = [e for e in events if e["e"] == "cache_hit"]
+        assert [h["index"] for h in hits] == [0, 1]
+        assert all(h["run"] == "warm" for h in hits)
+        assert not any(e["e"] == "sweep_job" for e in events)
+
+    def test_failed_job_recorded_then_raised(self, tmp_path):
+        from repro.errors import SweepJobError
+
+        ledger = RunLedger(tmp_path / "run-f.jsonl", run_id="fail")
+        runner = SweepRunner(jobs=1, ledger=ledger)
+        with pytest.raises(SweepJobError):
+            runner.map_grid("t", None, _sweep_cell, [(1,), (-1,)])
+        ledger.close()
+        failed = [
+            e for e in read_events(ledger.path)
+            if e["e"] == "sweep_job" and e["status"] == "failed"
+        ]
+        assert len(failed) == 1
+        assert "negative point" in failed[0]["error"]
+
+    def test_worker_process_metadata_in_trace(self, tmp_path):
+        from repro.config import TelemetryConfig
+
+        telemetry = Telemetry(TelemetryConfig(trace=True))
+        runner = SweepRunner(jobs=2, telemetry=telemetry)
+        runner.map_grid("t", None, _sweep_cell, [(1,), (2,), (3,)])
+        chrome = telemetry.tracer.to_chrome()
+        names = [
+            e for e in chrome["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        sorts = [
+            e for e in chrome["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_sort_index"
+        ]
+        assert names and sorts
+        assert all(
+            e["args"]["name"].startswith("sweep worker") for e in names
+        )
+        assert len(names) == len(sorts)
+
+
+class TestProvenanceLinks:
+    def test_manifest_embeds_ledger_summary(self, tmp_path):
+        ledger = RunLedger(tmp_path / "run-m.jsonl", run_id="mani")
+        ledger.emit("checkpoint", epoch=0, wall_s=0.0)
+        manifest = run_manifest(ledger=ledger)
+        assert manifest["ledger"]["run_id"] == "mani"
+        assert manifest["ledger"]["events"] == 1
+        assert manifest["ledger"]["digest"]
+        # Null ledger contributes nothing.
+        assert "ledger" not in run_manifest(ledger=NULL_LEDGER)
+
+    def test_bench_json_stamps_rss_and_ledger(self, tmp_path):
+        from repro.bench.harness import write_bench_json
+
+        ledger = RunLedger(tmp_path / "run-b.jsonl", run_id="bench")
+        ledger.emit("checkpoint", epoch=0, wall_s=0.0)
+        out = write_bench_json(
+            tmp_path / "BENCH_x.json",
+            {"metric": 1.0},
+            workload={"what": "test"},
+            ledger=ledger,
+        )
+        manifest = out["manifest"]
+        assert manifest["extra"]["peak_rss_bytes"] > 0
+        assert manifest["ledger"]["run_id"] == "bench"
+        on_disk = json.loads((tmp_path / "BENCH_x.json").read_text())
+        assert on_disk["metric"] == 1.0
+        assert on_disk["manifest"]["ledger"]["events"] == 1
+
+
+class TestObsConfig:
+    def test_disabled_yields_null_ledger(self):
+        assert ObsConfig().make_ledger() is NULL_LEDGER
+        assert not ObsConfig().enabled
+
+    def test_enabled_derives_run_id_from_parts(self, tmp_path):
+        obs = ObsConfig(ledger_dir=str(tmp_path))
+        a = obs.make_ledger("x", "y")
+        b = obs.make_ledger("x", "y")
+        assert a.run_id == b.run_id  # content-addressed
+        assert a.path.parent == tmp_path
+
+
+class TestObsCli:
+    @pytest.fixture()
+    def ledger_dir(self, tmp_path, workload):
+        run_with_ledger(tmp_path, workload)
+        return tmp_path
+
+    def test_cli_run_writes_and_validates(self, tmp_path, capsys):
+        led = tmp_path / "led"
+        rc = main([
+            "run", "--matrix", "KRO", "--scale", "tiny", "--k", "4",
+            "--pes", "4", "--replay", "array",
+            "--ledger", str(led),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ledger written" in out
+        rc = main(["obs", "validate", "--require-dispatch", str(led)])
+        assert rc == 0
+        assert "validated" in capsys.readouterr().out
+
+    def test_obs_report_text_and_json(self, ledger_dir, capsys):
+        assert main(["obs", "report", str(ledger_dir)]) == 0
+        text = capsys.readouterr().out
+        assert "replay dispatch audit" in text
+        assert "phase hotspots" in text
+        assert main(["obs", "report", "--json", str(ledger_dir)]) == 0
+        agg = json.loads(capsys.readouterr().out)
+        assert agg["dispatch"]["total"] > 0
+        assert "misprediction_rate" in agg["dispatch"]
+
+    def test_obs_report_out_file(self, ledger_dir, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        rc = main([
+            "obs", "report", "--json", "--out", str(out),
+            str(ledger_dir),
+        ])
+        assert rc == 0
+        assert json.loads(out.read_text())["events"] > 0
+
+    def test_obs_report_empty_dir_errors(self, tmp_path, capsys):
+        rc = main(["obs", "report", str(tmp_path / "nothing")])
+        assert rc == 2
+        assert "no ledger" in capsys.readouterr().err
+
+    def test_obs_validate_catches_corruption(self, tmp_path, capsys):
+        bad = tmp_path / "run-bad.jsonl"
+        bad.write_text('{"e": "epoch", "t": 0.1, "run": "x"}\n')
+        rc = main(["obs", "validate", str(bad)])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_obs_schema_prints_json_schema(self, capsys):
+        assert main(["obs", "schema"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["oneOf"]

@@ -1,0 +1,331 @@
+"""Unit tests for the run-ledger flight recorder (repro.obs)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    EVENT_TYPES,
+    LEDGER_SCHEMA_VERSION,
+    NULL_LEDGER,
+    LedgerSchemaError,
+    RunLedger,
+    aggregate,
+    as_json_schema,
+    derive_run_id,
+    file_digest,
+    format_report,
+    merge_shards,
+    open_run_ledger,
+    peak_rss_bytes,
+    read_events,
+    shard_path,
+    validate_event,
+    validate_ledgers,
+)
+
+
+def _ev(etype="run_start", **overrides):
+    """A schema-valid event of the given type."""
+    base = {
+        "run_start": {
+            "kernel": "spmm", "execution": "vectorized",
+            "replay": "array", "config_fingerprint": "ab" * 32,
+            "pid": 1,
+        },
+        "run_end": {"status": "ok", "wall_s": 0.5},
+        "epoch": {
+            "epoch": 0, "gen_s": 0.1, "merge_s": 0.02, "replay_s": 0.2,
+            "epoch_time_ns": 1e6, "dram_lines": 10, "critical_pe": 0,
+        },
+        "checkpoint": {"epoch": 0, "wall_s": 0.01},
+        "retry": {
+            "attempt": 1, "execution": "vectorized", "replay": "array",
+            "cause": "OSError('x')", "backoff_s": 0.05,
+        },
+        "degradation": {
+            "from_execution": "pipelined", "from_replay": "array",
+            "to_execution": "vectorized", "to_replay": "batched",
+            "cause": "WatchdogTimeout('t')",
+        },
+        "sweep_job": {
+            "index": 0, "status": "completed", "key": "ff" * 32,
+            "driver": "run",
+        },
+        "cache_hit": {"index": 1, "key": "ee" * 32, "driver": "run"},
+        "dispatch": {
+            "cache": "L1", "level": "l1", "events": 500,
+            "miss_rate": 0.2, "hint": True, "predicted_py_us": 120.0,
+            "predicted_array_us": 90.0, "chosen": "array",
+            "measured_us": 95.0,
+        },
+    }[etype]
+    ev = dict(base)
+    ev.update({"e": etype, "t": 0.1, "run": "a" * 16})
+    ev.update(overrides)
+    return ev
+
+
+class TestSchema:
+    def test_every_type_has_a_valid_exemplar(self):
+        for etype in EVENT_TYPES:
+            validate_event(_ev(etype))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(LedgerSchemaError, match="unknown event"):
+            validate_event(_ev("run_end", e="nope"))
+
+    def test_missing_required_field_rejected(self):
+        ev = _ev("dispatch")
+        del ev["measured_us"]
+        with pytest.raises(LedgerSchemaError, match="measured_us"):
+            validate_event(ev)
+
+    def test_unknown_field_rejected(self):
+        # Closed taxonomy: extras are schema violations, not extensions.
+        with pytest.raises(LedgerSchemaError, match="unknown fields"):
+            validate_event(_ev("epoch", surprise=1))
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(LedgerSchemaError):
+            validate_event(_ev("epoch", gen_s="fast"))
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(LedgerSchemaError):
+            validate_event(_ev("epoch", epoch=True))
+
+    def test_enum_values_enforced(self):
+        with pytest.raises(LedgerSchemaError):
+            validate_event(_ev("dispatch", chosen="gpu"))
+        with pytest.raises(LedgerSchemaError):
+            validate_event(_ev("run_end", status="meh"))
+
+    def test_envelope_enforced(self):
+        ev = _ev("checkpoint")
+        del ev["run"]
+        with pytest.raises(LedgerSchemaError):
+            validate_event(ev)
+        with pytest.raises(LedgerSchemaError):
+            validate_event(_ev("checkpoint", t=-1.0))
+
+    def test_nullable_array_prediction(self):
+        # Below the min-events floor the array cost is never computed.
+        validate_event(
+            _ev(
+                "dispatch", predicted_array_us=None, chosen="dict",
+                reason="min_events",
+            )
+        )
+
+    def test_json_schema_document(self):
+        doc = as_json_schema()
+        assert doc["$schema"].startswith("http")
+        branches = {
+            b["properties"]["e"]["const"] for b in doc["oneOf"]
+        }
+        assert branches == set(EVENT_TYPES)
+
+
+class TestRunLedger:
+    def test_events_round_trip(self, tmp_path):
+        ledger = RunLedger(tmp_path / "run.jsonl", run_id="abc")
+        ledger.emit("checkpoint", epoch=0, wall_s=0.01)
+        ledger.emit("checkpoint", epoch=1, wall_s=0.02)
+        ledger.close()
+        evs = read_events(tmp_path / "run.jsonl")
+        assert [e["epoch"] for e in evs] == [0, 1]
+        assert all(e["run"] == "abc" for e in evs)
+        assert evs[0]["t"] <= evs[1]["t"]  # monotonic within a ledger
+
+    def test_buffering_defers_the_write(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        ledger = RunLedger(path, flush_every=100)
+        ledger.emit("checkpoint", epoch=0, wall_s=0.0)
+        assert not path.exists()  # still buffered
+        ledger.flush()
+        assert len(read_events(path)) == 1
+
+    def test_flush_threshold(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        ledger = RunLedger(path, flush_every=3)
+        for i in range(3):
+            ledger.emit("checkpoint", epoch=i, wall_s=0.0)
+        assert len(read_events(path)) == 3  # hit the threshold
+
+    def test_numpy_scalars_fold_to_plain_json(self, tmp_path):
+        ledger = RunLedger(tmp_path / "run.jsonl", validate=True)
+        ledger.emit(
+            "checkpoint",
+            epoch=np.int64(2),
+            wall_s=np.float32(0.5),
+        )
+        ledger.close()
+        ev = read_events(tmp_path / "run.jsonl")[0]
+        assert ev["epoch"] == 2 and isinstance(ev["epoch"], int)
+
+    def test_validate_mode_raises_on_bad_event(self, tmp_path):
+        ledger = RunLedger(tmp_path / "run.jsonl", validate=True)
+        with pytest.raises(LedgerSchemaError):
+            ledger.emit("checkpoint", epoch=0)  # wall_s missing
+
+    def test_summary_has_digest_and_count(self, tmp_path):
+        ledger = RunLedger(tmp_path / "run.jsonl", run_id="abc")
+        ledger.emit("checkpoint", epoch=0, wall_s=0.0)
+        s = ledger.summary()
+        assert s["schema_version"] == LEDGER_SCHEMA_VERSION
+        assert s["run_id"] == "abc"
+        assert s["events"] == 1
+        assert s["digest"] == file_digest(tmp_path / "run.jsonl")
+        assert s["digest"] is not None
+
+    def test_open_run_ledger_names_file_by_run_id(self, tmp_path):
+        ledger = open_run_ledger(tmp_path, run_id="deadbeef")
+        assert ledger.path.name == "run-deadbeef.jsonl"
+
+    def test_derive_run_id_is_content_addressed(self):
+        assert derive_run_id("a", "b") == derive_run_id("a", "b")
+        assert derive_run_id("a", "b") != derive_run_id("ab")
+        assert len(derive_run_id("x")) == 16
+        # Entropy mode: distinct across calls.
+        assert derive_run_id() != derive_run_id()
+
+
+class TestNullLedger:
+    def test_null_ledger_records_nothing(self, tmp_path):
+        assert NULL_LEDGER.enabled is False
+        NULL_LEDGER.emit("dispatch", anything="goes")
+        NULL_LEDGER.flush()
+        NULL_LEDGER.close()
+        assert NULL_LEDGER.summary() is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_null_ledger_is_a_context_manager(self):
+        with NULL_LEDGER as led:
+            assert led is NULL_LEDGER
+
+
+class TestShards:
+    def test_merge_is_index_ordered_and_deletes_shards(self, tmp_path):
+        # Write shards out of order; the merge must come back sorted by
+        # job index (the zero-padded filename), not creation order.
+        for index in (2, 0, 1):
+            shard = RunLedger(
+                shard_path(tmp_path, index, "ab" * 32),
+                run_id=("ab" * 32)[:16],
+            )
+            shard.emit(
+                "sweep_job", index=index, status="completed",
+                key="ab" * 32, driver="t",
+            )
+            shard.close()
+        parent = RunLedger(tmp_path / "run-parent.jsonl", run_id="p")
+        merged = merge_shards(tmp_path, parent)
+        parent.close()
+        assert merged == 3
+        evs = read_events(parent.path)
+        assert [e["index"] for e in evs] == [0, 1, 2]
+        assert not list(tmp_path.glob("shard-*.jsonl"))
+
+    def test_shard_events_keep_their_own_run_id(self, tmp_path):
+        shard = RunLedger(shard_path(tmp_path, 0, "cd" * 32), run_id="job0")
+        shard.emit(
+            "sweep_job", index=0, status="started", key="cd" * 32,
+            driver="t",
+        )
+        shard.close()
+        parent = RunLedger(tmp_path / "run-p.jsonl", run_id="parent")
+        merge_shards(tmp_path, parent)
+        parent.close()
+        assert read_events(parent.path)[0]["run"] == "job0"
+
+
+class TestReport:
+    def _write(self, tmp_path, events, name="run-x.jsonl"):
+        path = tmp_path / name
+        with open(path, "w") as fh:
+            for ev in events:
+                fh.write(json.dumps(ev) + "\n")
+        return path
+
+    def test_aggregate_phases_and_runs(self, tmp_path):
+        self._write(tmp_path, [
+            _ev("run_start"),
+            _ev("epoch"),
+            _ev("epoch", epoch=1, gen_s=0.3),
+            _ev("checkpoint"),
+            _ev("run_end", time_ns=2e6),
+        ])
+        agg = aggregate([tmp_path])
+        assert agg["events"] == 5
+        assert agg["runs"] == {"started": 1, "ok": 1, "failed": 0}
+        assert agg["phases"]["gen"]["seconds"] == pytest.approx(0.4)
+        assert agg["phases"]["gen"]["epochs"] == 2
+        assert agg["checkpoints"]["count"] == 1
+        assert agg["sim_time_ns"] == pytest.approx(2e6)
+
+    def test_misprediction_accounting(self, tmp_path):
+        self._write(tmp_path, [
+            # chosen array, measured 95 < alt py 120: good call
+            _ev("dispatch"),
+            # chosen array, measured 200 > alt py 120: mispredicted
+            _ev("dispatch", measured_us=200.0),
+            # min-events floor: no array prediction, not comparable
+            _ev(
+                "dispatch", chosen="dict", predicted_array_us=None,
+                reason="min_events", measured_us=50.0,
+            ),
+        ])
+        agg = aggregate([tmp_path])
+        d = agg["dispatch"]
+        assert d["total"] == 3
+        assert d["comparable"] == 2
+        assert d["mispredictions"] == 1
+        assert d["misprediction_rate"] == pytest.approx(0.5)
+        l1 = d["by_level"]["l1"]
+        assert l1["chosen"] == {"array": 2, "dict": 1, "batched": 0}
+        # rel error of chosen path's own prediction, comparable only:
+        # |95-90|/95 and |200-90|/200 (dict row has no own prediction
+        # for min_events? predicted_py_us present: |50-120|/50 too).
+        assert l1["mean_rel_error"] > 0
+
+    def test_retry_and_degradation_timeline(self, tmp_path):
+        self._write(tmp_path, [
+            _ev("retry"),
+            _ev("degradation"),
+            _ev("run_end", status="failed", error="boom", wall_s=1.0),
+        ])
+        agg = aggregate([tmp_path])
+        assert agg["retries"] == 1
+        assert agg["degradations"] == 1
+        assert agg["runs"]["failed"] == 1
+        assert [r["event"] for r in agg["timeline"]] == [
+            "retry", "degradation", "run_end",
+        ]
+
+    def test_format_report_renders(self, tmp_path):
+        self._write(tmp_path, [
+            _ev("run_start"), _ev("epoch"), _ev("dispatch"),
+            _ev("run_end"),
+        ])
+        text = format_report(aggregate([tmp_path]))
+        assert "phase hotspots" in text
+        assert "replay dispatch audit" in text
+        assert "l1" in text
+
+    def test_validate_ledgers_reports_context(self, tmp_path):
+        path = self._write(tmp_path, [_ev("epoch"), {"e": "epoch"}])
+        with pytest.raises(LedgerSchemaError, match=f"{path}:2"):
+            validate_ledgers([tmp_path])
+
+    def test_validate_require_dispatch(self, tmp_path):
+        self._write(tmp_path, [_ev("run_start")])
+        info = validate_ledgers([tmp_path])
+        assert info["events"] == 1
+        with pytest.raises(ValueError, match="dispatch"):
+            validate_ledgers([tmp_path], require_dispatch=True)
+
+
+def test_peak_rss_is_positive_here():
+    rss = peak_rss_bytes()
+    assert rss is not None and rss > 1024 * 1024  # >1MB for a python proc

@@ -161,6 +161,42 @@ class TestExporters:
         assert "spade_batch_count 2" in text
         assert "# HELP spade_hits_total hits" in text
 
+    def test_prometheus_escapes_label_values(self):
+        # The exposition format requires backslash-escaping of \, ", and
+        # newline inside label values; an unescaped value would corrupt
+        # the whole scrape.
+        reg = MetricsRegistry()
+        reg.counter(
+            "spade_paths_total",
+            path='C:\\tmp\\"run"\nnext',
+        ).inc(1)
+        text = to_prometheus(reg)
+        assert (
+            'spade_paths_total{path="C:\\\\tmp\\\\\\"run\\"\\nnext"} 1'
+            in text
+        )
+        assert "\n\nnext" not in text  # no literal newline inside a value
+
+    def test_prometheus_escape_round_trips(self):
+        from repro.telemetry.exporters import _prom_escape
+
+        assert _prom_escape('a"b') == 'a\\"b'
+        assert _prom_escape("a\\b") == "a\\\\b"
+        assert _prom_escape("a\nb") == "a\\nb"
+        assert _prom_escape("plain") == "plain"
+
+    def test_prometheus_empty_histogram_renders(self):
+        # A histogram with zero observations must still expose its
+        # cumulative buckets (all 0), a 0 sum, and a 0 count.
+        reg = MetricsRegistry()
+        reg.histogram("spade_empty", bounds=(1, 10))
+        text = to_prometheus(reg)
+        assert 'spade_empty_bucket{le="1"} 0' in text
+        assert 'spade_empty_bucket{le="10"} 0' in text
+        assert 'spade_empty_bucket{le="+Inf"} 0' in text
+        assert "spade_empty_sum 0" in text
+        assert "spade_empty_count 0" in text
+
     def test_write_metrics_infers_format(self, populated, tmp_path):
         j = write_metrics(populated, tmp_path / "m.json")
         c = write_metrics(populated, tmp_path / "m.csv")
