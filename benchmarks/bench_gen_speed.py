@@ -5,16 +5,35 @@ execution backend (``SpadeConfig.execution``):
 
 * **scalar** — the PR 1 oracle: per-nonzero Python loops drive the VRF
   and emit the post-VRF trace access by access;
-* **vectorized** — per-chunk NumPy derivation of the ``(lines, ops)``
-  trace arrays with protected-run elision plus array functional
-  kernels (see DESIGN.md section 7);
-* **pipelined** — the vectorized generator running in a bounded
-  producer/consumer pipeline overlapped with shared-memory replay.
+* **vectorized** — whole-epoch fused NumPy derivation of each PE's
+  ``(lines, ops)`` trace with protected-run elision plus array
+  functional kernels (see DESIGN.md sections 7 and 12);
+* **pipelined** — the vectorized generator feeding coalesced
+  whole-epoch replay partitions.
 
 Every run asserts bit-identical outputs, simulated time, AccessStats
 and PECounters across the three backends before timing is reported, so
 the benchmark doubles as an end-to-end differential check.  Results
 land in ``BENCH_gen.json`` (see README) to track the perf trajectory.
+
+Methodology: repetitions are **interleaved** (rep loop outside, mode
+loop inside) so each scalar/vectorized/pipelined triple samples the
+same machine phase — on busy hosts the phase drift between back-to-back
+blocks is larger than the effect being measured.  Speedups are computed
+from the per-mode **minimum** across reps, the standard noise-robust
+estimator for a deterministic workload (same rationale as ``timeit``);
+medians are recorded alongside.  Each timed run also records the
+per-epoch host phase split (``gen_s`` / ``merge_s`` / ``replay_s``)
+through a throwaway run ledger, so BENCH_gen.json shows *where* the
+time went, not just the totals.
+
+The trace-cache section runs the headline workload twice against a
+content-addressed :class:`~repro.memory.trace_store.TraceStore`: the
+cold pass generates and publishes every epoch trace, the warm pass must
+replay with **zero generation invocations** and bit-identical results.
+``--trace-cache-dir`` persists the store across invocations (the CI
+gen-smoke job runs the benchmark twice against one directory and
+byte-compares the ``trace_cache.deterministic`` section).
 
 Run from the repo root::
 
@@ -29,11 +48,14 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import hashlib
+import json
 import statistics
 import sys
+import tempfile
 import time
 from pathlib import Path
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -41,19 +63,43 @@ from repro.bench.harness import write_bench_json
 from repro.config import EXECUTION_MODES, scaled_config
 from repro.core.accelerator import SpadeSystem
 from repro.core.engine import DEFAULT_CHUNK_NNZ
+from repro.memory.trace_store import TraceStore
+from repro.obs.ledger import RunLedger, read_events
 from repro.sparse.generators import banded, rmat_graph, uniform_random
+
+_PHASES = ("gen_s", "merge_s", "replay_s")
 
 
 def run_once(cfg, execution: str, a, b, c, kernel: str,
-             chunk_nnz: int = DEFAULT_CHUNK_NNZ):
-    """One timed end-to-end engine run; returns (seconds, report)."""
-    system = SpadeSystem(cfg, chunk_nnz=chunk_nnz, execution=execution)
-    t0 = time.perf_counter()
-    if kernel == "spmm":
-        report = system.spmm(a, b)
-    else:
-        report = system.sddmm(a, b, c)
-    return time.perf_counter() - t0, report
+             chunk_nnz: int = DEFAULT_CHUNK_NNZ, trace_store=None):
+    """One timed end-to-end engine run.
+
+    Returns ``(seconds, report, phases, cache)`` where ``phases`` sums
+    the per-epoch host phase split recorded by a throwaway run ledger
+    (plus the fused-generation chunk count) and ``cache`` is the
+    system's trace-cache counter dict.
+    """
+    with tempfile.TemporaryDirectory(prefix="bench-gen-ledger-") as tmp:
+        ledger = RunLedger(Path(tmp) / "ledger.jsonl")
+        system = SpadeSystem(
+            cfg, chunk_nnz=chunk_nnz, execution=execution,
+            ledger=ledger, trace_store=trace_store,
+        )
+        t0 = time.perf_counter()
+        if kernel == "spmm":
+            report = system.spmm(a, b)
+        else:
+            report = system.sddmm(a, b, c)
+        elapsed = time.perf_counter() - t0
+        ledger.close()
+        phases = {p: 0.0 for p in _PHASES}
+        phases["fused_chunks"] = 0
+        for ev in read_events(ledger.path):
+            if ev.get("e") == "epoch":
+                for p in _PHASES:
+                    phases[p] += ev.get(p, 0.0)
+                phases["fused_chunks"] += int(ev.get("fused_chunks") or 0)
+    return elapsed, report, phases, dict(system.trace_cache)
 
 
 def assert_parity(name: str, oracle, candidate, mode: str) -> None:
@@ -72,34 +118,39 @@ def assert_parity(name: str, oracle, candidate, mode: str) -> None:
         raise AssertionError(f"{name}: {mode} PECounters diverged")
 
 
-def bench_one(cfg, name: str, gen, k: int, kernel: str, reps: int,
-              chunk_nnz: int = DEFAULT_CHUNK_NNZ) -> dict:
+def _operands(gen, k: int, kernel: str):
     a = gen()
     rng = np.random.default_rng(7)
     if kernel == "spmm":
-        b = rng.random((a.num_cols, k), dtype=np.float32)
-        c = None
-    else:
-        b = rng.random((a.num_rows, k), dtype=np.float32)
-        c = rng.random((a.num_cols, k), dtype=np.float32)
+        return a, rng.random((a.num_cols, k), dtype=np.float32), None
+    return (
+        a,
+        rng.random((a.num_rows, k), dtype=np.float32),
+        rng.random((a.num_cols, k), dtype=np.float32),
+    )
 
-    times = {}
+
+def bench_one(cfg, name: str, a, b, c, k: int, kernel: str, reps: int,
+              chunk_nnz: int = DEFAULT_CHUNK_NNZ) -> dict:
+    times = {mode: [] for mode in EXECUTION_MODES}
+    phases = {mode: [] for mode in EXECUTION_MODES}
     reports = {}
-    for mode in EXECUTION_MODES:
-        mode_times = []
-        for _ in range(reps):
-            dt, report = run_once(cfg, mode, a, b, c, kernel, chunk_nnz)
-            mode_times.append(dt)
-        # Median of reps: robust to one-off scheduler noise in either
-        # direction, unlike min (best case only) or mean.
-        times[mode] = statistics.median(mode_times)
-        reports[mode] = report
+    for _ in range(reps):
+        # Interleaved: every rep samples all three modes back to back,
+        # so each scalar/vectorized/pipelined ratio is a paired
+        # measurement from the same machine phase.
+        for mode in EXECUTION_MODES:
+            dt, report, ph, _ = run_once(
+                cfg, mode, a, b, c, kernel, chunk_nnz
+            )
+            times[mode].append(dt)
+            phases[mode].append(ph)
+            reports[mode] = report
 
     for mode in EXECUTION_MODES[1:]:
         assert_parity(name, reports["scalar"], reports[mode], mode)
 
     requests = reports["scalar"].counters.total_requests
-    scalar_s = times["scalar"]
     row = {
         "name": name,
         "kernel": kernel,
@@ -108,11 +159,113 @@ def bench_one(cfg, name: str, gen, k: int, kernel: str, reps: int,
         "requests": int(requests),
         "parity": True,
     }
+    best = {}
     for mode in EXECUTION_MODES:
-        row[f"{mode}_s"] = round(times[mode], 4)
+        i = int(np.argmin(times[mode]))
+        best[mode] = times[mode][i]
+        row[f"{mode}_s"] = round(times[mode][i], 4)
+        row[f"{mode}_median_s"] = round(statistics.median(times[mode]), 4)
+        # Phase split of the best rep: where its seconds actually went.
+        row[f"{mode}_phases"] = {
+            key: (round(val, 4) if isinstance(val, float) else val)
+            for key, val in phases[mode][i].items()
+        }
     for mode in EXECUTION_MODES[1:]:
-        row[f"{mode}_speedup"] = round(scalar_s / times[mode], 2)
+        row[f"{mode}_speedup"] = round(best["scalar"] / best[mode], 2)
     return row
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _deterministic_facts(report) -> dict:
+    """The simulation facts a trace-cache rerun must reproduce exactly
+    (everything except host wall-clock)."""
+    return {
+        "output_sha256": _sha256(
+            np.ascontiguousarray(report.output).tobytes()
+        ),
+        "time_ns": int(report.result.time_ns),
+        "requests": int(report.counters.total_requests),
+        "stats_sha256": _sha256(
+            json.dumps(
+                dataclasses.asdict(report.stats), sort_keys=True
+            ).encode()
+        ),
+        "counters_sha256": _sha256(
+            json.dumps(
+                dataclasses.asdict(report.counters), sort_keys=True
+            ).encode()
+        ),
+    }
+
+
+def bench_trace_cache(cfg, name: str, a, b, c, kernel: str,
+                      chunk_nnz: int, scalar_s: float, reps: int,
+                      cache_dir: Optional[Path]) -> dict:
+    """Cold-then-warm headline runs against a content-addressed trace
+    store; the warm pass must execute zero generation invocations and
+    reproduce every simulated fact bit for bit."""
+    tmp = None
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="bench-gen-tcache-")
+        cache_dir = Path(tmp.name)
+    try:
+        t_cold, rep_cold, ph_cold, cc_cold = run_once(
+            cfg, "pipelined", a, b, c, kernel, chunk_nnz,
+            trace_store=TraceStore(cache_dir),
+        )
+        warm = []
+        for _ in range(reps):
+            # A fresh TraceStore per warm rep keeps hit/miss counters
+            # per-run; the on-disk entries persist across them.
+            warm.append(run_once(
+                cfg, "pipelined", a, b, c, kernel, chunk_nnz,
+                trace_store=TraceStore(cache_dir),
+            ))
+        i = int(np.argmin([w[0] for w in warm]))
+        t_warm, rep_warm, ph_warm, cc_warm = warm[i]
+
+        if cc_warm["gen_invocations"] != 0:
+            raise AssertionError(
+                f"{name}: warm trace-cache run generated "
+                f"{cc_warm['gen_invocations']} epochs instead of 0"
+            )
+        if cc_warm["misses"] != 0 or cc_warm["hits"] < 1:
+            raise AssertionError(
+                f"{name}: warm trace-cache counters {cc_warm}"
+            )
+        assert_parity(name, rep_cold, rep_warm, "trace-cache warm")
+        facts = _deterministic_facts(rep_cold)
+        if facts != _deterministic_facts(rep_warm):
+            raise AssertionError(
+                f"{name}: warm run diverged from cold in simulated facts"
+            )
+        return {
+            "workload": name,
+            "dir": str(cache_dir) if tmp is None else None,
+            "persistent": tmp is None,
+            "cold_s": round(t_cold, 4),
+            "warm_s": round(t_warm, 4),
+            "warm_speedup_vs_scalar": round(scalar_s / t_warm, 2),
+            "warm_vs_cold": round(t_cold / t_warm, 2),
+            "cold": cc_cold,
+            "warm": cc_warm,
+            "cold_phases": {
+                key: (round(val, 4) if isinstance(val, float) else val)
+                for key, val in ph_cold.items()
+            },
+            "warm_phases": {
+                key: (round(val, 4) if isinstance(val, float) else val)
+                for key, val in ph_warm.items()
+            },
+            "deterministic": facts,
+            "parity": True,
+        }
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
 
 
 def workloads(smoke: bool) -> List[Tuple[str, Callable, int, str, int]]:
@@ -151,8 +304,9 @@ def main(argv=None) -> int:
         help="tiny workloads, 1 rep: CI-sized parity + plumbing check",
     )
     parser.add_argument(
-        "--reps", type=int, default=3,
-        help="timing repetitions per workload (median is reported)",
+        "--reps", type=int, default=5,
+        help="timing repetitions per workload (interleaved across "
+        "modes; min is the headline, median recorded alongside)",
     )
     parser.add_argument(
         "--out", type=Path, default=None,
@@ -162,6 +316,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--pes", type=int, default=8, help="scaled_config PE count"
+    )
+    parser.add_argument(
+        "--trace-cache-dir", type=Path, default=None,
+        help="persistent content-addressed trace store for the "
+        "cold/warm section (default: a throwaway temp dir).  Rerunning "
+        "against the same directory makes even the 'cold' pass warm — "
+        "the CI gen-smoke job uses exactly that to prove cross-process "
+        "reuse.",
     )
     args = parser.parse_args(argv)
     if args.out is None:
@@ -175,18 +337,41 @@ def main(argv=None) -> int:
     # generation gains with replay off the critical path.
     cfg = dataclasses.replace(scaled_config(args.pes), replay="array")
     results = []
+    operands = {}
     for name, gen, k, kernel, chunk_nnz in workloads(args.smoke):
-        row = bench_one(cfg, name, gen, k, kernel, reps, chunk_nnz)
+        a, b, c = _operands(gen, k, kernel)
+        operands[name] = (a, b, c, k, kernel, chunk_nnz)
+        row = bench_one(cfg, name, a, b, c, k, kernel, reps, chunk_nnz)
         row["chunk_nnz"] = chunk_nnz
         results.append(row)
+        gen_share = (
+            row["pipelined_phases"]["gen_s"] / row["pipelined_s"]
+            if row["pipelined_s"] else 0.0
+        )
         print(
             f"{row['name']:22s} requests={row['requests']:>9,d}  "
             f"scalar {row['scalar_s']:.3f}s  "
             f"vectorized {row['vectorized_s']:.3f}s "
             f"({row['vectorized_speedup']:.2f}x)  "
             f"pipelined {row['pipelined_s']:.3f}s "
-            f"({row['pipelined_speedup']:.2f}x)  parity=OK"
+            f"({row['pipelined_speedup']:.2f}x, "
+            f"gen {gen_share:.0%})  parity=OK"
         )
+
+    head = results[0]
+    a, b, c, k, kernel, chunk_nnz = operands[head["name"]]
+    cache_row = bench_trace_cache(
+        cfg, head["name"], a, b, c, kernel, chunk_nnz,
+        head["scalar_s"], reps, args.trace_cache_dir,
+    )
+    print(
+        f"{'trace-cache warm':22s} cold {cache_row['cold_s']:.3f}s  "
+        f"warm {cache_row['warm_s']:.3f}s "
+        f"({cache_row['warm_speedup_vs_scalar']:.2f}x vs scalar, "
+        f"{cache_row['warm_vs_cold']:.2f}x vs cold)  "
+        f"gen_invocations={cache_row['warm']['gen_invocations']}  "
+        f"parity=OK"
+    )
 
     payload = {
         "benchmark": "gen_speed",
@@ -194,6 +379,7 @@ def main(argv=None) -> int:
         "config": {
             "pes": args.pes,
             "reps": reps,
+            "timing": "interleaved reps; min headline, median recorded",
             "chunk_nnz": [r["chunk_nnz"] for r in results],
             "execution": list(EXECUTION_MODES),
             "replay": cfg.replay,
@@ -204,7 +390,8 @@ def main(argv=None) -> int:
             },
         },
         "workloads": results,
-        "headline_speedup": results[0]["vectorized_speedup"],
+        "trace_cache": cache_row,
+        "headline_speedup": head["pipelined_speedup"],
     }
     write_bench_json(
         args.out, payload,

@@ -22,6 +22,11 @@ bench files can run quick (CI) or thorough (full reproduction):
 - ``REPRO_CACHE_DIR`` — content-addressed sweep result cache directory
   so re-runs and partially-failed sweeps skip completed jobs
   (default: off)
+- ``REPRO_TRACE_CACHE_DIR`` — content-addressed epoch-trace store
+  directory (:mod:`repro.memory.trace_store`): generated traces are
+  keyed by (workload, schedule/chunking, VRF elision config) only, so
+  every cache-ablation cell and repeat run replays a cached trace
+  instead of regenerating it (default: off)
 """
 
 from __future__ import annotations
@@ -67,6 +72,7 @@ class BenchEnvironment:
     max_retries: int = 0
     jobs: int = 1
     cache_dir: Optional[str] = None
+    trace_cache_dir: Optional[str] = None
 
     @property
     def ratio(self) -> float:
@@ -90,8 +96,17 @@ class BenchEnvironment:
         cfg = dataclasses.replace(cfg, resilience=self.resilience_config())
         return cfg.scaled(factor) if factor > 1 else cfg
 
+    def trace_store(self):
+        """The environment's content-addressed epoch-trace store, or
+        ``None`` when ``REPRO_TRACE_CACHE_DIR`` is unset."""
+        from repro.memory.trace_store import open_trace_store
+
+        return open_trace_store(self.trace_cache_dir)
+
     def spade_system(self, factor: int = 1) -> SpadeSystem:
-        return SpadeSystem(self.spade_config(factor))
+        return SpadeSystem(
+            self.spade_config(factor), trace_store=self.trace_store()
+        )
 
     def supervisor(self, telemetry=None, chaos=None):
         """A :class:`~repro.resilience.RunSupervisor` with this
@@ -102,6 +117,7 @@ class BenchEnvironment:
             resilience=self.resilience_config(),
             telemetry=telemetry,
             chaos=chaos,
+            trace_store=self.trace_store(),
         )
 
     def supervised_run(
@@ -163,13 +179,14 @@ def get_environment() -> BenchEnvironment:
     max_retries = int(os.environ.get("REPRO_MAX_RETRIES", "0"))
     jobs = int(os.environ.get("REPRO_JOBS", "1"))
     cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    trace_cache_dir = os.environ.get("REPRO_TRACE_CACHE_DIR") or None
     if opt_mode not in ("quick", "full"):
         raise ValueError("REPRO_OPT must be 'quick' or 'full'")
     return BenchEnvironment(
         scale=scale, num_pes=num_pes, opt_mode=opt_mode,
         cache_shrink=cache_shrink, row_panel_divisor=rp_divisor,
         timeout_s=timeout_s, max_retries=max_retries,
-        jobs=jobs, cache_dir=cache_dir,
+        jobs=jobs, cache_dir=cache_dir, trace_cache_dir=trace_cache_dir,
     )
 
 

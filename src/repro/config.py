@@ -86,6 +86,51 @@ class PEConfig:
 
 
 @dataclass(frozen=True)
+class GenConfig:
+    """The trace-*generation* identity slice of a :class:`SpadeConfig`.
+
+    Exactly the config facts the generated access stream depends on:
+    PE count (schedule partitioning) and the VRF's capacity and
+    Write-back Manager watermarks (hit/miss outcomes, drain sets, and
+    the elision cadence).  Deliberately excluded: cache geometry,
+    replay backend, execution mode, pipeline shape, telemetry and
+    resilience — the emitted trace is bit-identical across all of
+    them, which is what lets the content-addressed trace store
+    (:mod:`repro.memory.trace_store`) be shared across cache-ablation
+    sweep cells.
+    """
+
+    num_pes: int
+    num_vector_registers: int
+    writeback_high_threshold: float
+    writeback_low_threshold: float
+
+    def as_key_dict(self) -> dict:
+        """JSON-stable form for content-addressed key material."""
+        return {
+            "num_pes": int(self.num_pes),
+            "num_vector_registers": int(self.num_vector_registers),
+            "writeback_high_threshold": float(
+                self.writeback_high_threshold
+            ),
+            "writeback_low_threshold": float(
+                self.writeback_low_threshold
+            ),
+        }
+
+
+def gen_config(config: "SpadeConfig") -> GenConfig:
+    """Project the generation-identity slice out of a full config."""
+    pe = config.pe
+    return GenConfig(
+        num_pes=config.num_pes,
+        num_vector_registers=pe.num_vector_registers,
+        writeback_high_threshold=pe.writeback_high_threshold,
+        writeback_low_threshold=pe.writeback_low_threshold,
+    )
+
+
+@dataclass(frozen=True)
 class MemoryConfig:
     """Shared memory system (Table 1)."""
 

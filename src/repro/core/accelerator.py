@@ -158,6 +158,7 @@ class SpadeSystem:
         telemetry: Optional[Telemetry] = None,
         chaos=None,
         ledger=None,
+        trace_store=None,
     ) -> None:
         self.config = config or paper_config()
         if execution is not None and execution != self.config.execution:
@@ -180,6 +181,23 @@ class SpadeSystem:
         # flight recorder and replay dispatch audit see every kernel
         # this system executes.
         self.ledger = ledger
+        # Content-addressed epoch-trace store (off by default).  Only
+        # consulted by the vectorized/pipelined backends; scalar runs
+        # always generate live.  ``trace_cache`` accumulates the
+        # hit/miss/generation counters across every kernel this system
+        # executes (the CI warm-run check reads ``gen_invocations``).
+        self.trace_store = trace_store
+        self.trace_cache = {
+            "hits": 0,
+            "misses": 0,
+            "stored": 0,
+            "gen_invocations": 0,
+            "fused_chunks": 0,
+        }
+
+    def _absorb_trace_cache(self, engine: Engine) -> None:
+        for key, value in engine.trace_cache.items():
+            self.trace_cache[key] = self.trace_cache.get(key, 0) + value
 
     @classmethod
     def scaled(cls, num_pes: int = 28, **kwargs) -> "SpadeSystem":
@@ -249,10 +267,11 @@ class SpadeSystem:
             engine = Engine(
                 self.config, tiled, init, amap, policy, self.chunk_nnz,
                 telemetry=self.telemetry, chaos=self.chaos,
-                ledger=self.ledger,
+                ledger=self.ledger, trace_store=self.trace_store,
             )
             engine.bind_schedule(schedule)
             result = engine.run_spmm(schedule, b_dense)
+            self._absorb_trace_cache(engine)
         return ExecutionReport(
             result, settings, schedule, self.config, self.telemetry
         )
@@ -324,10 +343,11 @@ class SpadeSystem:
             engine = Engine(
                 self.config, tiled, init, amap, policy, self.chunk_nnz,
                 telemetry=self.telemetry, chaos=self.chaos,
-                ledger=self.ledger,
+                ledger=self.ledger, trace_store=self.trace_store,
             )
             engine.bind_schedule(schedule)
             result = engine.run_sddmm(schedule, b_dense, c_dense)
+            self._absorb_trace_cache(engine)
         return ExecutionReport(
             result, settings, schedule, self.config, self.telemetry
         )

@@ -11,21 +11,21 @@ epochs accumulate (Section 4.3, Figure 5b).
 
 from __future__ import annotations
 
-import queue
-import threading
+import os
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.config import SpadeConfig, replay_backend_spec
+from repro.config import SpadeConfig, gen_config, replay_backend_spec
 from repro.core.bypass import BypassPolicy
 from repro.core.cpe import Schedule
 from repro.core.instructions import InitializationInstruction, Primitive
 from repro.core.pe import PECounters, ProcessingElement
 from repro.core.timing import EpochTiming, epoch_timing, flush_time_ns
+from repro.core.vectorized import generate_sddmm_epoch, generate_spmm_epoch
 from repro.errors import CheckpointError, ConfigError, EngineExecutionError, SpadeError
 from repro.kernels.reference import sddmm_chunk_vals, spmm_chunk_update
 from repro.memory.address import AddressMap
@@ -128,6 +128,7 @@ class Engine:
         telemetry: Optional[Telemetry] = None,
         chaos=None,
         ledger=None,
+        trace_store=None,
     ) -> None:
         self.config = config
         self.tiled = tiled
@@ -174,6 +175,19 @@ class Engine:
         self.batched_replay = not replay_backend_spec(config.replay).direct
         self.execution = config.execution
         self.buffered = self.batched_replay or self.execution != "scalar"
+        # Content-addressed trace cache: generated epoch traces are a
+        # pure function of (workload, schedule/chunking, GenConfig) —
+        # cache geometry, replay backend, execution mode and telemetry
+        # do not enter the key.  Only the fused (non-scalar) execution
+        # paths consult it; the scalar oracle always generates live.
+        self.trace_store = trace_store if self.execution != "scalar" else None
+        self.trace_cache = {
+            "hits": 0,
+            "misses": 0,
+            "stored": 0,
+            "gen_invocations": 0,
+            "fused_chunks": 0,
+        }
         self.pes = [
             ProcessingElement(
                 i, config.pe, self.memory, init, address_map, policy,
@@ -210,8 +224,19 @@ class Engine:
             v = self.tiled.vals[off + lo : off + hi]
             spmm_chunk_update(d_accum, r, c, v, b64)
 
+        def gen_epoch(pe: ProcessingElement, parts):
+            chunks = []
+            for tile, lo, hi in parts:
+                off = tile.sparse_in_start_offset
+                chunks.append((
+                    self.tiled.r_ids[off + lo : off + hi],
+                    self.tiled.c_ids[off + lo : off + hi],
+                    off + lo,
+                ))
+            return generate_spmm_epoch(pe, chunks)
+
         epochs, per_pe_time = self._run_epochs(
-            gen_chunk, apply_chunk, d_accum, "spmm"
+            gen_chunk, apply_chunk, d_accum, "spmm", gen_epoch
         )
         term_ns, dirty = self._terminate()
         stats = self.memory.collect_stats()
@@ -262,8 +287,22 @@ class Engine:
             )
             sddmm_chunk_vals(out_vals, out_offsets, r, c, v, b64, c64)
 
+        def gen_epoch(pe: ProcessingElement, parts):
+            chunks = []
+            for tile, lo, hi in parts:
+                off = tile.sparse_in_start_offset
+                chunks.append((
+                    self.tiled.r_ids[off + lo : off + hi],
+                    self.tiled.c_ids[off + lo : off + hi],
+                    off + lo,
+                    tile.sparse_out_start_offset + np.arange(
+                        lo, hi, dtype=np.int64
+                    ),
+                ))
+            return generate_sddmm_epoch(pe, chunks)
+
         epochs, per_pe_time = self._run_epochs(
-            gen_chunk, apply_chunk, out_vals, "sddmm"
+            gen_chunk, apply_chunk, out_vals, "sddmm", gen_epoch
         )
         term_ns, dirty = self._terminate()
         stats = self.memory.collect_stats()
@@ -290,7 +329,12 @@ class Engine:
         self._schedule = schedule
 
     def _run_epochs(
-        self, gen_chunk, apply_chunk, output: np.ndarray, primitive: str
+        self,
+        gen_chunk,
+        apply_chunk,
+        output: np.ndarray,
+        primitive: str,
+        gen_epoch=None,
     ) -> Tuple[List[EpochTiming], List[float]]:
         schedule = self._schedule
         if schedule is None:
@@ -300,6 +344,13 @@ class Engine:
                 f"schedule is for {schedule.num_pes} PEs but the system "
                 f"has {self.config.num_pes}"
             )
+        # Trace-store identity for this run (content-addressed key
+        # material): only computed when a store is attached.
+        self._store_material = (
+            self._trace_material(primitive)
+            if self.trace_store is not None and gen_epoch is not None
+            else None
+        )
         epoch_results: List[EpochTiming] = []
         per_pe_total = [0.0] * self.config.num_pes
         self._epoch_counters: List[List[PECounters]] = []
@@ -321,7 +372,15 @@ class Engine:
         pipelined = self.execution == "pipelined"
         executor = None
         if pipelined:
-            if self.config.pipeline.pool == "thread":
+            # On a single-hardware-thread host a thread pool cannot
+            # overlap anything — every "concurrent" producer serializes
+            # behind the GIL *and* the one core, so the pool only adds
+            # scheduling overhead.  Producers are deterministic per PE,
+            # so running them inline is observationally identical.
+            if (
+                self.config.pipeline.pool == "thread"
+                and (os.cpu_count() or 1) > 1
+            ):
                 executor = ThreadPoolExecutor(
                     max_workers=self.config.pipeline.workers,
                     thread_name_prefix="spade-gen",
@@ -343,14 +402,15 @@ class Engine:
                 # attached; None keeps the hot loops on their original
                 # paths.
                 phase = [0.0, 0.0, 0.0] if self.ledger.enabled else None
+                fused_chunks = 0
                 with self.telemetry.tracer.span(
                     f"epoch[{epoch_idx}]", cat="epoch",
                     args={"epoch": epoch_idx},
                 ):
-                    if pipelined:
-                        self._run_epoch_pipelined(
-                            executor, cursors, gen_chunk, apply_chunk,
-                            phase,
+                    if gen_epoch is not None and self.execution != "scalar":
+                        fused_chunks = self._run_epoch_phased(
+                            executor, cursors, gen_epoch, apply_chunk,
+                            phase, epoch_idx,
                         )
                     else:
                         self._run_epoch_serial(
@@ -376,6 +436,7 @@ class Engine:
                         epoch_time_ns=float(timing.epoch_time_ns),
                         dram_lines=int(dram_lines),
                         critical_pe=int(timing.critical_pe),
+                        fused_chunks=int(fused_chunks),
                     )
                 if self._ckpt is not None and self._ckpt.should_write(
                     epoch_idx
@@ -561,157 +622,419 @@ class Engine:
                         chunk_index=chunk_idx,
                     ) from exc
 
-    def _run_epoch_pipelined(
-        self, executor, cursors, gen_chunk, apply_chunk, phase=None
-    ) -> None:
-        """Overlapped generate/replay epoch driver.
+    # -- whole-epoch fused driver ----------------------------------------
 
-        Chunk-trace generation only touches per-PE state (VRF, trace
-        buffer, front-end counters), so producers for different PEs are
-        independent and may run ahead of the shared-memory replay
-        cascade; the consumer (this thread) drains the per-PE queues in
-        exactly the serial round-robin order, so the replayed access
-        stream — and every downstream counter and float accumulation —
-        is bit-identical to the serial drivers.  Per PE, at most one
-        generation task is in flight (VRF state is carried chunk to
-        chunk) and at most ``lookahead`` ready segments may queue.
+    @staticmethod
+    def _collect_epoch_parts(cursors) -> List[List[Tuple[TileInfo, int, int]]]:
+        """Materialise every PE's chunk list for the epoch up front (the
+        dispatch order is a pure function of the per-PE chunk counts)."""
+        parts: List[List[Tuple[TileInfo, int, int]]] = []
+        for cursor in cursors:
+            lst: List[Tuple[TileInfo, int, int]] = []
+            while True:
+                nxt = cursor.next_chunk()
+                if nxt is None:
+                    break
+                lst.append(nxt)
+            parts.append(lst)
+        return parts
+
+    @staticmethod
+    def _coalesced_dispatch(parts) -> List[Tuple[int, int, int]]:
+        """The serial round-robin chunk dispatch order, coalesced into
+        maximal consecutive same-PE runs ``(pe, chunk_lo, chunk_hi)``.
+
+        Shared levels (L2/LLC/STLB) make replay order across PEs
+        observable, so only *consecutive* chunks of the same PE may be
+        merged into one replay call — which happens exactly when other
+        PEs have exhausted their chunk lists.  The runs are derived from
+        chunk counts alone, never from queue timing, so the replayed
+        stream is deterministic and bit-identical to the scalar oracle.
         """
+        counts = [len(p) for p in parts]
+        runs: List[Tuple[int, int, int]] = []
+        remaining = sum(counts)
+        ci = [0] * len(counts)
+        while remaining:
+            for i, count in enumerate(counts):
+                if ci[i] >= count:
+                    continue
+                start = ci[i]
+                ci[i] = start + 1
+                remaining -= 1
+                if runs and runs[-1][0] == i and runs[-1][2] == start:
+                    runs[-1] = (i, runs[-1][1], start + 1)
+                else:
+                    runs.append((i, start, start + 1))
+        return runs
+
+    def _advance_chunks(self, i: int, count: int) -> int:
+        """Claim ``count`` chunk ordinals for PE ``i`` and fire the
+        per-chunk chaos worker faults (deterministic in (seed, pe,
+        chunk), so firing them batched before generation preserves the
+        fault set of the per-chunk drivers).  Returns the base ordinal.
+        """
+        base = self._chunk_ordinal[i]
+        self._chunk_ordinal[i] = base + count
+        chaos = self._chaos
+        if chaos is not None:
+            for c in range(count):
+                try:
+                    chaos.worker_fault(i, base + c, backend=self.execution)
+                except SpadeError:
+                    raise
+                except Exception as exc:
+                    raise EngineExecutionError(
+                        f"{self.execution} execution failed on a chunk",
+                        pe_id=i,
+                        chunk_index=base + c,
+                    ) from exc
+        return base
+
+    def _run_epoch_phased(
+        self, executor, cursors, gen_epoch, apply_chunk, phase, epoch_idx
+    ) -> int:
+        """Epoch driver for the fused execution modes: Phase A derives
+        each PE's *whole epoch* trace in one pass (or restores it from
+        the trace store), Phase B replays the coalesced round-robin
+        dispatch runs against the shared memory system.
+
+        With an executor (pipelined mode) Phase A runs one producer
+        task per PE and Phase B consumes each PE's epoch the first time
+        the dispatch order needs it — generation of later PEs overlaps
+        replay of earlier ones.  Results are bit-identical either way.
+        Returns the number of chunks generated via the fused solver
+        (for the ``spade_gen_fused_chunks`` satellite counter).
+        """
+        parts = self._collect_epoch_parts(cursors)
+        num = len(self.pes)
+        stats = self.trace_cache
+        m = self.telemetry.metrics
+        entry = None
+        key = None
+        store = self.trace_store
+        if store is not None and self._store_material is not None:
+            t0 = time.perf_counter()
+            key = store.key_for(self._store_material, epoch_idx)
+            hit, payload = store.get(key)
+            if hit and self._entry_fits(payload, parts):
+                entry = payload
+            wall = time.perf_counter() - t0
+            status = "hit" if entry is not None else "miss"
+            stats["hits" if entry is not None else "misses"] += 1
+            if m.enabled:
+                name = (
+                    "spade_trace_cache_hits"
+                    if entry is not None
+                    else "spade_trace_cache_misses"
+                )
+                m.counter(
+                    name, help="trace-store probes by outcome"
+                ).inc()
+            if self.ledger.enabled:
+                self.ledger.emit(
+                    "trace_cache",
+                    epoch=epoch_idx,
+                    status=status,
+                    key=key,
+                    pes=num,
+                    wall_s=wall,
+                )
+            if phase is not None:
+                phase[0] += wall
+
         tracer = self.telemetry.tracer
         trace_chunks = tracer.enabled and self.config.telemetry.trace_chunks
-        lookahead = self.config.pipeline.lookahead
-        num = len(self.pes)
-        queues: List[queue.Queue] = [queue.Queue() for _ in range(num)]
-        locks = [threading.RLock() for _ in range(num)]
-        chained = [True] * num
-        exhausted = [False] * num
-        m = self.telemetry.metrics
-        depth_hist = m.histogram(
-            "spade_pipeline_queue_depth",
-            help="ready generated chunk segments per PE at consume time",
-        )
         gen_hist = m.histogram(
             "spade_gen_chunk_seconds",
-            help="wall-clock chunk trace-generation time",
+            help="wall-clock per-PE epoch trace-generation time",
+        )
+        depth_hist = m.histogram(
+            "spade_pipeline_queue_depth",
+            help="ready generated PE epochs at consume time",
         )
 
-        chaos = self._chaos
-        chunk_ordinal = self._chunk_ordinal
+        traces: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * num
+        segs: List[Optional[List[Tuple[int, int]]]] = [None] * num
+        payloads: List[Optional[dict]] = [None] * num
+        fused_chunks = 0
+        capture = entry is None and store is not None and key is not None
+        serial_views = False
+        collect_fn = None
 
-        def produce(i: int):
-            nxt = cursors[i].next_chunk()
-            if nxt is None:
-                return None
-            tile, lo, hi = nxt
-            # Safe without a lock: at most one generation task per PE is
-            # in flight, so only one thread touches this PE's ordinal.
-            chunk_idx = chunk_ordinal[i]
-            chunk_ordinal[i] = chunk_idx + 1
-            t0 = time.perf_counter()
+        if entry is not None:
+            from repro.memory.trace_store import unpack_pe_entry
+
+            for i, pe in enumerate(self.pes):
+                self._advance_chunks(i, len(parts[i]))
+                traces[i], segs[i] = unpack_pe_entry(pe, entry["pes"][i])
+        elif executor is None or isinstance(executor, _InlineExecutor):
+            # Serial phase A: generate every PE's epoch in PE order;
+            # the trace stays in the PE's own buffer (zero-copy views).
+            # An inline executor would run the same producers eagerly at
+            # submit time anyway — same order, same results — but pay a
+            # take_trace() copy per PE; route it through the zero-copy
+            # path instead.
+            serial_views = True
+            for i, pe in enumerate(self.pes):
+                self._advance_chunks(i, len(parts[i]))
+                span = (
+                    tracer.span(
+                        "gen_epoch", cat="gen", tid=i + 1,
+                        args={"chunks": len(parts[i])},
+                    )
+                    if trace_chunks else NULL_SPAN
+                )
+                with span:
+                    t0 = time.perf_counter()
+                    segs[i], fused, payloads[i] = self._gen_pe_epoch(
+                        i, pe, parts[i], gen_epoch, capture
+                    )
+                    gen_s = time.perf_counter() - t0
+                gen_hist.observe(gen_s)
+                if phase is not None:
+                    phase[0] += gen_s
+                if fused:
+                    fused_chunks += len(parts[i])
+                if parts[i]:
+                    stats["gen_invocations"] += 1
+                traces[i] = pe._trace.views()
+        else:
+            # Pipelined phase A: one producer task per PE.  Ordinals and
+            # faults are claimed on this thread first so fault order is
+            # deterministic; producers only run generation.
+            for i in range(num):
+                self._advance_chunks(i, len(parts[i]))
+
+            def produce(i: int):
+                pe = self.pes[i]
+                t0 = time.perf_counter()
+                seg, fused, payload = self._gen_pe_epoch(
+                    i, pe, parts[i], gen_epoch, capture
+                )
+                lines, ops = pe.take_trace()
+                return seg, fused, payload, lines, ops, (
+                    time.perf_counter() - t0
+                )
+
+            futs = [executor.submit(produce, i) for i in range(num)]
+
+            def collect(i: int) -> None:
+                try:
+                    seg, fused, payload, lines, ops, gen_s = futs[i].result()
+                except SpadeError:
+                    raise
+                except Exception as exc:
+                    raise EngineExecutionError(
+                        "pipelined worker failed while generating an "
+                        "epoch trace",
+                        pe_id=i,
+                    ) from exc
+                depth_hist.observe(
+                    sum(1 for f in futs if f.done()) - 1
+                )
+                gen_hist.observe(gen_s)
+                segs[i] = seg
+                payloads[i] = payload
+                traces[i] = (lines, ops)
+                nonlocal fused_chunks
+                if fused:
+                    fused_chunks += len(parts[i])
+                if parts[i]:
+                    stats["gen_invocations"] += 1
+                if phase is not None:
+                    # Producer-thread wall time (overlapped with
+                    # replay): the phase split attributes cost, not
+                    # critical-path latency.
+                    phase[0] += gen_s
+
+            collect_fn = collect
+
+        # Phase B: coalesced round-robin replay + output math.
+        chaos = self._chaos
+        runs = self._coalesced_dispatch(parts)
+        for i, c0, c1 in runs:
+            pe = self.pes[i]
+            if collect_fn is not None and traces[i] is None:
+                collect_fn(i)
+            base = self._chunk_ordinal[i] - len(parts[i])
             try:
-                if chaos is not None:
-                    chaos.worker_fault(i, chunk_idx, backend="pipelined")
-                gen_chunk(self.pes[i], tile, lo, hi)
+                for c in range(c0, c1):
+                    tile, lo, hi = parts[i][c]
+                    if chaos is not None:
+                        chaos.replay_delay()
+                    if phase is not None:
+                        t0 = time.perf_counter()
+                        apply_chunk(tile, lo, hi)
+                        phase[1] += time.perf_counter() - t0
+                    elif trace_chunks:
+                        with tracer.span(
+                            "chunk", cat="replay", tid=i + 1,
+                            args={"nnz": hi - lo},
+                        ):
+                            apply_chunk(tile, lo, hi)
+                    else:
+                        apply_chunk(tile, lo, hi)
+                s0 = segs[i][c0][0]
+                s1 = segs[i][c1 - 1][1]
+                lines, ops = traces[i]
+                if phase is not None:
+                    t0 = time.perf_counter()
+                    pe.replay_segment(lines[s0:s1], ops[s0:s1])
+                    phase[2] += time.perf_counter() - t0
+                else:
+                    pe.replay_segment(lines[s0:s1], ops[s0:s1])
             except SpadeError:
                 raise
             except Exception as exc:
                 raise EngineExecutionError(
-                    "pipelined worker failed while generating a chunk "
-                    "trace",
+                    f"{self.execution} execution failed on a chunk",
                     pe_id=i,
-                    chunk_index=chunk_idx,
+                    chunk_index=base + c0,
                 ) from exc
-            lines, ops = self.pes[i].take_trace()
-            return tile, lo, hi, lines, ops, time.perf_counter() - t0
+        if collect_fn is not None:
+            # Drain producers the dispatch never touched (zero-chunk
+            # PEs): their tasks still ran and must not straddle into
+            # the next epoch's generation.
+            for i in range(num):
+                if traces[i] is None:
+                    collect_fn(i)
 
-        def submit(i: int) -> None:
-            fut = executor.submit(produce, i)
-            fut.add_done_callback(lambda f, i=i: on_done(i, f))
+        if capture and all(
+            p is not None or not parts[i]
+            for i, p in enumerate(payloads)
+        ):
+            from repro.memory.trace_store import pack_epoch_entry
 
-        def on_done(i: int, fut) -> None:
-            exc = fut.exception()
-            with locks[i]:
-                if exc is not None:
-                    queues[i].put(("error", exc))
-                    chained[i] = False
-                    return
-                res = fut.result()
-                if res is None:
-                    queues[i].put(("done",))
-                    exhausted[i] = True
-                    chained[i] = False
-                    return
-                queues[i].put(("chunk", res))
-                if queues[i].qsize() < lookahead:
-                    submit(i)
-                else:
-                    chained[i] = False
+            t0 = time.perf_counter()
+            store.put(
+                key,
+                pack_epoch_entry(parts, traces, segs, payloads),
+            )
+            stats["stored"] += 1
+            if self.ledger.enabled:
+                self.ledger.emit(
+                    "trace_cache",
+                    epoch=epoch_idx,
+                    status="stored",
+                    key=key,
+                    pes=num,
+                    wall_s=time.perf_counter() - t0,
+                )
+        if serial_views:
+            for pe in self.pes:
+                pe._trace.clear()
+        stats["fused_chunks"] += fused_chunks
+        if m.enabled and fused_chunks:
+            m.counter(
+                "spade_gen_fused_chunks",
+                help="chunks whose trace came from the fused epoch "
+                "solver",
+            ).inc(fused_chunks)
+        return fused_chunks
 
-        for i in range(num):
-            with locks[i]:
-                submit(i)
+    def _gen_pe_epoch(self, i, pe, parts_i, gen_epoch, capture):
+        """Generate one PE's epoch trace; optionally capture the
+        trace-store payload fragment (front-end counter deltas, VRF
+        deltas and final state, rMatrix rows) around the generation."""
+        if capture:
+            vrf = pe.vrf
+            c_before = (
+                vrf.tag_hits, vrf.tag_misses, vrf.evictions,
+                vrf.eviction_writebacks, vrf.manager_writebacks,
+            )
+            rows_before = set(pe._rmatrix_rows_touched)
+        try:
+            seg, fused = gen_epoch(pe, parts_i)
+        except SpadeError:
+            raise
+        except Exception as exc:
+            raise EngineExecutionError(
+                f"{self.execution} execution failed while generating "
+                f"an epoch trace",
+                pe_id=i,
+            ) from exc
+        if not capture:
+            return seg, fused, None
+        vrf = pe.vrf
+        c = pe.counters
+        payload = {
+            "counters": (
+                c.tops, c.vops, c.sparse_line_reads,
+                c.output_line_writes,
+            ),
+            "vrf_delta": (
+                vrf.tag_hits - c_before[0],
+                vrf.tag_misses - c_before[1],
+                vrf.evictions - c_before[2],
+                vrf.eviction_writebacks - c_before[3],
+                vrf.manager_writebacks - c_before[4],
+            ),
+            "vrf_tags": list(vrf._tags.items()),
+            "vrf_dirty_count": vrf._dirty_count,
+            "rows": sorted(pe._rmatrix_rows_touched - rows_before),
+        }
+        return seg, fused, payload
 
-        remaining = num
-        live = [True] * num
-        while remaining:
-            for i, pe in enumerate(self.pes):
-                if not live[i]:
-                    continue
-                item = queues[i].get()
-                with locks[i]:
-                    if not exhausted[i] and not chained[i]:
-                        chained[i] = True
-                        submit(i)
-                kind = item[0]
-                if kind == "done":
-                    live[i] = False
-                    remaining -= 1
-                    continue
-                if kind == "error":
-                    exc = item[1]
-                    if isinstance(exc, SpadeError):
-                        raise exc
-                    # Anything the producer wrapper did not classify
-                    # (e.g. a take_trace failure) still surfaces typed,
-                    # with the original traceback chained.
-                    raise EngineExecutionError(
-                        "pipelined worker failed", pe_id=i
-                    ) from exc
-                tile, lo, hi, lines, ops, gen_s = item[1]
-                depth_hist.observe(queues[i].qsize())
-                gen_hist.observe(gen_s)
-                if chaos is not None:
-                    chaos.replay_delay()
-                if phase is not None:
-                    # gen_s is producer-thread wall time (overlapped
-                    # with replay), so the phase split attributes cost,
-                    # not critical-path latency.
-                    phase[0] += gen_s
-                    span = (
-                        tracer.span(
-                            "chunk", cat="replay", tid=pe.pe_id + 1,
-                            args={"nnz": hi - lo},
-                        )
-                        if trace_chunks else NULL_SPAN
-                    )
-                    with span:
-                        t1 = time.perf_counter()
-                        apply_chunk(tile, lo, hi)
-                        t2 = time.perf_counter()
-                        pe.replay_segment(lines, ops)
-                        t3 = time.perf_counter()
-                    phase[1] += t2 - t1
-                    phase[2] += t3 - t2
-                    continue
-                if trace_chunks:
-                    with tracer.span(
-                        "chunk", cat="replay", tid=pe.pe_id + 1,
-                        args={"nnz": hi - lo},
-                    ):
-                        apply_chunk(tile, lo, hi)
-                        pe.replay_segment(lines, ops)
-                    continue
-                apply_chunk(tile, lo, hi)
-                pe.replay_segment(lines, ops)
+    @staticmethod
+    def _entry_fits(payload, parts) -> bool:
+        """Cheap structural sanity on a trace-store hit (the key should
+        already guarantee this; a mismatch degrades to a miss)."""
+        pes = payload.get("pes") if isinstance(payload, dict) else None
+        if not isinstance(pes, list) or len(pes) != len(parts):
+            return False
+        return all(
+            len(p.get("segs", ())) == len(parts_i)
+            for p, parts_i in zip(pes, parts)
+        )
+
+    def _trace_material(self, primitive: str) -> Dict[str, Any]:
+        """Canonical key material for the content-addressed trace
+        store: everything generation depends on (workload identity,
+        schedule structure, chunking, GenConfig, op encodings) and
+        nothing it does not (cache geometry, replay backend, execution
+        mode, telemetry)."""
+        import hashlib
+
+        tiled = self.tiled
+        dig = hashlib.sha256()
+        dig.update(np.ascontiguousarray(tiled.r_ids).tobytes())
+        dig.update(np.ascontiguousarray(tiled.c_ids).tobytes())
+        pe0 = self.pes[0]
+        schedule = self._schedule
+        return {
+            "primitive": primitive,
+            "chunk_nnz": int(self.chunk_nnz),
+            "k": int(self.init.dense_row_size),
+            "sizeof_indices": int(self.init.sizeof_indices),
+            "sizeof_vals": int(self.init.sizeof_vals),
+            "num_rows": int(tiled.num_rows),
+            "num_cols": int(tiled.num_cols),
+            "nnz": int(len(tiled.r_ids)),
+            "out_vals_length": int(tiled.out_vals_length),
+            "matrix_sha256": dig.hexdigest(),
+            "schedule": [
+                [
+                    [
+                        [
+                            int(t.sparse_in_start_offset),
+                            int(t.nnz),
+                            int(t.sparse_out_start_offset),
+                        ]
+                        for t in tiles
+                    ]
+                    for tiles in epoch
+                ]
+                for epoch in schedule.epochs
+            ],
+            "gen": gen_config(self.config).as_key_dict(),
+            "ops": [
+                int(pe0._op_sparse),
+                int(pe0._op_rmatrix_read),
+                int(pe0._op_cmatrix_read),
+                int(pe0._op_store),
+            ],
+        }
 
     def _record_epoch_telemetry(
         self, epoch_idx: int, timing: EpochTiming, dram_lines: int

@@ -245,20 +245,24 @@ class ProcessingElement:
             levels = self.memory.replay_trace_scalar(self.pe_id, lines, ops)
         writes = (ops & OP_WRITE) != 0
         sparse = (ops >> OP_REGION_SHIFT) == _R_SPARSE
-        dense = ~writes
-        dense &= ~sparse
+        # One composite bincount instead of three masked ones: group by
+        # (write, sparse) x level, then fold groups into the tallies.
+        # Sparse writes land in both stores and sparse counts, exactly
+        # like the masked version (the masks overlap there).
+        key = levels.astype(np.int64)
+        key += writes * _NUM_LEVELS
+        key += sparse * (2 * _NUM_LEVELS)
+        counts = np.bincount(key, minlength=4 * _NUM_LEVELS).tolist()
         c = self.counters
-        for mask, tally in (
-            (writes, c.stores_by_level),
-            (sparse, c.sparse_by_level),
-            (dense, c.dense_reads_by_level),
-        ):
-            if mask.any():
-                counts = np.bincount(
-                    levels[mask], minlength=_NUM_LEVELS
-                ).tolist()
-                for i in range(_NUM_LEVELS):
-                    tally[i] += counts[i]
+        for i in range(_NUM_LEVELS):
+            w0 = counts[_NUM_LEVELS + i] + counts[3 * _NUM_LEVELS + i]
+            s0 = counts[2 * _NUM_LEVELS + i] + counts[3 * _NUM_LEVELS + i]
+            if w0:
+                c.stores_by_level[i] += w0
+            if s0:
+                c.sparse_by_level[i] += s0
+            if counts[i]:
+                c.dense_reads_by_level[i] += counts[i]
 
     # -- dense path helpers -----------------------------------------------
 

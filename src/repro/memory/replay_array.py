@@ -60,6 +60,7 @@ import numpy as np
 
 from repro.memory.cache import Cache, rle_starts
 from repro.obs.ledger import NULL_LEDGER
+from repro.sortutil import radix_argsort
 from repro.memory.hierarchy import (
     OP_DENSE,
     OP_DENSE_BYPASS,
@@ -74,7 +75,15 @@ from repro.memory.hierarchy import (
 
 ARRAY_MIN_EVENTS = 192
 """Streams shorter than this always take the dict-walk fallback: the
-array solver's fixed NumPy op costs outweigh walking the trace."""
+array solver's fixed NumPy op costs outweigh walking the trace.
+
+Since whole-epoch fused generation hands replay coalesced (fewer,
+larger) partitions, this floor is a cold-path guard rather than a hot
+dispatch branch: on the 1M-access SDDMM headline the dispatch audit
+records 0 of 96 partitions below it (every partition's fate is decided
+by the cost model), versus a substantial min_events share under the
+old per-chunk partitions.  It still protects tiny L1 per-set walks on
+small workloads, so it stays."""
 
 DOMINANCE_BLOCK = 8
 """Smallest candidate block width (positions per histogram block) in
@@ -82,7 +91,12 @@ the dominance kernel; the planner doubles from here."""
 
 # Cost-model coefficients for the array-vs-dict dispatch, calibrated
 # on the bench_replay_speed workloads (values are microseconds; only
-# their ratios matter).  The dict-walk side is miss-rate dependent —
+# their ratios matter).  Re-validated against the PR 8 coalesced
+# partitions via the dispatch-audit ledger: on the 1M-access SDDMM
+# headline the model decides all 96 partitions (none short-circuit on
+# ARRAY_MIN_EVENTS), mispredicts 1 (~1%), and routes only the small
+# 256–512-event partitions to the dict walk — so the coefficients
+# carry over unchanged.  The dict-walk side is miss-rate dependent —
 # a hit is one dict transaction, a miss walks the whole cascade — so
 # its per-event cost interpolates between the two coefficients using
 # the level's running hit counters.  The array side mirrors the
@@ -126,26 +140,9 @@ def _ragged_arange(lengths: np.ndarray) -> np.ndarray:
     return out
 
 
-def _radix_argsort(keys: np.ndarray) -> np.ndarray:
-    """Stable argsort for non-negative integer keys.
-
-    NumPy's ``kind="stable"`` is a radix sort only for <= 16-bit
-    integers; wider dtypes take a comparison sort that is ~10x slower
-    on the few-thousand-element keys this module sorts.  Keys under
-    2**16 sort in one 16-bit pass, keys under 2**31 in two (low then
-    high half, composed stably); anything wider falls back to NumPy.
-    """
-    n = keys.shape[0]
-    if n == 0:
-        return np.empty(0, dtype=np.intp)
-    m = int(keys.max())
-    if m < (1 << 16):
-        return np.argsort(keys.astype(np.uint16), kind="stable")
-    if m < (1 << 31):
-        o1 = np.argsort((keys & 0xFFFF).astype(np.uint16), kind="stable")
-        hi = (keys[o1] >> 16).astype(np.uint16)
-        return o1[np.argsort(hi, kind="stable")]
-    return np.argsort(keys, kind="stable")
+# Stable argsort for non-negative integer keys; shared with the trace
+# generators and the tiler, so the implementation lives in sortutil.
+_radix_argsort = radix_argsort
 
 
 def _dominance_plan(B: int, R: int, n: int) -> Tuple[int, float]:

@@ -5,7 +5,9 @@ whole directories of either) into a single rollup:
 
 - **phase hotspots** — host seconds per engine phase (generation,
   merge, replay) summed over every epoch event, plus checkpoint and
-  whole-run wall time;
+  whole-run wall time, the whole-epoch fused-generation chunk count,
+  and the trace-cache hit/miss/store tally when a content-addressed
+  trace store was attached;
 - **cost-model accuracy** — per cache level: partitions considered,
   backend chosen, the misprediction rate (the chosen path measured
   slower than the model's estimate for the alternative), and the mean
@@ -26,6 +28,7 @@ from typing import Any, Dict, List, Optional
 from repro.obs.ledger import iter_ledger_files, read_events
 
 _PHASES = ("gen", "merge", "replay")
+_TRACE_CACHE_BUCKETS = {"hit": "hits", "miss": "misses", "stored": "stored"}
 
 
 def _level_bucket() -> Dict[str, Any]:
@@ -51,6 +54,10 @@ def aggregate(paths) -> Dict[str, Any]:
         "events_by_type": {},
         "runs": {"started": 0, "ok": 0, "failed": 0},
         "phases": {p: {"seconds": 0.0, "epochs": 0} for p in _PHASES},
+        "fused_chunks": 0,
+        "trace_cache": {
+            "hits": 0, "misses": 0, "stored": 0, "seconds": 0.0,
+        },
         "checkpoints": {"count": 0, "seconds": 0.0},
         "run_wall_s": 0.0,
         "sim_time_ns": 0.0,
@@ -73,6 +80,13 @@ def aggregate(paths) -> Dict[str, Any]:
                 for p in _PHASES:
                     agg["phases"][p]["seconds"] += ev.get(f"{p}_s", 0.0)
                     agg["phases"][p]["epochs"] += 1
+                agg["fused_chunks"] += int(ev.get("fused_chunks") or 0)
+            elif etype == "trace_cache":
+                tc = agg["trace_cache"]
+                bucket = _TRACE_CACHE_BUCKETS.get(ev.get("status"))
+                if bucket:
+                    tc[bucket] += 1
+                tc["seconds"] += ev.get("wall_s", 0.0)
             elif etype == "checkpoint":
                 agg["checkpoints"]["count"] += 1
                 agg["checkpoints"]["seconds"] += ev.get("wall_s", 0.0)
@@ -237,6 +251,16 @@ def format_report(agg: Dict[str, Any], top: int = 10) -> str:
         )
     ]
     lines.append(_table(("phase", "seconds", "samples"), rows))
+    if agg["fused_chunks"]:
+        lines.append(
+            f"whole-epoch fused generation: {agg['fused_chunks']} chunks"
+        )
+    tc = agg["trace_cache"]
+    if tc["hits"] or tc["misses"] or tc["stored"]:
+        lines.append(
+            f"trace cache  : {tc['hits']} hits / {tc['misses']} misses / "
+            f"{tc['stored']} stored ({tc['seconds']:.4f}s probe+publish)"
+        )
     lines.append("")
 
     disp = agg["dispatch"]

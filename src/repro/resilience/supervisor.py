@@ -88,6 +88,7 @@ class RunSupervisor:
         chaos=None,
         sleep: Callable[[float], None] = time.sleep,
         ledger=None,
+        trace_store=None,
     ) -> None:
         # Deferred import: config pulls in nothing heavy, but keeping it
         # local to __init__ mirrors the SpadeSystem lazy import below.
@@ -97,6 +98,9 @@ class RunSupervisor:
         self.telemetry = ensure(telemetry)
         self.chaos = chaos
         self.ledger = ledger if ledger is not None else NULL_LEDGER
+        # Content-addressed epoch-trace store, forwarded to every
+        # attempt's system (the scalar rung ignores it by design).
+        self.trace_store = trace_store
         self._sleep = sleep
         metrics = self.telemetry.metrics
         self._retries = metrics.counter(
@@ -295,6 +299,7 @@ class RunSupervisor:
                         telemetry=self.telemetry,
                         chaos=self.chaos,
                         ledger=self.ledger,
+                        trace_store=self.trace_store,
                         **kwargs,
                     )
                     fn = getattr(system, kernel)

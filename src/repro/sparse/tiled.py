@@ -30,6 +30,7 @@ from typing import List
 import numpy as np
 
 from repro.config import CACHE_LINE_BYTES, FLOAT_BYTES
+from repro.sortutil import radix_argsort
 from repro.sparse.coo import COOMatrix
 
 _OUT_VALS_PER_LINE = CACHE_LINE_BYTES // FLOAT_BYTES
@@ -166,8 +167,38 @@ def tile_matrix(
     rp = coo.r_ids // row_panel_size
     cp = coo.c_ids // col_panel_size
     # Sort entries by (row panel, col panel, row, col): tiles contiguous,
-    # row-major inside each tile.
-    order = np.lexsort((coo.c_ids, coo.r_ids, cp, rp))
+    # row-major inside each tile.  Within a tile the panel ids are fixed,
+    # so (rp, cp, r, c) orders identically to the composite key
+    # ((rp*NCP + cp)*RPS + r%RPS)*CPS + c%CPS, whose span is
+    # tiles x panel-area — small enough for a radix argsort on every
+    # realistic shape.  Ties cannot occur between distinct entries of the
+    # same (r, c), and equal entries keep input order (both sorts stable).
+    n_cp = -(-coo.num_cols // col_panel_size)
+    n_rp = -(-coo.num_rows // row_panel_size)
+    span = n_rp * n_cp * row_panel_size * col_panel_size
+    if span < (1 << 62):
+        key = (
+            (rp * n_cp + cp) * row_panel_size
+            + (coo.r_ids - rp * row_panel_size)
+        ) * col_panel_size + (coo.c_ids - cp * col_panel_size)
+        order = None
+        if 0 < coo.nnz and span <= max(8 * coo.nnz, 1 << 20):
+            # Deduplicated matrices have pairwise-distinct keys, and a
+            # distinct-key sort is a bitmap scatter + flatnonzero —
+            # about half the cost of the radix passes.  Duplicate keys
+            # (repeated COO entries) show up as a short flatnonzero and
+            # fall through to the stable radix path.
+            mask = np.zeros(span, dtype=bool)
+            mask[key] = True
+            fn = np.flatnonzero(mask)
+            if fn.size == coo.nnz:
+                inv = np.empty(span, dtype=np.int64)
+                inv[key] = np.arange(coo.nnz, dtype=np.int64)
+                order = inv[fn]
+        if order is None:
+            order = radix_argsort(key)
+    else:  # pragma: no cover - astronomically large panel spaces
+        order = np.lexsort((coo.c_ids, coo.r_ids, cp, rp))
     r = coo.r_ids[order]
     c = coo.c_ids[order]
     v = coo.vals[order]

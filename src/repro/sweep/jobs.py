@@ -51,11 +51,15 @@ def value_fingerprint(value: Any) -> str:
     return hashlib.sha256(canonical_blob(value)).hexdigest()
 
 
-_EXCLUDED_ENV_KEYS = ("jobs", "cache_dir", "timeout_s", "max_retries")
+_EXCLUDED_ENV_KEYS = (
+    "jobs", "cache_dir", "timeout_s", "max_retries", "trace_cache_dir",
+)
 """Environment fields that orchestrate *how* a sweep runs but cannot
 change what a cell computes (all execution paths are bit-identical, per
-the PR 3/4 parity suites) — excluded from the fingerprint so changing
-worker count or supervision policy never invalidates cached results."""
+the PR 3/4 parity suites, and trace-cache replay is bit-identical to
+live generation per the PR 8 trace-store suites) — excluded from the
+fingerprint so changing worker count, supervision policy or trace-cache
+location never invalidates cached results."""
 
 
 def environment_fingerprint(env: Any) -> str:

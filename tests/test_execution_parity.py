@@ -239,6 +239,18 @@ class TestTraceParity:
         monkeypatch.setattr(MemorySystem, "stream_access", stream)
         return calls
 
+    @staticmethod
+    def _flatten(chunks) -> List:
+        # The fused drivers may merge consecutive same-PE replay calls
+        # into one (coalesced dispatch), so per-call boundaries are not
+        # an observable.  The per-access (pe_id, line, op) sequence in
+        # call order *is*: shared levels (L2/STLB/LLC/DRAM) see exactly
+        # this interleaving, so it must match the oracle bit-for-bit.
+        flat: List = []
+        for pe_id, lines, ops in chunks:
+            flat.extend(zip([pe_id] * len(lines), lines, ops))
+        return flat
+
     @pytest.mark.parametrize("kernel", ["spmm", "sddmm"])
     def test_batched_chunk_stream_identical(
         self, graph, kernel, monkeypatch
@@ -248,10 +260,10 @@ class TestTraceParity:
             with monkeypatch.context() as mp:
                 chunks = self._capture_chunks(mp)
                 _run_engine(graph, 16, kernel, mode, "batched")
-                streams[mode] = chunks
+                streams[mode] = self._flatten(chunks)
         for mode in MODES:
             assert streams[mode] == streams["scalar"], (
-                f"{mode}: replay chunk stream diverged"
+                f"{mode}: replay access stream diverged"
             )
 
     @pytest.mark.parametrize("kernel", ["spmm", "sddmm"])

@@ -54,6 +54,10 @@ def _ev(etype="run_start", **overrides):
             "driver": "run",
         },
         "cache_hit": {"index": 1, "key": "ee" * 32, "driver": "run"},
+        "trace_cache": {
+            "epoch": 0, "status": "hit", "key": "cd" * 32, "pes": 8,
+            "wall_s": 0.002,
+        },
         "dispatch": {
             "cache": "L1", "level": "l1", "events": 500,
             "miss_rate": 0.2, "hint": True, "predicted_py_us": 120.0,
