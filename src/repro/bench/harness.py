@@ -27,6 +27,12 @@ bench files can run quick (CI) or thorough (full reproduction):
   keyed by (workload, schedule/chunking, VRF elision config) only, so
   every cache-ablation cell and repeat run replays a cached trace
   instead of regenerating it (default: off)
+- ``REPRO_MAX_ATTEMPTS`` — lease attempts per sweep job before it is
+  quarantined as poison (default: 3)
+- ``REPRO_KEEP_GOING`` — set to 1 to let a sweep complete around
+  quarantined/failed jobs instead of raising (default: off)
+- ``REPRO_LEASE_DIR`` — explicit lease/quarantine directory; defaults
+  to ``<cache dir>/.leases`` when a result cache is configured
 """
 
 from __future__ import annotations
@@ -73,6 +79,9 @@ class BenchEnvironment:
     jobs: int = 1
     cache_dir: Optional[str] = None
     trace_cache_dir: Optional[str] = None
+    max_attempts: int = 3
+    keep_going: bool = False
+    lease_dir: Optional[str] = None
 
     @property
     def ratio(self) -> float:
@@ -142,6 +151,9 @@ class BenchEnvironment:
             cache=open_cache(self.cache_dir),
             telemetry=telemetry,
             resilience=self.resilience_config(),
+            max_attempts=self.max_attempts,
+            keep_going=self.keep_going,
+            lease_dir=self.lease_dir,
         )
 
     def base_settings(self, **overrides) -> KernelSettings:
@@ -180,6 +192,9 @@ def get_environment() -> BenchEnvironment:
     jobs = int(os.environ.get("REPRO_JOBS", "1"))
     cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
     trace_cache_dir = os.environ.get("REPRO_TRACE_CACHE_DIR") or None
+    max_attempts = int(os.environ.get("REPRO_MAX_ATTEMPTS", "3"))
+    keep_going = os.environ.get("REPRO_KEEP_GOING", "") not in ("", "0")
+    lease_dir = os.environ.get("REPRO_LEASE_DIR") or None
     if opt_mode not in ("quick", "full"):
         raise ValueError("REPRO_OPT must be 'quick' or 'full'")
     return BenchEnvironment(
@@ -187,6 +202,8 @@ def get_environment() -> BenchEnvironment:
         cache_shrink=cache_shrink, row_panel_divisor=rp_divisor,
         timeout_s=timeout_s, max_retries=max_retries,
         jobs=jobs, cache_dir=cache_dir, trace_cache_dir=trace_cache_dir,
+        max_attempts=max_attempts, keep_going=keep_going,
+        lease_dir=lease_dir,
     )
 
 

@@ -6,6 +6,8 @@ Usage::
     python -m repro autotune --matrix ORK --kernel spmm --k 32
     python -m repro suite                       # list the Table 2 suite
     python -m repro experiment fig09 table5 ... # run paper experiments
+    python -m repro sweep fig14 --shard 0/2 --cache-dir CACHE
+                                                # crash-safe sharded sweeps
     python -m repro config --pes 224            # show a system config
 
 Matrices are either Table 2 suite short names (with ``--scale``) or
@@ -122,6 +124,22 @@ def _validate_run_args(args: argparse.Namespace) -> Optional[str]:
     return _validate_sweep_args(args)
 
 
+def _shard_spec(text: str) -> tuple:
+    """Parse ``--shard i/N`` (shard index / runner count)."""
+    try:
+        index_s, count_s = text.split("/", 1)
+        index, count = int(index_s), int(count_s)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard must look like i/N (e.g. 0/2), got {text!r}"
+        )
+    if count < 1 or not 0 <= index < count:
+        raise argparse.ArgumentTypeError(
+            f"shard must satisfy 0 <= i < N, got {text!r}"
+        )
+    return (index, count)
+
+
 def _validate_sweep_args(args: argparse.Namespace) -> Optional[str]:
     """Sweep flag-combination checks; returns an error message or None."""
     if args.jobs < 1:
@@ -142,12 +160,13 @@ def _open_ledger(args: argparse.Namespace):
     return obs.make_ledger(*sys.argv[1:])
 
 
-def _close_ledger(ledger) -> None:
+def _close_ledger(ledger, stream=None) -> None:
     if ledger is not None and ledger.enabled:
         ledger.close()
         print(
             f"ledger written      : {ledger.path} "
-            f"({ledger.events_recorded} events)"
+            f"({ledger.events_recorded} events)",
+            file=stream,
         )
 
 
@@ -437,6 +456,76 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Crash-safe sweep execution: like ``experiment``, but with the
+    lease protocol always on — shard runners claim jobs from a shared
+    cache+lease directory, dead runners' jobs are reclaimed, and poison
+    jobs are quarantined instead of crash-looping."""
+    import importlib
+
+    problem = _validate_sweep_args(args)
+    if problem is None and args.max_attempts < 1:
+        problem = "--max-attempts must be >= 1"
+    if problem is None and args.lease_ttl <= 0:
+        problem = "--lease-ttl must be a positive number of seconds"
+    if problem is None and args.shard is not None and (
+        args.cache_dir is None or args.no_cache
+    ):
+        problem = (
+            "--shard i/N requires --cache-dir DIR: the shared cache is "
+            "how shard runners exchange results"
+        )
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+    env = get_environment()
+    from repro.sweep import SweepRunner, open_cache
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    sweep = SweepRunner(
+        jobs=args.jobs,
+        cache=open_cache(str(cache_dir) if cache_dir else None),
+        resilience=env.resilience_config(),
+        ledger=_open_ledger(args),
+        max_attempts=args.max_attempts,
+        keep_going=args.keep_going,
+        shard=args.shard,
+        lease_dir=str(args.lease_dir) if args.lease_dir else None,
+        lease_ttl_s=args.lease_ttl,
+    )
+    for name in args.names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; choose from "
+                  f"{', '.join(EXPERIMENTS)}", file=sys.stderr)
+            return 2
+        module = importlib.import_module(f"repro.bench.{name}")
+        holes_before = sweep.report.failed + sweep.report.quarantined
+        result = (
+            module.run(sweep=sweep)
+            if name == "sec7g"
+            else module.run(env, sweep=sweep)
+        )
+        holes = (
+            sweep.report.failed + sweep.report.quarantined - holes_before
+        )
+        if holes:
+            # Results have None holes; the driver's formatter cannot
+            # render them, so report the gap instead of a partial table.
+            print(f"{name}: output suppressed — {holes} grid cell(s) "
+                  f"failed or quarantined (see the lease directory's "
+                  f"quarantine manifests and the run ledger)")
+            print()
+        else:
+            print(module.format_result(result))
+            print()
+    if sweep.report.total:
+        print(f"sweep: {sweep.report.summary()}", file=sys.stderr)
+    # Diagnostics go to stderr so stdout stays byte-comparable with
+    # ``repro experiment`` (the shard-merge CI lane diffs them).
+    _close_ledger(sweep.ledger, stream=sys.stderr)
+    return 0
+
+
 def _cmd_config(args: argparse.Namespace) -> int:
     cfg = scaled_config(args.pes, cache_shrink=args.cache_shrink)
     print(config_summary(cfg))
@@ -608,6 +697,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help=f"one of: {', '.join(EXPERIMENTS)}")
     sweep_flags(exp_p)
     exp_p.set_defaults(func=_cmd_experiment)
+
+    swp_p = sub.add_parser(
+        "sweep",
+        help="crash-safe, shardable experiment sweeps (lease protocol)",
+    )
+    swp_p.add_argument("names", nargs="+",
+                       help=f"one of: {', '.join(EXPERIMENTS)}")
+    sweep_flags(swp_p)
+    crash = swp_p.add_argument_group("crash safety / sharding")
+    crash.add_argument("--shard", type=_shard_spec, default=None,
+                       metavar="i/N",
+                       help="run shard i of N concurrent runners "
+                       "splitting one grid by claiming job leases in a "
+                       "shared --cache-dir; every runner returns the "
+                       "full merged result, byte-identical to serial")
+    crash.add_argument("--keep-going", action="store_true",
+                       help="complete the sweep around failed or "
+                       "quarantined jobs instead of raising")
+    crash.add_argument("--max-attempts", type=int, default=3,
+                       metavar="N",
+                       help="lease attempts before a crash-looping job "
+                       "is quarantined as poison (default 3)")
+    crash.add_argument("--lease-ttl", type=float, default=30.0,
+                       metavar="S",
+                       help="seconds without a heartbeat before a "
+                       "lease is presumed orphaned and reclaimed "
+                       "(default 30)")
+    crash.add_argument("--lease-dir", type=Path, default=None,
+                       metavar="DIR",
+                       help="lease/quarantine directory (default: "
+                       "<cache-dir>/.leases)")
+    swp_p.set_defaults(func=_cmd_sweep)
 
     cfg_p = sub.add_parser("config", help="show a system configuration")
     cfg_p.add_argument("--pes", type=int, default=224)

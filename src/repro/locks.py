@@ -28,10 +28,15 @@ from __future__ import annotations
 
 import itertools
 import os
+import random
 import time
 from typing import Optional
 
 _TMP_COUNTER = itertools.count()
+
+# Test seam: lets the backoff schedule be observed without patching the
+# global time module.
+_sleep = time.sleep
 
 
 def exclusive_tmp_path(path: str) -> str:
@@ -73,8 +78,19 @@ class FileLock:
 
     The lock is *advisory*: only cooperating FileLock users are
     excluded.  A crashed holder leaves the lockfile behind; holders
-    write their pid into it and :meth:`acquire` breaks locks older than
-    ``stale_s`` seconds so one dead worker cannot wedge a sweep forever.
+    write an owner token (pid plus a random nonce) into it and
+    :meth:`acquire` breaks locks older than ``stale_s`` seconds so one
+    dead worker cannot wedge a sweep forever.  :meth:`release` verifies
+    the token before unlinking: a holder whose lock was stale-broken and
+    re-acquired by another process must *not* delete the new holder's
+    lockfile.
+
+    Contended acquires poll with jittered exponential backoff — the
+    first probe is immediate (uncontended latency is unchanged), then
+    the sleep doubles from ``poll_s`` up to ``max_poll_s`` with each
+    failed probe, jittered into ``[delay/2, delay]`` so a herd of shard
+    runners racing on one claim file desynchronises instead of hammering
+    the directory in lockstep.
     """
 
     def __init__(
@@ -83,12 +99,15 @@ class FileLock:
         timeout_s: float = 30.0,
         poll_s: float = 0.01,
         stale_s: Optional[float] = 300.0,
+        max_poll_s: float = 0.25,
     ) -> None:
         self.path = path
         self.timeout_s = timeout_s
         self.poll_s = poll_s
         self.stale_s = stale_s
+        self.max_poll_s = max(poll_s, max_poll_s)
         self._held = False
+        self._token: Optional[str] = None
 
     def _try_acquire(self) -> bool:
         try:
@@ -97,8 +116,12 @@ class FileLock:
             )
         except FileExistsError:
             return False
+        # pid first for human diagnosis; the nonce makes the token
+        # unforgeable across pid recycling and stale-break races.
+        token = f"{os.getpid()}:{os.urandom(8).hex()}"
         with os.fdopen(fd, "w") as fh:
-            fh.write(str(os.getpid()))
+            fh.write(token)
+        self._token = token
         return True
 
     def _break_if_stale(self) -> None:
@@ -119,25 +142,40 @@ class FileLock:
 
     def acquire(self) -> "FileLock":
         deadline = time.monotonic() + self.timeout_s
+        delay = self.poll_s
         while True:
             if self._try_acquire():
                 self._held = True
                 return self
             self._break_if_stale()
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise LockTimeout(
                     f"could not acquire lock {self.path} within "
                     f"{self.timeout_s:g}s"
                 )
-            time.sleep(self.poll_s)
+            sleep_for = min(delay, max(0.0, deadline - now))
+            _sleep(sleep_for * (0.5 + 0.5 * random.random()))
+            delay = min(delay * 2.0, self.max_poll_s)
 
     def release(self) -> None:
-        if self._held:
-            self._held = False
-            try:
-                os.unlink(self.path)
-            except OSError:
-                pass
+        if not self._held:
+            return
+        self._held = False
+        token, self._token = self._token, None
+        try:
+            with open(self.path, "r") as fh:
+                current = fh.read()
+        except OSError:
+            return  # already broken/released by someone else
+        if current != token:
+            # The lock was stale-broken and re-acquired by another
+            # process; its lockfile is not ours to delete.
+            return
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
 
     @property
     def held(self) -> bool:

@@ -64,6 +64,7 @@ def aggregate(paths) -> Dict[str, Any]:
         "dispatch": {"total": 0, "by_level": {}},
         "sweep": {
             "jobs": 0, "completed": 0, "failed": 0, "cache_hits": 0,
+            "requeued": 0, "quarantined": 0,
         },
         "retries": 0,
         "degradations": 0,
@@ -110,6 +111,12 @@ def aggregate(paths) -> Dict[str, Any]:
                 elif status == "failed":
                     agg["sweep"]["failed"] += 1
                     agg["timeline"].append(_timeline_row(ev, path))
+                elif status == "requeued":
+                    agg["sweep"]["requeued"] += 1
+                    agg["timeline"].append(_timeline_row(ev, path))
+                elif status == "quarantined":
+                    agg["sweep"]["quarantined"] += 1
+                    agg["timeline"].append(_timeline_row(ev, path))
             elif etype == "cache_hit":
                 agg["sweep"]["cache_hits"] += 1
             elif etype == "retry":
@@ -137,7 +144,10 @@ def _timeline_row(ev: Dict[str, Any], path: Path) -> Dict[str, Any]:
             f"{ev.get('cause')}"
         )
     elif etype == "sweep_job":
-        desc = f"job {ev.get('index')} failed: {ev.get('error')}"
+        status = ev.get("status", "failed")
+        desc = f"job {ev.get('index')} {status}: {ev.get('error')}"
+        if ev.get("attempt") is not None:
+            desc += f" (attempt {ev.get('attempt')})"
     else:  # run_end failure
         desc = f"run failed: {ev.get('error')}"
     return {
@@ -291,12 +301,17 @@ def format_report(agg: Dict[str, Any], top: int = 10) -> str:
 
     sweep = agg["sweep"]
     if sweep["jobs"] or sweep["cache_hits"]:
-        lines.append(
+        line = (
             f"sweep: {sweep['jobs']} executed "
             f"({sweep['completed']} completed, {sweep['failed']} failed), "
             f"{sweep['cache_hits']} cache hits "
             f"(hit rate {sweep['hit_rate']:.1%})"
         )
+        if sweep.get("requeued"):
+            line += f", {sweep['requeued']} requeued"
+        if sweep.get("quarantined"):
+            line += f", {sweep['quarantined']} quarantined"
+        lines.append(line)
         lines.append("")
 
     lines.append(

@@ -22,11 +22,21 @@ Injection points:
   fallback to the previous snapshot.
 * ``after_epoch(epoch)`` — raise :class:`InjectedCrash` once after a
   chosen epoch, simulating a kill for kill-then-resume tests.
+* ``sweep_kill(index, attempt)`` — ``SIGKILL`` the calling sweep worker
+  process at a hash-selected (seed, job) point, exercising the sweep
+  pool's dead-worker detection / lease reclamation / requeue /
+  quarantine ladder.  Unlike :class:`InjectedFault` this is a *real*
+  process death: no exception propagates, no ``finally`` runs.
+* ``stall_lease_heartbeat()`` — tell the worker's lease-heartbeat
+  thread not to refresh the claim file, so the lease ages out and a
+  concurrent shard runner observes (and reclaims) an apparently dead
+  owner while the worker is in fact still running.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import threading
 import time
 from dataclasses import dataclass
@@ -36,6 +46,9 @@ import numpy as np
 
 _FAULT_STREAM = 0xFA07
 """Domain-separation constant mixed into the worker-fault RNG seed."""
+
+_KILL_STREAM = 0x51C4
+"""Domain-separation constant mixed into the sweep-kill RNG seed."""
 
 
 class InjectedFault(RuntimeError):
@@ -69,10 +82,26 @@ class ChaosConfig:
     kill_after_epoch: Optional[int] = None
     """Raise :class:`InjectedCrash` once, after this epoch completes
     (and after its checkpoint, if any, was written)."""
+    sweep_kills: Tuple[Tuple[int, int], ...] = ()
+    """Explicit (job_index, attempt) pairs at which a sweep worker
+    SIGKILLs itself.  Listing only attempt 1 makes a job that crashes
+    once and then recovers; listing every attempt up to the runner's
+    ``max_attempts`` makes a poison job that ends in quarantine."""
+    sweep_kill_rate: float = 0.0
+    """Per-job probability of a SIGKILL, hashed from (seed, job index)
+    so the same grid always loses the same jobs."""
+    sweep_kill_attempts: Tuple[int, ...] = (1,)
+    """Attempt numbers at which the rate-based kill is eligible to
+    fire (by default only the first, so retries survive)."""
+    lease_heartbeat_stall: bool = False
+    """Suppress lease heartbeats in sweep workers, simulating a live
+    owner that looks dead to everyone sharing the lease directory."""
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.worker_fault_rate <= 1.0:
             raise ValueError("worker_fault_rate must be in [0, 1]")
+        if not 0.0 <= self.sweep_kill_rate <= 1.0:
+            raise ValueError("sweep_kill_rate must be in [0, 1]")
         if self.replay_delay_s < 0:
             raise ValueError("replay_delay_s must be >= 0")
         if self.replay_delay_every < 0:
@@ -169,3 +198,27 @@ class ChaosMonkey:
             self._crashed = True
             self.crashes_injected += 1
         raise InjectedCrash(f"injected crash after epoch {epoch}")
+
+    def should_sweep_kill(self, index: int, attempt: int) -> bool:
+        """Whether the sweep worker executing (job ``index``, attempt
+        ``attempt``) is selected for a SIGKILL.  Pure function of the
+        config — reproducible across runs and runner processes."""
+        cfg = self.config
+        if (index, attempt) in cfg.sweep_kills:
+            return True
+        if cfg.sweep_kill_rate > 0.0 and attempt in cfg.sweep_kill_attempts:
+            rng = np.random.default_rng((cfg.seed, _KILL_STREAM, index))
+            return bool(rng.random() < cfg.sweep_kill_rate)
+        return False
+
+    def sweep_kill(self, index: int, attempt: int) -> None:
+        """SIGKILL the calling process if this (job, attempt) is
+        selected.  This does not return when it fires: the point is a
+        genuine uncatchable death, so the parent's only evidence is the
+        process sentinel — exactly what a real OOM kill looks like."""
+        if self.should_sweep_kill(index, attempt):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def stall_lease_heartbeat(self) -> bool:
+        """Whether sweep workers should stop refreshing their lease."""
+        return self.config.lease_heartbeat_stall

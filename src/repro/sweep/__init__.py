@@ -10,10 +10,15 @@ package turns any such grid into hashable jobs and fans them out:
 - :mod:`~repro.sweep.cache` — :class:`ResultCache`, a durable
   content-addressed store so re-runs and partially-failed sweeps skip
   completed jobs;
-- :mod:`~repro.sweep.runner` — :class:`SweepRunner`, the
-  ``multiprocessing`` fan-out with deterministic per-job seeds and
+- :mod:`~repro.sweep.runner` — :class:`SweepRunner`, a supervised
+  worker-pool fan-out with deterministic per-job seeds and
   **grid-order merge**, so parallel output is byte-identical to serial
-  (pinned by tests/test_sweep_parity.py).
+  (pinned by tests/test_sweep_parity.py); dead workers are detected via
+  process sentinels and their in-flight jobs requeued;
+- :mod:`~repro.sweep.lease` — :class:`LeaseManager`, per-job-key claim
+  files with heartbeats, stale reclamation, attempt accounting, and
+  poison-job quarantine, coordinating concurrent shard runners over one
+  shared cache directory (``repro sweep --shard i/N``).
 
 Every ``repro.bench`` driver accepts ``sweep=SweepRunner(...)``; the
 CLI exposes it as ``--jobs N --cache-dir PATH`` on ``run`` / ``suite``
@@ -30,11 +35,14 @@ from repro.sweep.jobs import (
     expand_grid,
     value_fingerprint,
 )
+from repro.sweep.lease import LeaseManager, LeaseState, open_leases
 from repro.sweep.runner import SweepReport, SweepRunner, sweep_map
 
 __all__ = [
     "SWEEP_SCHEMA_VERSION",
     "JobSpec",
+    "LeaseManager",
+    "LeaseState",
     "ResultCache",
     "SweepReport",
     "SweepRunner",
@@ -43,6 +51,7 @@ __all__ = [
     "environment_fingerprint",
     "expand_grid",
     "open_cache",
+    "open_leases",
     "sweep_map",
     "value_fingerprint",
 ]

@@ -54,6 +54,13 @@ class ResultCache:
     def path_for(self, key: str) -> str:
         return os.path.join(self.directory, key[:2], f"{key}.res")
 
+    def default_lease_dir(self) -> str:
+        """Where the lease protocol lives when no explicit lease dir is
+        configured: a dot-directory inside the cache, so one shared path
+        carries both results and coordination state.  The name is not a
+        two-character hex shard, so :meth:`keys` never sees it."""
+        return os.path.join(self.directory, ".leases")
+
     # -- reading ---------------------------------------------------------
 
     def get(self, key: str) -> Tuple[bool, Any]:
@@ -144,6 +151,8 @@ class ResultCache:
             return
         for entry in entries:
             shard = os.path.join(self.directory, entry)
+            # Only two-character hex shard dirs hold results; this also
+            # hides the ``.leases`` coordination dir from key listings.
             if len(entry) == 2 and os.path.isdir(shard):
                 yield shard
 

@@ -53,6 +53,7 @@ def value_fingerprint(value: Any) -> str:
 
 _EXCLUDED_ENV_KEYS = (
     "jobs", "cache_dir", "timeout_s", "max_retries", "trace_cache_dir",
+    "max_attempts", "keep_going", "lease_dir",
 )
 """Environment fields that orchestrate *how* a sweep runs but cannot
 change what a cell computes (all execution paths are bit-identical, per

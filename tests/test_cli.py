@@ -331,6 +331,81 @@ class TestSweepFlagErrors:
         assert "--resume requires" in capsys.readouterr().err
 
 
+class TestSweepCommand:
+    def _tiny(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        monkeypatch.setenv("REPRO_PES", "2")
+
+    def test_output_identical_to_experiment(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self._tiny(monkeypatch)
+        assert main(["experiment", "fig14"]) == 0
+        serial = capsys.readouterr()
+        cache = str(tmp_path / "cache")
+        argv = ["sweep", "fig14", "--jobs", "2", "--cache-dir", cache]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert first.out == serial.out
+        assert "0 cached" in first.err
+        # Warm re-run: same bytes, everything cached.
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == serial.out
+        assert "0 executed" in second.err
+        # The lease directory lives inside the cache without polluting
+        # the result key space.
+        import os
+
+        assert os.path.isdir(os.path.join(cache, ".leases"))
+
+    def test_single_shard_grid(self, tmp_path, capsys, monkeypatch):
+        self._tiny(monkeypatch)
+        assert main(["experiment", "fig14"]) == 0
+        serial = capsys.readouterr()
+        cache = str(tmp_path / "cache")
+        assert main([
+            "sweep", "fig14", "--shard", "0/1", "--cache-dir", cache,
+        ]) == 0
+        sharded = capsys.readouterr()
+        assert sharded.out == serial.out
+
+    def test_shard_requires_cache_dir(self, capsys):
+        assert main(["sweep", "fig14", "--shard", "0/2"]) == 2
+        err = capsys.readouterr().err
+        assert "--shard i/N requires --cache-dir" in err
+
+    # (a leading-dash spec like "-1/2" never reaches _shard_spec —
+    # argparse treats it as an option and rejects it on its own)
+    @pytest.mark.parametrize("spec", ["2/2", "1", "a/b", "1/0"])
+    def test_bad_shard_spec_rejected(self, spec, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "sweep", "fig14", "--shard", spec,
+                "--cache-dir", str(tmp_path / "c"),
+            ])
+        assert "shard must" in capsys.readouterr().err
+
+    def test_bad_max_attempts_rejected(self, tmp_path, capsys):
+        assert main([
+            "sweep", "fig14", "--max-attempts", "0",
+            "--cache-dir", str(tmp_path / "c"),
+        ]) == 2
+        assert "--max-attempts" in capsys.readouterr().err
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["sweep", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep", "fig14"])
+        assert args.shard is None
+        assert args.max_attempts == 3
+        assert args.keep_going is False
+        assert args.lease_ttl == 30.0
+        assert args.lease_dir is None
+
+
 class TestResilienceFlags:
     RUN = ["run", "--matrix", "ASI", "--scale", "tiny",
            "--pes", "2", "--k", "16"]

@@ -244,6 +244,63 @@ class TestShards:
         assert read_events(parent.path)[0]["run"] == "job0"
 
 
+class TestSweepJobEvents:
+    """Pin the three core sweep_job shapes end to end.
+
+    The crash-safety audit reads these events back: every shape must
+    carry the executing ``pid`` (the failed shape used to omit it) and
+    the 1-based lease ``attempt``.
+    """
+
+    def _emit(self, tmp_path, **fields):
+        ledger = RunLedger(tmp_path / "run.jsonl", validate=True)
+        ledger.emit("sweep_job", **fields)
+        ledger.close()
+        return read_events(tmp_path / "run.jsonl")[0]
+
+    def test_started_shape(self, tmp_path):
+        ev = self._emit(
+            tmp_path, index=0, status="started", key="ab" * 32,
+            driver="fig14", pid=4242, attempt=1,
+        )
+        assert ev["pid"] == 4242
+        assert ev["attempt"] == 1
+
+    def test_completed_shape(self, tmp_path):
+        ev = self._emit(
+            tmp_path, index=0, status="completed", key="ab" * 32,
+            driver="fig14", wall_s=0.5, pid=4242, attempt=2,
+        )
+        assert ev["pid"] == 4242
+        assert ev["attempt"] == 2
+
+    def test_failed_shape_carries_pid(self, tmp_path):
+        # Regression: the failed shape omitted the pid that started and
+        # completed events carried, breaking per-worker forensics.
+        ev = self._emit(
+            tmp_path, index=3, status="failed", key="ab" * 32,
+            driver="fig14", wall_s=0.1, error="ValueError('x')",
+            pid=4242, attempt=1,
+        )
+        assert ev["pid"] == 4242
+        assert ev["attempt"] == 1
+        assert ev["error"] == "ValueError('x')"
+
+    def test_requeued_and_quarantined_statuses_validate(self):
+        validate_event(_ev(
+            "sweep_job", status="requeued", pid=1, attempt=2,
+            error="worker died (exitcode=-9)",
+        ))
+        validate_event(_ev(
+            "sweep_job", status="quarantined", pid=1, attempt=3,
+            error="worker died (exitcode=-9)",
+        ))
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(LedgerSchemaError, match="status"):
+            validate_event(_ev("sweep_job", status="paused"))
+
+
 class TestReport:
     def _write(self, tmp_path, events, name="run-x.jsonl"):
         path = tmp_path / name
@@ -292,6 +349,35 @@ class TestReport:
         # |95-90|/95 and |200-90|/200 (dict row has no own prediction
         # for min_events? predicted_py_us present: |50-120|/50 too).
         assert l1["mean_rel_error"] > 0
+
+    def test_sweep_requeue_and_quarantine_aggregate(self, tmp_path):
+        self._write(tmp_path, [
+            _ev("sweep_job", status="started", pid=1, attempt=1),
+            _ev(
+                "sweep_job", status="requeued", pid=1, attempt=2,
+                error="worker died (exitcode=-9)",
+            ),
+            _ev("sweep_job", status="started", pid=1, attempt=2),
+            _ev("sweep_job", status="completed", pid=2, attempt=2),
+            _ev(
+                "sweep_job", index=1, status="quarantined", pid=1,
+                attempt=3, error="worker died (exitcode=-9)",
+            ),
+        ])
+        agg = aggregate([tmp_path])
+        sweep = agg["sweep"]
+        assert sweep["completed"] == 1
+        assert sweep["requeued"] == 1
+        assert sweep["quarantined"] == 1
+        rows = [r for r in agg["timeline"] if r["event"] == "sweep_job"]
+        descs = [r["description"] for r in rows]
+        assert any("requeued" in d for d in descs)
+        assert any(
+            "quarantined" in d and "attempt 3" in d for d in descs
+        )
+        text = format_report(agg)
+        assert "1 requeued" in text
+        assert "1 quarantined" in text
 
     def test_retry_and_degradation_timeline(self, tmp_path):
         self._write(tmp_path, [
