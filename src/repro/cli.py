@@ -125,7 +125,7 @@ def _validate_run_args(args: argparse.Namespace) -> Optional[str]:
 
 
 def _shard_spec(text: str) -> tuple:
-    """Parse ``--shard i/N`` (shard index / runner count)."""
+    """Parse ``--shard i/N`` (0-based shard index / runner count)."""
     try:
         index_s, count_s = text.split("/", 1)
         index, count = int(index_s), int(count_s)
@@ -133,9 +133,17 @@ def _shard_spec(text: str) -> tuple:
         raise argparse.ArgumentTypeError(
             f"shard must look like i/N (e.g. 0/2), got {text!r}"
         )
-    if count < 1 or not 0 <= index < count:
+    if count < 1:
         raise argparse.ArgumentTypeError(
-            f"shard must satisfy 0 <= i < N, got {text!r}"
+            f"shard runner count must be >= 1, got {text!r}"
+        )
+    if not 0 <= index < count:
+        # Same 0-based fix-it the runner gives, so CLI and API errors
+        # diagnose a 1-based "N/N" slip identically.
+        raise argparse.ArgumentTypeError(
+            f"shard index is 0-based: valid shards for {count} "
+            f"runner(s) are 0/{count} .. {count - 1}/{count}, "
+            f"got {text!r}"
         )
     return (index, count)
 
@@ -187,44 +195,10 @@ def _sweep_runner(args: argparse.Namespace, resilience=None):
     )
 
 
-def _run_cell(env, point) -> dict:
-    """One ``repro run`` invocation as a pure sweep cell.
-
-    Returns the printed summary (plain dict, cheap to cache) rather
-    than the full execution report.  Every parameter that determines
-    the result is in the point, so ``env`` is None.
-    """
-    from repro.resilience import RunSupervisor
-
-    (
-        matrix, scale, kernel, k, pes, cache_shrink, seed, replay,
-        execution,
-    ) = point
-    a = _load_matrix(matrix, scale)
-    cfg = scaled_config(pes, cache_shrink=cache_shrink)
-    if replay is not None:
-        cfg = dataclasses.replace(cfg, replay=replay)
-    if execution is not None:
-        cfg = dataclasses.replace(cfg, execution=execution)
-    supervisor = RunSupervisor(resilience=ResilienceConfig())
-    rng = np.random.default_rng(seed)
-    b = rng.random((a.num_cols, k), dtype=np.float32)
-    if kernel == "spmm":
-        report = supervisor.run_kernel(cfg, "spmm", a, b)
-    else:
-        b_r = rng.random((a.num_rows, k), dtype=np.float32)
-        report = supervisor.run_kernel(cfg, "sddmm", a, b_r, b)
-    return {
-        "matrix": str(a),
-        "system": cfg.name,
-        "num_pes": cfg.num_pes,
-        "time_ms": report.time_ms,
-        "dram_accesses": report.dram_accesses,
-        "bandwidth_utilization": report.bandwidth_utilization,
-        "requests_per_cycle": report.requests_per_cycle,
-        "load_imbalance": report.load_imbalance,
-        "stats_summary": report.stats.summary(),
-    }
+# The ``run`` cell moved to repro.service.simulate so the simulation
+# service and the CLI share one cell (and therefore one cache key
+# space); this alias keeps the sweep path reading naturally here.
+from repro.service.simulate import run_cell as _run_cell  # noqa: E402
 
 
 def _suite_cell(env, point) -> dict:
@@ -257,19 +231,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             args.pes, args.cache_shrink, args.seed, args.replay,
             args.execution,
         )
+        from repro.service.simulate import format_run_summary
+
         summary = sweep_map(sweep, "run", None, _run_cell, [point])[0]
-        print(f"matrix              : {summary['matrix']}")
-        print(f"kernel              : {args.kernel} (K={args.k})")
-        print(f"system              : {summary['system']} "
-              f"({summary['num_pes']} PEs)")
-        print(f"simulated time      : {summary['time_ms']:.4f} ms")
-        print(f"DRAM accesses       : {summary['dram_accesses']}")
-        print(f"bandwidth utilization: "
-              f"{summary['bandwidth_utilization']:.1%}")
-        print(f"requests per cycle  : "
-              f"{summary['requests_per_cycle']:.2f}")
-        print(f"load imbalance      : {summary['load_imbalance']:.2f}")
-        print(summary["stats_summary"])
+        print(format_run_summary(summary, args.kernel, args.k))
         return 0
     from repro.resilience import RunSupervisor
     from repro.telemetry import Telemetry
@@ -526,6 +491,115 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Long-lived simulation service over the sweep substrate: memoized
+    answers from the shared result cache, request coalescing, admission
+    control, and the PR 9 supervised pool doing the execution."""
+    import asyncio
+
+    from repro.service.admission import AdmissionPolicy
+    from repro.service.pool import ServicePool
+    from repro.service.server import ServiceServer, SimulationService
+    from repro.sweep.cache import ResultCache
+    from repro.telemetry import Telemetry
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    cache = ResultCache(str(args.cache_dir))
+    telemetry = Telemetry(TelemetryConfig(metrics=True))
+    ledger = _open_ledger(args)
+    pool = ServicePool(
+        cache,
+        workers=args.workers,
+        telemetry=telemetry,
+        ledger=ledger,
+        max_attempts=args.max_attempts,
+        lease_dir=str(args.lease_dir) if args.lease_dir else None,
+        lease_ttl_s=args.lease_ttl,
+    )
+    policy = AdmissionPolicy(
+        max_queue=args.max_queue,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+    )
+    service = SimulationService(
+        cache, pool, policy=policy, telemetry=telemetry, ledger=ledger
+    )
+    server = ServiceServer(service, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        task = asyncio.ensure_future(server.serve())
+        while not server._started.is_set():
+            await asyncio.sleep(0.01)
+        print(f"serving             : http://{server.host}:{server.port}")
+        print(f"cache dir           : {cache.directory}")
+        print(f"workers             : {pool.workers}")
+        sys.stdout.flush()
+        await task
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        pool.close()
+        stats = service.stats()
+        print(
+            f"served              : {stats['served']} answers "
+            f"({stats['memo_hits']} memo, "
+            f"{stats['coalescing']['coalesced']} coalesced, "
+            f"{stats['pool']['executed']} executed)",
+            file=sys.stderr,
+        )
+        _close_ledger(ledger, stream=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one simulation request to a running ``repro serve`` and
+    print the answer exactly as ``repro run`` would."""
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.simulate import format_run_summary
+
+    client = ServiceClient(
+        host=args.host, port=args.port, timeout_s=args.timeout
+    )
+    body = {
+        "matrix": args.matrix, "scale": args.scale,
+        "kernel": args.kernel, "k": args.k, "pes": args.pes,
+        "cache_shrink": args.cache_shrink, "seed": args.seed,
+        "replay": args.replay, "execution": args.execution,
+        "tenant": args.tenant, "priority": args.priority,
+    }
+    try:
+        answer = client.simulate(**body)
+    except ServiceError as exc:
+        message = f"error: {exc}"
+        if exc.retry_after_s:
+            message += f" (retry after {exc.retry_after_s:g}s)"
+        print(message, file=sys.stderr)
+        return 3 if exc.status in (429, 503) else 2
+    except OSError as exc:
+        print(
+            f"error: cannot reach service at "
+            f"{args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(json.dumps(answer, indent=2, sort_keys=True))
+        return 0
+    print(format_run_summary(answer["result"], args.kernel, args.k))
+    if args.verbose:
+        print(
+            f"source              : {answer['source']} "
+            f"(key {answer['key'][:16]})",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_config(args: argparse.Namespace) -> int:
     cfg = scaled_config(args.pes, cache_shrink=args.cache_shrink)
     print(config_summary(cfg))
@@ -709,9 +783,11 @@ def build_parser() -> argparse.ArgumentParser:
     crash.add_argument("--shard", type=_shard_spec, default=None,
                        metavar="i/N",
                        help="run shard i of N concurrent runners "
-                       "splitting one grid by claiming job leases in a "
-                       "shared --cache-dir; every runner returns the "
-                       "full merged result, byte-identical to serial")
+                       "(0-based: the first of 2 runners is 0/2, the "
+                       "last 1/2) splitting one grid by claiming job "
+                       "leases in a shared --cache-dir; every runner "
+                       "returns the full merged result, byte-identical "
+                       "to serial")
     crash.add_argument("--keep-going", action="store_true",
                        help="complete the sweep around failed or "
                        "quarantined jobs instead of raising")
@@ -729,6 +805,79 @@ def build_parser() -> argparse.ArgumentParser:
                        help="lease/quarantine directory (default: "
                        "<cache-dir>/.leases)")
     swp_p.set_defaults(func=_cmd_sweep)
+
+    srv_p = sub.add_parser(
+        "serve",
+        help="simulation-as-a-service HTTP server (memoized answers, "
+        "request coalescing, admission control)",
+    )
+    srv_p.add_argument("--host", default="127.0.0.1")
+    srv_p.add_argument("--port", type=int, default=8765,
+                       help="listen port (0 picks a free one; the "
+                       "bound port is printed at startup)")
+    srv_p.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="simulation worker processes (default 2)")
+    srv_p.add_argument("--cache-dir", type=Path, required=True,
+                       metavar="DIR",
+                       help="content-addressed result cache backing "
+                       "the memo layer (shared with 'repro run/sweep "
+                       "--cache-dir': their keys are identical)")
+    srv_p.add_argument("--ledger", type=Path, default=None,
+                       metavar="DIR",
+                       help="record request lifecycle + execution "
+                       "events into DIR (see 'repro obs report')")
+    srv_p.add_argument("--max-queue", type=int, default=64, metavar="N",
+                       help="maximum queued+running executions before "
+                       "503 (default 64)")
+    srv_p.add_argument("--quota-rate", type=float, default=4.0,
+                       metavar="R",
+                       help="per-tenant admitted requests per second "
+                       "(default 4)")
+    srv_p.add_argument("--quota-burst", type=float, default=16.0,
+                       metavar="B",
+                       help="per-tenant token-bucket burst (default 16)")
+    srv_p.add_argument("--max-attempts", type=int, default=3,
+                       metavar="N",
+                       help="attempts before a crash-looping job is "
+                       "quarantined (default 3)")
+    srv_p.add_argument("--lease-ttl", type=float, default=30.0,
+                       metavar="S",
+                       help="lease heartbeat TTL in seconds (default 30)")
+    srv_p.add_argument("--lease-dir", type=Path, default=None,
+                       metavar="DIR",
+                       help="lease/quarantine directory (default: "
+                       "<cache-dir>/.leases)")
+    srv_p.set_defaults(func=_cmd_serve)
+
+    sub_p = sub.add_parser(
+        "submit",
+        help="submit one simulation to a running 'repro serve'",
+    )
+    sub_p.add_argument("--host", default="127.0.0.1")
+    sub_p.add_argument("--port", type=int, default=8765)
+    sub_p.add_argument("--matrix", required=True,
+                       help="suite name (e.g. KRO); the service does "
+                       "not accept filesystem paths")
+    sub_p.add_argument("--kernel", choices=["spmm", "sddmm"],
+                       default="spmm")
+    sub_p.add_argument("--k", type=int, default=32,
+                       help="dense matrix row size")
+    common(sub_p)
+    sub_p.add_argument("--tenant", default="anonymous",
+                       help="quota accounting identity (default "
+                       "'anonymous')")
+    sub_p.add_argument("--priority", choices=["interactive", "batch"],
+                       default="interactive")
+    sub_p.add_argument("--timeout", type=float, default=300.0,
+                       metavar="S",
+                       help="client-side wait for the answer (default "
+                       "300)")
+    sub_p.add_argument("--json", action="store_true",
+                       help="print the raw answer payload as JSON")
+    sub_p.add_argument("--verbose", action="store_true",
+                       help="also report the answer's source (memo / "
+                       "executed / coalesced) on stderr")
+    sub_p.set_defaults(func=_cmd_submit)
 
     cfg_p = sub.add_parser("config", help="show a system configuration")
     cfg_p.add_argument("--pes", type=int, default=224)

@@ -35,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional
@@ -115,6 +116,10 @@ class RunLedger:
         self._buf: List[str] = []
         self._events = 0
         self._closed = False
+        # Serialises buffer mutation against flush: the service emits
+        # from its HTTP loop and its pool thread concurrently, and two
+        # racing flushes must not write overlapping buffer snapshots.
+        self._lock = threading.Lock()
 
     # -- recording -------------------------------------------------------
 
@@ -128,30 +133,36 @@ class RunLedger:
         event["run"] = self.run_id
         if self._validate:
             validate_event(event)
-        self._buf.append(json.dumps(event, sort_keys=True))
-        self._events += 1
-        if len(self._buf) >= self._flush_every:
+        line = json.dumps(event, sort_keys=True)
+        with self._lock:
+            self._buf.append(line)
+            self._events += 1
+            full = len(self._buf) >= self._flush_every
+        if full:
             self.flush()
 
     def append_raw(self, lines: Iterable[str]) -> None:
         """Append already-serialised event lines (shard merge path)."""
-        for line in lines:
-            line = line.strip()
-            if line:
-                self._buf.append(line)
-                self._events += 1
-        if len(self._buf) >= self._flush_every:
+        with self._lock:
+            for line in lines:
+                line = line.strip()
+                if line:
+                    self._buf.append(line)
+                    self._events += 1
+            full = len(self._buf) >= self._flush_every
+        if full:
             self.flush()
 
     # -- persistence -----------------------------------------------------
 
     def flush(self) -> None:
-        if not self._buf:
-            return
+        with self._lock:
+            if not self._buf:
+                return
+            pending, self._buf = self._buf, []
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write("\n".join(self._buf) + "\n")
-        self._buf.clear()
+            fh.write("\n".join(pending) + "\n")
 
     def close(self) -> None:
         if not self._closed:

@@ -66,6 +66,11 @@ def aggregate(paths) -> Dict[str, Any]:
             "jobs": 0, "completed": 0, "failed": 0, "cache_hits": 0,
             "requeued": 0, "quarantined": 0,
         },
+        "service": {
+            "requests": 0, "memo_hits": 0, "coalesced": 0,
+            "admitted": 0, "rejected": 0, "served": 0, "failed": 0,
+            "served_by_source": {},
+        },
         "retries": 0,
         "degradations": 0,
         "timeline": [],
@@ -119,6 +124,28 @@ def aggregate(paths) -> Dict[str, Any]:
                     agg["timeline"].append(_timeline_row(ev, path))
             elif etype == "cache_hit":
                 agg["sweep"]["cache_hits"] += 1
+            elif etype == "service":
+                svc = agg["service"]
+                status = ev.get("status")
+                if status == "request_received":
+                    svc["requests"] += 1
+                elif status == "coalesced":
+                    svc["coalesced"] += 1
+                elif status == "admitted":
+                    svc["admitted"] += 1
+                elif status == "rejected":
+                    svc["rejected"] += 1
+                    agg["timeline"].append(_timeline_row(ev, path))
+                elif status == "served":
+                    svc["served"] += 1
+                    source = ev.get("source", "?")
+                    if source == "memo":
+                        svc["memo_hits"] += 1
+                    by_source = svc["served_by_source"]
+                    by_source[source] = by_source.get(source, 0) + 1
+                elif status == "failed":
+                    svc["failed"] += 1
+                    agg["timeline"].append(_timeline_row(ev, path))
             elif etype == "retry":
                 agg["retries"] += 1
                 agg["timeline"].append(_timeline_row(ev, path))
@@ -148,6 +175,13 @@ def _timeline_row(ev: Dict[str, Any], path: Path) -> Dict[str, Any]:
         desc = f"job {ev.get('index')} {status}: {ev.get('error')}"
         if ev.get("attempt") is not None:
             desc += f" (attempt {ev.get('attempt')})"
+    elif etype == "service":
+        status = ev.get("status", "failed")
+        key = (ev.get("key") or "")[:16]
+        desc = (
+            f"request {key or '?'} {status} "
+            f"({ev.get('code', '?')}): {ev.get('reason')}"
+        )
     else:  # run_end failure
         desc = f"run failed: {ev.get('error')}"
     return {
@@ -215,6 +249,10 @@ def _finalise(
     total_jobs = sweep["jobs"] + sweep["cache_hits"]
     sweep["hit_rate"] = (
         sweep["cache_hits"] / total_jobs if total_jobs else 0.0
+    )
+    svc = agg["service"]
+    svc["memo_rate"] = (
+        svc["memo_hits"] / svc["served"] if svc["served"] else 0.0
     )
 
 
@@ -312,6 +350,20 @@ def format_report(agg: Dict[str, Any], top: int = 10) -> str:
         if sweep.get("quarantined"):
             line += f", {sweep['quarantined']} quarantined"
         lines.append(line)
+        lines.append("")
+
+    svc = agg["service"]
+    if svc["requests"]:
+        by_source = ", ".join(
+            f"{k}={v}"
+            for k, v in sorted(svc["served_by_source"].items())
+        )
+        lines.append(
+            f"service: {svc['requests']} requests, {svc['served']} "
+            f"served (memo rate {svc['memo_rate']:.1%}; {by_source}), "
+            f"{svc['coalesced']} coalesced, {svc['rejected']} rejected, "
+            f"{svc['failed']} failed"
+        )
         lines.append("")
 
     lines.append(

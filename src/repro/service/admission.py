@@ -1,0 +1,186 @@
+"""Admission control: who gets in when the simulator is the bottleneck.
+
+A simulation is seconds-to-minutes of CPU; an HTTP request is
+microseconds.  Without a gate, a burst of cold-key requests turns the
+service into an unbounded queue with unbounded latency.  The controller
+applies three policies, cheapest first:
+
+1. **Queue bound** — at most ``max_queue`` *executions* may be queued
+   or running.  Coalesced joiners don't occupy slots (they ride an
+   execution that is already accounted for), so the bound tracks real
+   work, not popularity.  Overflow → 503 + Retry-After.
+2. **Interactive reserve** — ``batch`` priority sees a smaller queue
+   bound (``max_queue - interactive_reserve``), so background sweeps
+   can never starve interactive requests.  The reserve is admission
+   headroom, not a separate queue.
+3. **Per-tenant token bucket** — each tenant accrues ``quota_rate``
+   request tokens per second up to ``quota_burst``.  *Every* admitted
+   request spends a token, including coalesced joiners: coalescing is
+   an efficiency win for the service, not a quota loophole for clients
+   who all ask the same question.  Empty bucket → 429 + Retry-After
+   (time until one token accrues).
+
+The clock is injectable so tests (and the Hypothesis property suite)
+drive time deterministically.  Invariant, pinned by
+``tests/test_service_admission.py``: over any window a tenant is
+admitted at most ``quota_burst + quota_rate * window`` times, and
+queued + running executions never exceed ``max_queue``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+PRIORITIES = ("interactive", "batch")
+DEFAULT_TENANT = "anonymous"
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Tunable limits; the defaults fit a single-host service."""
+
+    max_queue: int = 64
+    interactive_reserve: int = 8
+    quota_rate: float = 4.0
+    quota_burst: float = 16.0
+
+    def queue_limit(self, priority: str) -> int:
+        if priority == "batch":
+            return max(0, self.max_queue - self.interactive_reserve)
+        return self.max_queue
+
+
+@dataclass(frozen=True)
+class Admission:
+    """One admission decision, ready to serialise into a response."""
+
+    ok: bool
+    code: int = 200
+    reason: str = ""
+    retry_after_s: float = 0.0
+
+
+class TokenBucket:
+    """Continuous-refill token bucket (floats, no discrete ticks)."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.stamp = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self.stamp)
+        self.stamp = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+
+    def take(self, now: float) -> Tuple[bool, float]:
+        """Spend one token; returns ``(granted, retry_after_s)``."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        if self.rate <= 0.0:
+            return False, math.inf
+        return False, (1.0 - self.tokens) / self.rate
+
+
+class AdmissionController:
+    """Thread-safe gate in front of the execution queue.
+
+    ``admit`` is called on every request that missed the memo cache;
+    ``release`` when an execution leaves the system (served, failed, or
+    quarantined).  Slot accounting is leader-only — a coalesced joiner
+    passes ``needs_slot=False`` and is charged quota but not queue.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[AdmissionPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        import time
+
+        self.policy = policy or AdmissionPolicy()
+        self._clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._in_system = 0
+        self.admitted = 0
+        self.rejected_quota = 0
+        self.rejected_overload = 0
+
+    # -- decisions -------------------------------------------------------
+
+    def admit(
+        self,
+        tenant: str = DEFAULT_TENANT,
+        priority: str = "interactive",
+        needs_slot: bool = True,
+    ) -> Admission:
+        if priority not in PRIORITIES:
+            return Admission(
+                False, 400,
+                f"priority must be one of {PRIORITIES}, got {priority!r}",
+            )
+        now = self._clock()
+        with self._lock:
+            # Overload first: it consumes no state, so a rejected
+            # burst cannot drain anyone's quota as a side effect.
+            limit = self.policy.queue_limit(priority)
+            if needs_slot and self._in_system >= limit:
+                self.rejected_overload += 1
+                return Admission(
+                    False, 503,
+                    f"execution queue full ({self._in_system}/{limit} "
+                    f"for {priority} priority)",
+                    retry_after_s=1.0,
+                )
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.policy.quota_rate, self.policy.quota_burst, now
+                )
+                self._buckets[tenant] = bucket
+            granted, retry_after = bucket.take(now)
+            if not granted:
+                self.rejected_quota += 1
+                return Admission(
+                    False, 429,
+                    f"tenant {tenant!r} is over quota "
+                    f"({self.policy.quota_rate}/s, "
+                    f"burst {self.policy.quota_burst:g})",
+                    retry_after_s=retry_after,
+                )
+            if needs_slot:
+                self._in_system += 1
+            self.admitted += 1
+            return Admission(True)
+
+    def release(self) -> None:
+        """One execution left the system (leader-side only)."""
+        with self._lock:
+            if self._in_system > 0:
+                self._in_system -= 1
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def in_system(self) -> int:
+        with self._lock:
+            return self._in_system
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "in_system": self._in_system,
+                "admitted": self.admitted,
+                "rejected_quota": self.rejected_quota,
+                "rejected_overload": self.rejected_overload,
+                "tenants": len(self._buckets),
+            }

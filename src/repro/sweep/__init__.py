@@ -4,9 +4,11 @@ The paper's evaluation is a pile of (workload x configuration) grids —
 14 figure/table drivers, each a nest of serial ``for`` loops.  This
 package turns any such grid into hashable jobs and fans them out:
 
-- :mod:`~repro.sweep.jobs` — grid expansion (:func:`expand_grid`) and
-  content-addressed job keys (:class:`JobSpec`) built from the PR 2
-  provenance fingerprints plus a sweep schema version;
+- :mod:`repro.jobmodel` (re-exported here and via the
+  :mod:`~repro.sweep.jobs` shim) — grid expansion (:func:`expand_grid`)
+  and content-addressed job keys (:class:`JobSpec`) built from the PR 2
+  provenance fingerprints plus a sweep schema version, plus the
+  :class:`JobResult` envelope the simulation service serves;
 - :mod:`~repro.sweep.cache` — :class:`ResultCache`, a durable
   content-addressed store so re-runs and partially-failed sweeps skip
   completed jobs;
@@ -25,9 +27,9 @@ CLI exposes it as ``--jobs N --cache-dir PATH`` on ``run`` / ``suite``
 / ``experiment``.  See DESIGN.md section 9.
 """
 
-from repro.sweep.cache import ResultCache, open_cache
-from repro.sweep.jobs import (
+from repro.jobmodel import (
     SWEEP_SCHEMA_VERSION,
+    JobResult,
     JobSpec,
     build_jobs,
     canonical_blob,
@@ -35,11 +37,13 @@ from repro.sweep.jobs import (
     expand_grid,
     value_fingerprint,
 )
+from repro.sweep.cache import ResultCache, open_cache
 from repro.sweep.lease import LeaseManager, LeaseState, open_leases
 from repro.sweep.runner import SweepReport, SweepRunner, sweep_map
 
 __all__ = [
     "SWEEP_SCHEMA_VERSION",
+    "JobResult",
     "JobSpec",
     "LeaseManager",
     "LeaseState",

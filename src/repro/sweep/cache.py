@@ -32,8 +32,8 @@ import os
 import pickle
 from typing import Any, Iterator, List, Optional, Tuple
 
+from repro.jobmodel import SWEEP_SCHEMA_VERSION
 from repro.locks import exclusive_tmp_path
-from repro.sweep.jobs import SWEEP_SCHEMA_VERSION
 
 RESULT_FORMAT = "spade-sweep-result"
 RESULT_VERSION = 1

@@ -1,155 +1,35 @@
-"""Hashable sweep jobs: grid expansion and content-addressed job keys.
+"""Back-compat shim: the Job/Result boundary moved to
+:mod:`repro.jobmodel`.
 
-A sweep is a (workload x configuration) grid evaluated by one pure
-*cell function*.  Each grid point becomes a :class:`JobSpec` whose
-``key`` is a content hash over everything that determines the cell's
-result:
-
-- the sweep **schema version** (bumped when cell semantics change, so a
-  code change can never resurface stale cached results),
-- the **driver** name (``fig09``, ``table5``, ...) and the cell
-  function's qualified name,
-- the **config hash** — the PR 2 provenance fingerprint of the resolved
-  :class:`~repro.bench.harness.BenchEnvironment` (which determines every
-  system config a driver builds),
-- the **workload hash** — the canonical-JSON digest of the grid point.
-
-Equal jobs hash equal regardless of process, host, or grid position, so
-the key doubles as the result-cache address; distinct jobs collide only
-if sha256 collides.  Each job also derives a deterministic per-job seed
-from its key so any seed-sensitive code inside a cell behaves
-identically no matter which worker runs the job or in what order.
+The sweep package, the sharded runner, and the simulation service all
+consume the same job vocabulary; it now lives at the top level so the
+service does not have to reach into ``repro.sweep`` for its request
+keys.  Import from :mod:`repro.jobmodel` in new code — this module
+re-exports the full surface so existing imports keep resolving.
 """
 
-from __future__ import annotations
-
-import dataclasses
-import hashlib
-import json
-from dataclasses import dataclass, is_dataclass
-from typing import Any, List, Mapping, Sequence, Tuple
-
-SWEEP_SCHEMA_VERSION = 1
-"""Bump when cell-function semantics change: invalidates every cached
-sweep result at once (cache keys embed this version)."""
-
-
-def canonical_blob(value: Any) -> bytes:
-    """Deterministic byte serialisation of a (nested) grid value.
-
-    Canonical JSON with sorted keys; tuples and lists are equivalent,
-    anything non-JSON falls back to ``repr`` (stable for the enums,
-    dataclasses, and numbers that appear in grid points).
-    """
-    return json.dumps(
-        value, sort_keys=True, default=repr, separators=(",", ":")
-    ).encode()
-
-
-def value_fingerprint(value: Any) -> str:
-    """sha256 hex digest of :func:`canonical_blob`."""
-    return hashlib.sha256(canonical_blob(value)).hexdigest()
-
-
-_EXCLUDED_ENV_KEYS = (
-    "jobs", "cache_dir", "timeout_s", "max_retries", "trace_cache_dir",
-    "max_attempts", "keep_going", "lease_dir",
+from repro.jobmodel import (  # noqa: F401
+    JOB_SCHEMA_VERSION,
+    RESULT_SOURCES,
+    SWEEP_SCHEMA_VERSION,
+    JobResult,
+    JobSpec,
+    build_jobs,
+    canonical_blob,
+    environment_fingerprint,
+    expand_grid,
+    value_fingerprint,
 )
-"""Environment fields that orchestrate *how* a sweep runs but cannot
-change what a cell computes (all execution paths are bit-identical, per
-the PR 3/4 parity suites, and trace-cache replay is bit-identical to
-live generation per the PR 8 trace-store suites) — excluded from the
-fingerprint so changing worker count, supervision policy or trace-cache
-location never invalidates cached results."""
 
-
-def environment_fingerprint(env: Any) -> str:
-    """Content hash of a sweep's environment.
-
-    ``None`` (environment-free drivers like ``sec7g``) hashes to a fixed
-    sentinel; dataclasses reuse the PR 2 provenance fingerprint (modulo
-    :data:`_EXCLUDED_ENV_KEYS`) so the sweep cache and the BENCH
-    manifest agree on what "same config" means.
-    """
-    if env is None:
-        return value_fingerprint("no-environment")
-    if is_dataclass(env) and not isinstance(env, type):
-        from repro.telemetry.provenance import config_fingerprint
-
-        fields = dataclasses.asdict(env)
-        for key in _EXCLUDED_ENV_KEYS:
-            fields.pop(key, None)
-        return config_fingerprint(fields)
-    return value_fingerprint(env)
-
-
-def expand_grid(axes: Mapping[str, Sequence[Any]]) -> List[Tuple]:
-    """Cartesian product of named axes as a list of point tuples.
-
-    Expansion order is a pure function of the spec: axes vary in
-    *insertion order* with the last axis fastest (odometer order), which
-    is exactly the nesting order of the serial ``for`` loops the sweep
-    replaces.  The property suite pins this determinism.
-    """
-    points: List[Tuple] = [()]
-    for name in axes:
-        pool = list(axes[name])
-        points = [p + (v,) for p in points for v in pool]
-    return points
-
-
-@dataclass(frozen=True)
-class JobSpec:
-    """One hashable unit of sweep work: a (driver, point) pair bound to
-    an environment fingerprint and the sweep schema version."""
-
-    driver: str
-    index: int
-    point: Tuple
-    config_hash: str
-    schema_version: int = SWEEP_SCHEMA_VERSION
-
-    @property
-    def workload_hash(self) -> str:
-        """Content hash of the grid point alone."""
-        return value_fingerprint(list(self.point))
-
-    @property
-    def key(self) -> str:
-        """Content address of this job's result.
-
-        Deliberately excludes ``index``: the same (driver, config,
-        point) job has the same result wherever it sits in the grid, so
-        reshaped or filtered grids still hit the cache.
-        """
-        blob = canonical_blob(
-            {
-                "schema_version": self.schema_version,
-                "driver": self.driver,
-                "config": self.config_hash,
-                "workload": self.workload_hash,
-            }
-        )
-        return hashlib.sha256(blob).hexdigest()
-
-    @property
-    def seed(self) -> int:
-        """Deterministic per-job seed derived from the job key."""
-        return int(self.key[:16], 16)
-
-
-def build_jobs(
-    driver: str, env: Any, points: Sequence[Tuple]
-) -> List[JobSpec]:
-    """Materialise the :class:`JobSpec` list for one sweep, in grid
-    order (the order results are merged back in)."""
-    config_hash = environment_fingerprint(env)
-    return [
-        JobSpec(
-            driver=driver,
-            index=index,
-            point=tuple(point),
-            config_hash=config_hash,
-        )
-        for index, point in enumerate(points)
-    ]
+__all__ = [
+    "JOB_SCHEMA_VERSION",
+    "RESULT_SOURCES",
+    "SWEEP_SCHEMA_VERSION",
+    "JobResult",
+    "JobSpec",
+    "build_jobs",
+    "canonical_blob",
+    "environment_fingerprint",
+    "expand_grid",
+    "value_fingerprint",
+]

@@ -83,8 +83,8 @@ from repro.obs.ledger import (
     merge_shards,
     shard_path,
 )
+from repro.jobmodel import JobSpec, build_jobs
 from repro.sweep.cache import ResultCache
-from repro.sweep.jobs import JobSpec, build_jobs
 from repro.sweep.lease import LeaseManager, heartbeat_path, open_leases
 from repro.telemetry import ensure
 
@@ -409,9 +409,18 @@ class SweepRunner:
             )
         if shard is not None:
             index, count = shard
-            if count < 1 or not 0 <= index < count:
+            if count < 1:
                 raise SweepError(
-                    f"sweep shard must satisfy 0 <= i < N, got {index}/{count}"
+                    f"sweep shard runner count must be >= 1, "
+                    f"got {index}/{count}"
+                )
+            if not 0 <= index < count:
+                # Shards are 0-based; spell out the valid range so a
+                # 1-based "N/N" slip gets a fix-it, not just a bound.
+                raise SweepError(
+                    f"sweep shard index is 0-based: valid shards for "
+                    f"{count} runner(s) are 0/{count} .. "
+                    f"{count - 1}/{count}, got {index}/{count}"
                 )
             if cache is None:
                 raise SweepError(

@@ -377,14 +377,43 @@ class TestSweepCommand:
 
     # (a leading-dash spec like "-1/2" never reaches _shard_spec —
     # argparse treats it as an option and rejects it on its own)
-    @pytest.mark.parametrize("spec", ["2/2", "1", "a/b", "1/0"])
-    def test_bad_shard_spec_rejected(self, spec, tmp_path, capsys):
+    @pytest.mark.parametrize("spec, diagnostic", [
+        ("2/2", "0-based"),          # 1-based slip gets the fix-it
+        ("4/2", "0/2 .. 1/2"),       # ...spelling out the valid range
+        ("1", "i/N"),
+        ("a/b", "i/N"),
+        ("1/0", "count must be >= 1"),
+    ])
+    def test_bad_shard_spec_rejected(
+        self, spec, diagnostic, tmp_path, capsys
+    ):
         with pytest.raises(SystemExit):
             build_parser().parse_args([
                 "sweep", "fig14", "--shard", spec,
                 "--cache-dir", str(tmp_path / "c"),
             ])
-        assert "shard must" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "shard" in err
+        assert diagnostic in err
+
+    def test_shard_help_documents_zero_base(self):
+        # The help text and the error diagnostics must agree that
+        # shards are 0-based (regression: the help used to show i/N
+        # with no base, and 1-based N/N slips got an opaque bound).
+        import argparse as _argparse
+
+        parser = build_parser()
+        sweep_parser = None
+        for action in parser._subparsers._group_actions:
+            sweep_parser = action.choices.get("sweep")
+        assert sweep_parser is not None
+        help_text = sweep_parser.format_help()
+        assert "0-based" in help_text
+        with pytest.raises(_argparse.ArgumentTypeError) as info:
+            from repro.cli import _shard_spec
+
+            _shard_spec("2/2")
+        assert "0-based" in str(info.value)
 
     def test_bad_max_attempts_rejected(self, tmp_path, capsys):
         assert main([

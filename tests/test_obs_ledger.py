@@ -54,6 +54,11 @@ def _ev(etype="run_start", **overrides):
             "driver": "run",
         },
         "cache_hit": {"index": 1, "key": "ee" * 32, "driver": "run"},
+        "service": {
+            "status": "served", "key": "dd" * 32, "tenant": "anonymous",
+            "priority": "interactive", "source": "memo", "code": 200,
+            "wall_s": 0.001,
+        },
         "trace_cache": {
             "epoch": 0, "status": "hit", "key": "cd" * 32, "pes": 8,
             "wall_s": 0.002,

@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) on service admission control.
+
+The invariants the admission layer must hold under *any* request
+pattern:
+
+1. **No over-admission**: over any window, a tenant is admitted at most
+   ``burst + rate * elapsed`` times (token conservation — the bucket
+   cannot mint tokens).
+2. **Queue bound**: queued + running executions never exceed
+   ``max_queue`` (and never exceed the batch limit for batch traffic).
+3. **Coalescing counts against exactly one execution**: however many
+   requests join a key, exactly one is the leader, and leaders = the
+   number of executions started.
+
+Time is driven through the injectable clock, so every example is
+deterministic and instant.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    TokenBucket,
+)
+from repro.service.coalesce import Coalescer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+# -- 1: the token bucket cannot over-admit ----------------------------------
+
+bucket_params = st.tuples(
+    st.floats(min_value=0.1, max_value=50.0),   # rate
+    st.floats(min_value=1.0, max_value=50.0),   # burst
+)
+request_trace = st.lists(
+    st.floats(min_value=0.0, max_value=5.0),    # inter-arrival gaps
+    min_size=1, max_size=200,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(params=bucket_params, gaps=request_trace)
+def test_token_bucket_never_over_admits(params, gaps):
+    rate, burst = params
+    clock = FakeClock()
+    bucket = TokenBucket(rate, burst, clock())
+    admitted = 0
+    elapsed = 0.0
+    for gap in gaps:
+        clock.advance(gap)
+        elapsed += gap
+        granted, retry_after = bucket.take(clock())
+        if granted:
+            admitted += 1
+        else:
+            assert retry_after > 0.0
+        # Token conservation: what came out <= what was ever put in.
+        ceiling = burst + rate * elapsed
+        assert admitted <= math.floor(ceiling) + 1
+        # The live balance can never exceed the burst capacity.
+        assert bucket.tokens <= burst + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(gaps=request_trace)
+def test_retry_after_is_honest(gaps):
+    # Waiting exactly the advertised Retry-After always yields a token.
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=2.0, now=clock())
+    for gap in gaps:
+        clock.advance(gap)
+        granted, retry_after = bucket.take(clock())
+        if not granted:
+            clock.advance(retry_after + 1e-6)
+            granted2, _ = bucket.take(clock())
+            assert granted2
+
+
+# -- 2: the queue bound holds under any admit/release interleaving ----------
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["admit", "release"]),
+        st.sampled_from(["interactive", "batch"]),
+        st.integers(min_value=0, max_value=3),  # tenant id
+    ),
+    min_size=1, max_size=300,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(operations=ops, max_queue=st.integers(min_value=1, max_value=8),
+       reserve=st.integers(min_value=0, max_value=4))
+def test_in_system_never_exceeds_queue_bound(
+    operations, max_queue, reserve
+):
+    clock = FakeClock()
+    policy = AdmissionPolicy(
+        max_queue=max_queue,
+        interactive_reserve=min(reserve, max_queue),
+        quota_rate=1e6, quota_burst=1e6,  # quota out of the way
+    )
+    ctrl = AdmissionController(policy, clock=clock)
+    for op, priority, tenant in operations:
+        clock.advance(0.001)
+        if op == "admit":
+            decision = ctrl.admit(f"t{tenant}", priority)
+            if decision.ok and priority == "batch":
+                assert ctrl.in_system <= policy.queue_limit("batch")
+        else:
+            if ctrl.in_system > 0:
+                ctrl.release()
+        assert 0 <= ctrl.in_system <= max_queue
+
+
+@settings(max_examples=100, deadline=None)
+@given(max_queue=st.integers(min_value=2, max_value=10),
+       reserve=st.integers(min_value=1, max_value=5))
+def test_interactive_reserve_blocks_batch_first(max_queue, reserve):
+    reserve = min(reserve, max_queue - 1)
+    clock = FakeClock()
+    policy = AdmissionPolicy(
+        max_queue=max_queue, interactive_reserve=reserve,
+        quota_rate=1e6, quota_burst=1e6,
+    )
+    ctrl = AdmissionController(policy, clock=clock)
+    batch_limit = policy.queue_limit("batch")
+    # Fill to the batch limit with batch traffic...
+    for _ in range(batch_limit):
+        assert ctrl.admit("t", "batch").ok
+    # ...the next batch request bounces (503), but interactive still
+    # fits in the reserve.
+    refused = ctrl.admit("t", "batch")
+    assert not refused.ok and refused.code == 503
+    assert refused.retry_after_s > 0
+    assert ctrl.admit("t", "interactive").ok
+
+
+# -- 3: coalescing admits N requests against exactly one execution ----------
+
+key_traces = st.lists(
+    st.integers(min_value=0, max_value=5),  # small key space -> overlap
+    min_size=1, max_size=100,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(keys=key_traces)
+def test_coalesced_requests_share_exactly_one_execution(keys):
+    clock = FakeClock()
+    ctrl = AdmissionController(
+        AdmissionPolicy(max_queue=10**6, quota_rate=1e6,
+                        quota_burst=1e6),
+        clock=clock,
+    )
+    coalescer = Coalescer()
+    executions = 0
+    quota_charged = 0
+    for key in keys:
+        clock.advance(0.001)
+        is_leader, entry = coalescer.join(f"k{key}")
+        decision = ctrl.admit("tenant", needs_slot=is_leader)
+        assert decision.ok
+        quota_charged += 1
+        if is_leader:
+            executions += 1
+    # Every request paid quota; only leaders consumed queue slots.
+    assert quota_charged == len(keys)
+    assert ctrl.in_system == executions
+    assert executions == coalescer.in_flight
+    assert executions == coalescer.stats()["leaders"]
+    assert coalescer.stats()["coalesced"] == len(keys) - executions
+    # Resolving a key retires it: a new join becomes a fresh leader.
+    for key in set(keys):
+        coalescer.resolve(f"k{key}", object())
+        ctrl.release()
+    assert coalescer.in_flight == 0
+    assert ctrl.in_system == 0
+    is_leader, _ = coalescer.join("k0")
+    assert is_leader
